@@ -1,0 +1,149 @@
+// Package semitri_test hosts the benchmark harness that regenerates every
+// table and figure of the paper's evaluation (§5). Each benchmark runs the
+// corresponding experiment from internal/experiments at a reduced scale and
+// reports wall-clock cost per regeneration; `go test -bench=. -benchmem`
+// therefore both exercises the full pipeline and produces the rows recorded
+// in EXPERIMENTS.md (printed once per benchmark under -v).
+package semitri_test
+
+import (
+	"sync"
+	"testing"
+
+	"semitri"
+	"semitri/internal/experiments"
+	"semitri/internal/workload"
+)
+
+// benchEnv is shared across benchmarks; building the synthetic city is
+// expensive and identical for every experiment.
+var (
+	benchEnvOnce sync.Once
+	benchEnvVal  *experiments.Env
+	benchEnvErr  error
+)
+
+func benchEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchEnvOnce.Do(func() {
+		benchEnvVal, benchEnvErr = experiments.NewEnv(2026, 0.25)
+	})
+	if benchEnvErr != nil {
+		b.Fatal(benchEnvErr)
+	}
+	return benchEnvVal
+}
+
+// runExperiment benchmarks one experiment id and logs its table once.
+func runExperiment(b *testing.B, id string) {
+	env := benchEnv(b)
+	fn := experiments.Registry[id]
+	if fn == nil {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	var logged bool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl, err := fn(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !logged {
+			b.Log("\n" + tbl.Format())
+			logged = true
+		}
+	}
+}
+
+// BenchmarkTable1VehicleDatasets regenerates Table 1 (vehicle dataset inventory).
+func BenchmarkTable1VehicleDatasets(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkTable2PeopleDatasets regenerates Table 2 (people dataset inventory).
+func BenchmarkTable2PeopleDatasets(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkFig9LanduseDistribution regenerates Fig. 9 (taxi land-use shares).
+func BenchmarkFig9LanduseDistribution(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkFig10MapMatchingSensitivity regenerates Fig. 10 (accuracy vs R, sigma).
+func BenchmarkFig10MapMatchingSensitivity(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkFig11StopCategories regenerates Fig. 11 (POI/stop/trajectory categories).
+func BenchmarkFig11StopCategories(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkFig12EpisodeDistribution regenerates Fig. 12 (log-log episode sizes).
+func BenchmarkFig12EpisodeDistribution(b *testing.B) { runExperiment(b, "fig12") }
+
+// BenchmarkFig13PerUserCounts regenerates Fig. 13 (per-user counts).
+func BenchmarkFig13PerUserCounts(b *testing.B) { runExperiment(b, "fig13") }
+
+// BenchmarkFig14PerUserLanduse regenerates Fig. 14 (per-user land-use profiles).
+func BenchmarkFig14PerUserLanduse(b *testing.B) { runExperiment(b, "fig14") }
+
+// BenchmarkFig15TransportModes regenerates Figs. 15/16 (commute mode annotation).
+func BenchmarkFig15TransportModes(b *testing.B) { runExperiment(b, "fig15") }
+
+// BenchmarkFig17LatencyBreakdown regenerates Fig. 17 (per-stage latency).
+func BenchmarkFig17LatencyBreakdown(b *testing.B) { runExperiment(b, "fig17") }
+
+// BenchmarkCompressionRatio regenerates the §5.2 storage-compression claim.
+func BenchmarkCompressionRatio(b *testing.B) { runExperiment(b, "compression") }
+
+// BenchmarkAblationMapMatching regenerates ablation A1 (global vs nearest matching).
+func BenchmarkAblationMapMatching(b *testing.B) { runExperiment(b, "ablation-mapmatch") }
+
+// BenchmarkAblationHMMvsNearest regenerates ablation A2 (HMM vs nearest-POI).
+func BenchmarkAblationHMMvsNearest(b *testing.B) { runExperiment(b, "ablation-hmm") }
+
+// BenchmarkPipelinePeopleDay measures the end-to-end pipeline cost for one
+// person-day of data (the unit the paper's Fig. 17 latencies refer to).
+func BenchmarkPipelinePeopleDay(b *testing.B) {
+	env := benchEnv(b)
+	ds, err := workload.GeneratePeople(env.City, workload.DefaultPeopleConfig(1, 1, 99))
+	if err != nil {
+		b.Fatal(err)
+	}
+	records := ds.Records()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := semitri.New(semitri.Sources{
+			Landuse: env.City.Landuse, Roads: env.City.Roads, POIs: env.City.POIs,
+		}, semitri.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.ProcessRecords(records); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineTaxiTrip measures the end-to-end pipeline cost for a
+// single taxi's day of trips with the vehicle configuration.
+func BenchmarkPipelineTaxiTrip(b *testing.B) {
+	env := benchEnv(b)
+	cfg := workload.DefaultTaxiConfig(7)
+	cfg.NumVehicles = 1
+	cfg.TripsPerVehicle = 4
+	ds, err := workload.GenerateVehicles(env.City, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	records := ds.Records()
+	pipelineCfg := semitri.VehicleConfig()
+	pipelineCfg.DailySplit = false
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := semitri.New(semitri.Sources{
+			Landuse: env.City.Landuse, Roads: env.City.Roads, POIs: env.City.POIs,
+		}, pipelineCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.ProcessRecords(records); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// Command semitri-gen generates the synthetic GPS datasets used as stand-ins
+// for the paper's proprietary traces and writes them as CSV files that
+// cmd/semitri can ingest.
+//
+// Usage:
+//
+//	semitri-gen -kind people -out people.csv [-seed 1] [-users 6] [-days 5]
+//	semitri-gen -kind taxi   -out taxi.csv
+//	semitri-gen -kind cars   -out cars.csv   [-vehicles 60]
+//	semitri-gen -kind drive  -out drive.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"semitri/internal/gps"
+	"semitri/internal/workload"
+)
+
+func main() {
+	kind := flag.String("kind", "people", "dataset kind: people | taxi | cars | drive")
+	out := flag.String("out", "", "output CSV path (stdout when empty)")
+	seed := flag.Int64("seed", 1, "random seed")
+	users := flag.Int("users", 6, "number of users (people datasets)")
+	days := flag.Int("days", 5, "number of days per user (people datasets)")
+	vehicles := flag.Int("vehicles", 60, "number of vehicles (cars dataset)")
+	pois := flag.Int("pois", 8000, "number of POIs in the synthetic city")
+	flag.Parse()
+
+	city, err := workload.NewCity(workload.DefaultCityConfig(*seed, *pois))
+	if err != nil {
+		fail(err)
+	}
+	var ds *workload.Dataset
+	switch *kind {
+	case "people":
+		ds, err = workload.GeneratePeople(city, workload.DefaultPeopleConfig(*users, *days, *seed+1))
+	case "taxi":
+		ds, err = workload.GenerateVehicles(city, workload.DefaultTaxiConfig(*seed+1))
+	case "cars":
+		cfg := workload.DefaultPrivateCarConfig(*seed + 1)
+		cfg.NumVehicles = *vehicles
+		ds, err = workload.GenerateVehicles(city, cfg)
+	case "drive":
+		ds, err = workload.GenerateDrive(city, workload.DefaultDriveConfig(*seed+1))
+	default:
+		fail(fmt.Errorf("unknown dataset kind %q", *kind))
+	}
+	if err != nil {
+		fail(err)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	records := ds.Records()
+	if err := gps.WriteCSV(w, records); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d records for %d objects (%s)\n", len(records), len(ds.Objects), ds.Name)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}

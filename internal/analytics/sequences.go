@@ -1,0 +1,201 @@
+package analytics
+
+import (
+	"sort"
+	"strings"
+
+	"semitri/internal/episode"
+	"semitri/internal/store"
+)
+
+// The Semantic Trajectory Analytics Layer of Fig. 2 lists "Sequential
+// Mining" among its methodologies; this file implements the frequent
+// stop-sequence mining used to summarise semantic behaviours (e.g. the
+// home -> office -> shop -> home patterns discussed in §1.1 and §4.3's
+// transition-matrix motivation).
+
+// SequencePattern is a contiguous sequence of stop annotation values together
+// with the number of trajectories in which it occurs.
+type SequencePattern struct {
+	Sequence []string
+	// Support is the number of distinct trajectories containing the sequence.
+	Support int
+}
+
+// Key renders the sequence as a single string ("a -> b -> c").
+func (p SequencePattern) Key() string { return strings.Join(p.Sequence, " -> ") }
+
+// FrequentStopSequences mines contiguous stop-annotation sequences of length
+// minLen..maxLen over all stored structured trajectories of the given
+// interpretation and returns those occurring in at least minSupport distinct
+// trajectories, ordered by decreasing support then lexicographically.
+//
+// The annotation key selects the alphabet: core.AnnPOICategory yields
+// activity-style patterns ("item sale -> person life"), core.AnnLanduse
+// yields region transition patterns.
+func FrequentStopSequences(s *store.Store, interpretation, key string, minLen, maxLen, minSupport int) []SequencePattern {
+	if minLen < 1 {
+		minLen = 1
+	}
+	if maxLen < minLen {
+		maxLen = minLen
+	}
+	if minSupport < 1 {
+		minSupport = 1
+	}
+	support := map[string]int{}
+	sequences := map[string][]string{}
+	for _, id := range s.StructuredIDs() {
+		st, ok := s.Structured(id, interpretation)
+		if !ok {
+			continue
+		}
+		var symbols []string
+		for _, tp := range st.Tuples {
+			if tp.Kind != episode.Stop {
+				continue
+			}
+			if v := tp.Annotations.Value(key); v != "" {
+				symbols = append(symbols, v)
+			}
+		}
+		seen := map[string]bool{}
+		for length := minLen; length <= maxLen; length++ {
+			for start := 0; start+length <= len(symbols); start++ {
+				sub := symbols[start : start+length]
+				k := strings.Join(sub, " -> ")
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				support[k]++
+				if _, stored := sequences[k]; !stored {
+					sequences[k] = append([]string(nil), sub...)
+				}
+			}
+		}
+	}
+	var out []SequencePattern
+	for k, sup := range support {
+		if sup >= minSupport {
+			out = append(out, SequencePattern{Sequence: sequences[k], Support: sup})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		if len(out[i].Sequence) != len(out[j].Sequence) {
+			return len(out[i].Sequence) > len(out[j].Sequence)
+		}
+		return out[i].Key() < out[j].Key()
+	})
+	return out
+}
+
+// TransitionMatrix estimates the empirical stop-category transition matrix
+// from the stored trajectories: entry [from][to] is the probability that a
+// stop annotated `from` is followed (within the same trajectory) by a stop
+// annotated `to`. The result can seed the HMM's A matrix for a personalised
+// model — the "learning dynamic and personalised transition matrix" the
+// paper leaves as future work (§4.3).
+func TransitionMatrix(s *store.Store, interpretation, key string) (labels []string, matrix [][]float64) {
+	counts := map[string]map[string]float64{}
+	labelSet := map[string]bool{}
+	for _, id := range s.StructuredIDs() {
+		st, ok := s.Structured(id, interpretation)
+		if !ok {
+			continue
+		}
+		var prev string
+		for _, tp := range st.Tuples {
+			if tp.Kind != episode.Stop {
+				continue
+			}
+			v := tp.Annotations.Value(key)
+			if v == "" {
+				continue
+			}
+			labelSet[v] = true
+			if prev != "" {
+				if counts[prev] == nil {
+					counts[prev] = map[string]float64{}
+				}
+				counts[prev][v]++
+			}
+			prev = v
+		}
+	}
+	for l := range labelSet {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	matrix = make([][]float64, len(labels))
+	for i, from := range labels {
+		matrix[i] = make([]float64, len(labels))
+		var rowTotal float64
+		for _, to := range labels {
+			rowTotal += counts[from][to]
+		}
+		for j, to := range labels {
+			if rowTotal > 0 {
+				matrix[i][j] = counts[from][to] / rowTotal
+			} else {
+				matrix[i][j] = 1 / float64(len(labels))
+			}
+		}
+	}
+	return labels, matrix
+}
+
+// DailyProfile summarises, for one object, the share of time per annotation
+// value in each hour of the day across all of its stored trajectories of the
+// given interpretation — the "mobility analysis/statistics" use case of
+// §1.1. The result maps hour (0..23) to a distribution of annotation values
+// weighted by seconds spent.
+func DailyProfile(s *store.Store, objectID, interpretation, key string) map[int]map[string]float64 {
+	out := map[int]map[string]float64{}
+	for _, id := range s.StructuredIDs() {
+		st, ok := s.Structured(id, interpretation)
+		if !ok {
+			continue
+		}
+		if objectID != "" && st.ObjectID != objectID {
+			continue
+		}
+		for _, tp := range st.Tuples {
+			v := tp.Annotations.Value(key)
+			if v == "" {
+				continue
+			}
+			// Attribute the tuple's duration to the hours it overlaps.
+			cur := tp.TimeIn
+			for cur.Before(tp.TimeOut) {
+				hourEnd := cur.Truncate(3600e9).Add(3600e9)
+				if hourEnd.After(tp.TimeOut) {
+					hourEnd = tp.TimeOut
+				}
+				h := cur.Hour()
+				if out[h] == nil {
+					out[h] = map[string]float64{}
+				}
+				out[h][v] += hourEnd.Sub(cur).Seconds()
+				cur = hourEnd
+			}
+		}
+	}
+	// Normalise each hour to shares.
+	for h, dist := range out {
+		var total float64
+		for _, v := range dist {
+			total += v
+		}
+		if total > 0 {
+			for k := range dist {
+				dist[k] /= total
+			}
+		}
+		out[h] = dist
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+package analytics
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"semitri/internal/core"
+	"semitri/internal/episode"
+	"semitri/internal/store"
+)
+
+// seqStore builds a store with three trajectories whose stop-category
+// sequences are known:
+//
+//	t1: home -> shop -> home
+//	t2: home -> shop -> leisure
+//	t3: home -> shop -> home
+func seqStore(t *testing.T) *store.Store {
+	t.Helper()
+	s := store.New()
+	build := func(id string, cats []string, startHour int) {
+		st := &core.StructuredTrajectory{ID: id, ObjectID: "u1", Interpretation: "merged"}
+		cur := t0.Add(time.Duration(startHour) * time.Hour)
+		for i, c := range cats {
+			stop := &core.EpisodeTuple{Kind: episode.Stop, TimeIn: cur, TimeOut: cur.Add(50 * time.Minute)}
+			stop.Annotations.Add(core.Annotation{Key: core.AnnPOICategory, Value: c, Confidence: 1})
+			st.Tuples = append(st.Tuples, stop)
+			cur = cur.Add(time.Hour)
+			if i < len(cats)-1 {
+				move := &core.EpisodeTuple{Kind: episode.Move, TimeIn: cur.Add(-10 * time.Minute), TimeOut: cur}
+				move.Annotations.Add(core.Annotation{Key: core.AnnTransportMode, Value: "walk", Confidence: 1})
+				st.Tuples = append(st.Tuples, move)
+			}
+		}
+		if err := s.PutStructured(st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// t0 is 08:00 UTC, so offsets 0/0/1 place the first stops at 08:00,
+	// 08:00 and 09:00 respectively.
+	build("u1-d1", []string{"home", "shop", "home"}, 0)
+	build("u1-d2", []string{"home", "shop", "leisure"}, 0)
+	build("u1-d3", []string{"home", "shop", "home"}, 1)
+	return s
+}
+
+func TestFrequentStopSequences(t *testing.T) {
+	s := seqStore(t)
+	patterns := FrequentStopSequences(s, "merged", core.AnnPOICategory, 2, 3, 2)
+	if len(patterns) == 0 {
+		t.Fatal("no patterns found")
+	}
+	bySupport := map[string]int{}
+	for _, p := range patterns {
+		bySupport[p.Key()] = p.Support
+	}
+	if bySupport["home -> shop"] != 3 {
+		t.Fatalf("home->shop support = %d, want 3 (%v)", bySupport["home -> shop"], bySupport)
+	}
+	if bySupport["home -> shop -> home"] != 2 {
+		t.Fatalf("home->shop->home support = %d, want 2", bySupport["home -> shop -> home"])
+	}
+	if _, ok := bySupport["shop -> leisure"]; ok {
+		t.Fatal("shop->leisure occurs once and must be below minSupport=2")
+	}
+	// Ordering: highest support first.
+	if patterns[0].Key() != "home -> shop" && patterns[0].Support != 3 {
+		t.Fatalf("first pattern = %+v", patterns[0])
+	}
+	// Single occurrences show up when minSupport is 1.
+	all := FrequentStopSequences(s, "merged", core.AnnPOICategory, 2, 2, 1)
+	found := false
+	for _, p := range all {
+		if p.Key() == "shop -> leisure" && p.Support == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("shop->leisure missing at minSupport=1")
+	}
+	// Degenerate parameters are clamped rather than rejected.
+	if got := FrequentStopSequences(s, "merged", core.AnnPOICategory, 0, -1, 0); len(got) == 0 {
+		t.Fatal("clamped parameters should still mine length-1 patterns")
+	}
+	if got := FrequentStopSequences(s, "missing", core.AnnPOICategory, 1, 2, 1); len(got) != 0 {
+		t.Fatal("missing interpretation should yield no patterns")
+	}
+}
+
+func TestTransitionMatrix(t *testing.T) {
+	s := seqStore(t)
+	labels, matrix := TransitionMatrix(s, "merged", core.AnnPOICategory)
+	if len(labels) != 3 {
+		t.Fatalf("labels = %v", labels)
+	}
+	idx := map[string]int{}
+	for i, l := range labels {
+		idx[l] = i
+	}
+	// home -> shop happens after every home stop that has a successor (3 of 3).
+	if got := matrix[idx["home"]][idx["shop"]]; got != 1 {
+		t.Fatalf("P(shop|home) = %v", got)
+	}
+	// shop -> home twice, shop -> leisure once.
+	if got := matrix[idx["shop"]][idx["home"]]; math.Abs(got-2.0/3.0) > 1e-9 {
+		t.Fatalf("P(home|shop) = %v", got)
+	}
+	if got := matrix[idx["shop"]][idx["leisure"]]; math.Abs(got-1.0/3.0) > 1e-9 {
+		t.Fatalf("P(leisure|shop) = %v", got)
+	}
+	// Rows with no outgoing transitions are uniform.
+	var rowSum float64
+	for _, v := range matrix[idx["leisure"]] {
+		rowSum += v
+	}
+	if math.Abs(rowSum-1) > 1e-9 {
+		t.Fatalf("leisure row sums to %v", rowSum)
+	}
+	// Empty store yields no labels.
+	l2, m2 := TransitionMatrix(store.New(), "merged", core.AnnPOICategory)
+	if len(l2) != 0 || len(m2) != 0 {
+		t.Fatal("empty store should yield empty matrix")
+	}
+}
+
+func TestDailyProfile(t *testing.T) {
+	s := seqStore(t)
+	profile := DailyProfile(s, "u1", "merged", core.AnnPOICategory)
+	if len(profile) == 0 {
+		t.Fatal("empty profile")
+	}
+	// The 8:00 hour is dominated by "home" stops (two trajectories start at
+	// home at 08:00, one at 09:00).
+	eight := profile[8]
+	if eight["home"] <= eight["shop"] {
+		t.Fatalf("08:00 profile = %v, expected home to dominate", eight)
+	}
+	// Shares per hour sum to 1.
+	for h, dist := range profile {
+		var sum float64
+		for _, v := range dist {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("hour %d shares sum to %v", h, sum)
+		}
+	}
+	// Unknown object yields an empty profile.
+	if got := DailyProfile(s, "nobody", "merged", core.AnnPOICategory); len(got) != 0 {
+		t.Fatal("unknown object should have empty profile")
+	}
+}
+
+func TestSequencePatternKey(t *testing.T) {
+	p := SequencePattern{Sequence: []string{"a", "b"}, Support: 2}
+	if p.Key() != "a -> b" {
+		t.Fatalf("Key = %q", p.Key())
+	}
+}

@@ -1,0 +1,323 @@
+package episode
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"semitri/internal/geo"
+	"semitri/internal/gps"
+)
+
+var t0 = time.Date(2010, 3, 15, 8, 0, 0, 0, time.UTC)
+
+// synthTrajectory builds a trajectory alternating between stationary phases
+// (at the given anchor points, with small jitter) and travel phases between
+// them at the given speed. Sampling is every `step` seconds.
+func synthTrajectory(anchors []geo.Point, stayDur time.Duration, speed float64, step time.Duration, seed int64) *gps.RawTrajectory {
+	rng := rand.New(rand.NewSource(seed))
+	var records []gps.Record
+	now := t0
+	add := func(p geo.Point) {
+		jitter := geo.Pt(p.X+rng.NormFloat64()*2, p.Y+rng.NormFloat64()*2)
+		records = append(records, gps.Record{ObjectID: "u1", Position: jitter, Time: now})
+		now = now.Add(step)
+	}
+	for i, a := range anchors {
+		// stay
+		for elapsed := time.Duration(0); elapsed < stayDur; elapsed += step {
+			add(a)
+		}
+		// travel to next anchor
+		if i < len(anchors)-1 {
+			b := anchors[i+1]
+			dist := a.DistanceTo(b)
+			steps := int(dist / (speed * step.Seconds()))
+			for s := 1; s <= steps; s++ {
+				add(a.Lerp(b, float64(s)/float64(steps+1)))
+			}
+		}
+	}
+	return &gps.RawTrajectory{ID: "u1-T0000", ObjectID: "u1", Records: records}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	if err := VehicleConfig().Validate(); err != nil {
+		t.Fatalf("vehicle config invalid: %v", err)
+	}
+	bad := []Config{
+		{SpeedThreshold: 0, MinStopDuration: time.Minute, StopRadius: 10},
+		{SpeedThreshold: 1, MinStopDuration: 0, StopRadius: 10},
+		{SpeedThreshold: 1, MinStopDuration: time.Minute, StopRadius: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("config %d should be invalid", i)
+		}
+	}
+}
+
+func TestDetectErrors(t *testing.T) {
+	if _, err := Detect(nil, DefaultConfig()); err == nil {
+		t.Fatal("nil trajectory should error")
+	}
+	if _, err := Detect(&gps.RawTrajectory{ID: "x", ObjectID: "u"}, DefaultConfig()); err == nil {
+		t.Fatal("empty trajectory should error")
+	}
+	if _, err := Detect(&gps.RawTrajectory{ID: "x", ObjectID: "u", Records: []gps.Record{{ObjectID: "u", Time: t0}}}, Config{}); err == nil {
+		t.Fatal("invalid config should error")
+	}
+}
+
+func TestDetectSingleRecord(t *testing.T) {
+	tr := &gps.RawTrajectory{ID: "x", ObjectID: "u",
+		Records: []gps.Record{{ObjectID: "u", Position: geo.Pt(1, 1), Time: t0}}}
+	eps, err := Detect(tr, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps) != 1 || eps[0].Kind != Stop || eps[0].RecordCount != 1 {
+		t.Fatalf("eps = %+v", eps[0])
+	}
+}
+
+func TestDetectHomeOfficeStops(t *testing.T) {
+	// Home (0,0) -> travel -> office (3000, 0) -> travel -> market (3000, 2000).
+	tr := synthTrajectory(
+		[]geo.Point{geo.Pt(0, 0), geo.Pt(3000, 0), geo.Pt(3000, 2000)},
+		10*time.Minute, 10 /*m/s*/, 10*time.Second, 1)
+	eps, err := Detect(tr, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateSequence(tr, eps); err != nil {
+		t.Fatalf("invalid episode sequence: %v", err)
+	}
+	stops := Stops(eps)
+	moves := Moves(eps)
+	if len(stops) != 3 {
+		t.Fatalf("expected 3 stops, got %d (%d episodes total)", len(stops), len(eps))
+	}
+	if len(moves) != 2 {
+		t.Fatalf("expected 2 moves, got %d", len(moves))
+	}
+	// Stop centres near the anchors.
+	wantCenters := []geo.Point{geo.Pt(0, 0), geo.Pt(3000, 0), geo.Pt(3000, 2000)}
+	for i, s := range stops {
+		if s.Center.DistanceTo(wantCenters[i]) > 50 {
+			t.Errorf("stop %d centre %v too far from %v", i, s.Center, wantCenters[i])
+		}
+		if s.Duration() < 9*time.Minute {
+			t.Errorf("stop %d duration %v too short", i, s.Duration())
+		}
+		if s.Kind.String() != "stop" {
+			t.Errorf("stop Kind.String = %q", s.Kind.String())
+		}
+	}
+	// Moves should have a plausible average speed near 10 m/s.
+	for i, m := range moves {
+		if m.AvgSpeed < 5 || m.AvgSpeed > 15 {
+			t.Errorf("move %d avg speed = %v", i, m.AvgSpeed)
+		}
+		if m.Distance < 1000 {
+			t.Errorf("move %d distance = %v", i, m.Distance)
+		}
+		if m.MaxSpeed < m.AvgSpeed {
+			t.Errorf("move %d max speed %v < avg %v", i, m.MaxSpeed, m.AvgSpeed)
+		}
+	}
+}
+
+func TestDetectContinuousDriveHasNoStops(t *testing.T) {
+	// A vehicle driving continuously at 15 m/s for 30 minutes.
+	var records []gps.Record
+	now := t0
+	for i := 0; i < 1800; i += 5 {
+		records = append(records, gps.Record{
+			ObjectID: "car", Position: geo.Pt(float64(i)*15, 0), Time: now})
+		now = now.Add(5 * time.Second)
+	}
+	tr := &gps.RawTrajectory{ID: "car-T0", ObjectID: "car", Records: records}
+	eps, err := Detect(tr, VehicleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(Stops(eps)) != 0 {
+		t.Fatalf("continuous drive produced %d stops", len(Stops(eps)))
+	}
+	if len(eps) != 1 || eps[0].Kind != Move {
+		t.Fatalf("expected a single move episode, got %d", len(eps))
+	}
+}
+
+func TestDetectStationaryOnlyIsOneStop(t *testing.T) {
+	var records []gps.Record
+	rng := rand.New(rand.NewSource(2))
+	now := t0
+	for i := 0; i < 200; i++ {
+		records = append(records, gps.Record{
+			ObjectID: "u", Position: geo.Pt(500+rng.NormFloat64()*3, 500+rng.NormFloat64()*3), Time: now})
+		now = now.Add(10 * time.Second)
+	}
+	tr := &gps.RawTrajectory{ID: "u-T0", ObjectID: "u", Records: records}
+	eps, err := Detect(tr, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps) != 1 || eps[0].Kind != Stop {
+		t.Fatalf("expected a single stop, got %d episodes (first kind %v)", len(eps), eps[0].Kind)
+	}
+	if eps[0].RecordCount != 200 {
+		t.Fatalf("RecordCount = %d", eps[0].RecordCount)
+	}
+	if eps[0].Bounds.Width() > 50 {
+		t.Fatalf("stop bounds too wide: %v", eps[0].Bounds)
+	}
+}
+
+func TestShortPauseIsNotAStop(t *testing.T) {
+	// Travel with a 30-second pause: below MinStopDuration, should stay a move.
+	var records []gps.Record
+	now := t0
+	x := 0.0
+	for i := 0; i < 120; i++ {
+		if i >= 60 && i < 66 { // 30s pause at 5s sampling
+			// stay
+		} else {
+			x += 50 // 10 m/s at 5 s sampling
+		}
+		records = append(records, gps.Record{ObjectID: "u", Position: geo.Pt(x, 0), Time: now})
+		now = now.Add(5 * time.Second)
+	}
+	tr := &gps.RawTrajectory{ID: "u-T0", ObjectID: "u", Records: records}
+	eps, err := Detect(tr, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(Stops(eps)) != 0 {
+		t.Fatalf("a 30s pause should not create a stop (MinStopDuration=3m), got %d stops", len(Stops(eps)))
+	}
+}
+
+func TestLargeRadiusCandidateIsDemoted(t *testing.T) {
+	// Slow movement spread over a large area (e.g. slow drift over 1 km):
+	// speed below threshold but radius above StopRadius -> move.
+	var records []gps.Record
+	now := t0
+	for i := 0; i < 400; i++ {
+		records = append(records, gps.Record{ObjectID: "u", Position: geo.Pt(float64(i)*5, 0), Time: now})
+		now = now.Add(10 * time.Second) // 0.5 m/s
+	}
+	tr := &gps.RawTrajectory{ID: "u-T0", ObjectID: "u", Records: records}
+	cfg := DefaultConfig() // SpeedThreshold 1.0 m/s, StopRadius 100 m
+	eps, err := Detect(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(Stops(eps)) != 0 {
+		t.Fatalf("slow drift over 2 km should not be a stop, got %d stops", len(Stops(eps)))
+	}
+}
+
+func TestEpisodeRecordsAccessor(t *testing.T) {
+	tr := synthTrajectory([]geo.Point{geo.Pt(0, 0), geo.Pt(2000, 0)}, 5*time.Minute, 10, 10*time.Second, 3)
+	eps, err := Detect(tr, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, e := range eps {
+		recs := e.Records(tr)
+		if len(recs) != e.RecordCount {
+			t.Fatalf("Records() returned %d, RecordCount = %d", len(recs), e.RecordCount)
+		}
+		total += len(recs)
+	}
+	if total != len(tr.Records) {
+		t.Fatalf("episodes cover %d records, trajectory has %d", total, len(tr.Records))
+	}
+	// Out-of-range accessor returns nil.
+	bad := &Episode{StartIdx: 5, EndIdx: 100000}
+	if bad.Records(tr) != nil {
+		t.Fatal("out-of-range Records should return nil")
+	}
+	if bad.Records(nil) != nil {
+		t.Fatal("nil trajectory Records should return nil")
+	}
+}
+
+func TestValidateSequenceDetectsProblems(t *testing.T) {
+	tr := synthTrajectory([]geo.Point{geo.Pt(0, 0), geo.Pt(2000, 0)}, 5*time.Minute, 10, 10*time.Second, 4)
+	eps, err := Detect(tr, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateSequence(tr, eps); err != nil {
+		t.Fatalf("valid sequence flagged: %v", err)
+	}
+	if err := ValidateSequence(tr, nil); err == nil {
+		t.Fatal("empty sequence should be invalid")
+	}
+	// Break coverage.
+	if len(eps) >= 2 {
+		broken := []*Episode{eps[0]}
+		if err := ValidateSequence(tr, broken); err == nil {
+			t.Fatal("truncated sequence should be invalid")
+		}
+	}
+	// Same-kind neighbours.
+	dup := []*Episode{eps[0], {Kind: eps[0].Kind, StartIdx: eps[0].EndIdx + 1, EndIdx: len(tr.Records) - 1}}
+	if err := ValidateSequence(tr, dup); err == nil {
+		t.Fatal("same-kind neighbours should be invalid")
+	}
+}
+
+func TestStopsMovesFilters(t *testing.T) {
+	eps := []*Episode{{Kind: Stop}, {Kind: Move}, {Kind: Stop}}
+	if len(Stops(eps)) != 2 || len(Moves(eps)) != 1 {
+		t.Fatal("filters wrong")
+	}
+	if Stops(nil) != nil || Moves(nil) != nil {
+		t.Fatal("nil input should return nil")
+	}
+}
+
+// Property-style test over random stop/travel structures: detected stop
+// count equals the number of anchors when stays are long and travel is fast.
+func TestDetectRecoversPlannedStops(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(4)
+		anchors := make([]geo.Point, n)
+		for i := range anchors {
+			anchors[i] = geo.Pt(float64(i)*3000+rng.Float64()*200, rng.Float64()*500)
+		}
+		tr := synthTrajectory(anchors, 8*time.Minute, 12, 10*time.Second, int64(trial+100))
+		eps, err := Detect(tr, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(Stops(eps)); got != n {
+			t.Fatalf("trial %d: detected %d stops, want %d", trial, got, n)
+		}
+		if err := ValidateSequence(tr, eps); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func BenchmarkDetect(b *testing.B) {
+	tr := synthTrajectory(
+		[]geo.Point{geo.Pt(0, 0), geo.Pt(5000, 0), geo.Pt(5000, 5000), geo.Pt(0, 5000)},
+		10*time.Minute, 10, 5*time.Second, 1)
+	cfg := DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Detect(tr, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

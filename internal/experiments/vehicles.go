@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"semitri"
+	"semitri/internal/analytics"
+	"semitri/internal/core"
+	"semitri/internal/episode"
+	"semitri/internal/workload"
+)
+
+// Table1 reproduces Table 1 of the paper: the inventory of the vehicle
+// datasets (objects, GPS records, sampling) together with the sizes of the
+// 3rd-party sources. The synthetic datasets are scaled-down stand-ins; the
+// row shapes (taxis: few objects, high-rate; Milan cars: many objects,
+// sparse sampling; one benchmark drive) match the originals.
+func Table1(env *Env) (*Table, error) {
+	taxiCfg := workload.DefaultTaxiConfig(env.Seed)
+	taxiCfg.NumVehicles = env.scaleInt(2)
+	taxiCfg.TripsPerVehicle = env.scaleInt(12)
+	taxis, err := workload.GenerateVehicles(env.City, taxiCfg)
+	if err != nil {
+		return nil, err
+	}
+	carCfg := workload.DefaultPrivateCarConfig(env.Seed + 1)
+	carCfg.NumVehicles = env.scaleInt(60)
+	cars, err := workload.GenerateVehicles(env.City, carCfg)
+	if err != nil {
+		return nil, err
+	}
+	drive, err := workload.GenerateDrive(env.City, workload.DefaultDriveConfig(env.Seed+2))
+	if err != nil {
+		return nil, err
+	}
+	cols := []string{"objects", "gps_records", "sampling_s"}
+	t := &Table{
+		ID:    "table1",
+		Title: "Vehicle datasets (synthetic stand-ins for Lausanne taxis, Milan cars, Seattle drive)",
+		Notes: []string{
+			"paper: taxis 2 objects / 3,064,248 records / 1 s; Milan 17,241 objects / 2,075,213 records / ~40 s; Seattle 1 object / 7,531 records",
+			"sources: landuse cells " + fmt.Sprint(env.City.Landuse.NumCells()) +
+				", POIs " + fmt.Sprint(env.City.POIs.Len()) +
+				", road segments " + fmt.Sprint(env.City.Roads.NumSegments()),
+		},
+	}
+	t.Rows = append(t.Rows, Row{
+		Label: "lausanne-taxis (synthetic)", Columns: cols,
+		Values: map[string]float64{
+			"objects": float64(len(taxis.Objects)), "gps_records": float64(taxis.RecordCount()),
+			"sampling_s": taxiCfg.Sampling.Seconds()},
+	})
+	t.Rows = append(t.Rows, Row{
+		Label: "milan-private-cars (synthetic)", Columns: cols,
+		Values: map[string]float64{
+			"objects": float64(len(cars.Objects)), "gps_records": float64(cars.RecordCount()),
+			"sampling_s": carCfg.Sampling.Seconds()},
+	})
+	t.Rows = append(t.Rows, Row{
+		Label: "benchmark-drive (synthetic)", Columns: cols,
+		Values: map[string]float64{
+			"objects": 1, "gps_records": float64(drive.RecordCount()),
+			"sampling_s": workload.DefaultDriveConfig(env.Seed + 2).Sampling.Seconds()},
+	})
+	return t, nil
+}
+
+// Fig9 reproduces Fig. 9: the land-use category distribution of the taxi
+// dataset, reported separately for whole trajectories, move episodes and
+// stop episodes. The paper's headline observation — building (1.2) and
+// transportation (1.3) areas dominating with a combined share around 80% —
+// is preserved because taxis drive on the urban street grid.
+func Fig9(env *Env) (*Table, error) {
+	cfg := workload.DefaultTaxiConfig(env.Seed)
+	cfg.NumVehicles = env.scaleInt(2)
+	cfg.TripsPerVehicle = env.scaleInt(10)
+	taxis, err := workload.GenerateVehicles(env.City, cfg)
+	if err != nil {
+		return nil, err
+	}
+	pipelineCfg := semitri.VehicleConfig()
+	pipelineCfg.DailySplit = false
+	p, _, err := runPipeline(env, taxis, pipelineCfg)
+	if err != nil {
+		return nil, err
+	}
+	st := p.Store()
+	whole := analytics.LanduseDistribution(st, nil, nil)
+	moveKind := episode.Move
+	stopKind := episode.Stop
+	moves := analytics.LanduseDistribution(st, nil, &moveKind)
+	stops := analytics.LanduseDistribution(st, nil, &stopKind)
+	t := &Table{
+		ID:    "fig9",
+		Title: "Land-use category distribution over taxi trajectories / moves / stops",
+		Notes: []string{
+			"paper: building areas (1.2) 46.6% and transportation areas (1.3) 36.1% of taxi GPS records; ~83% combined",
+			"paper: moves cover 79.25% of the taxi land-use weight, stops 20.75%",
+		},
+	}
+	cols := []string{"trajectory", "move", "stop"}
+	for _, cat := range sortedKeys(whole.Shares()) {
+		t.Rows = append(t.Rows, Row{
+			Label: cat, Columns: cols,
+			Values: map[string]float64{
+				"trajectory": whole.Share(cat),
+				"move":       moves.Share(cat),
+				"stop":       stops.Share(cat),
+			},
+		})
+	}
+	moveWeight := moves.Total() / (moves.Total() + stops.Total())
+	t.Rows = append(t.Rows, Row{
+		Label: "episode weight split", Columns: []string{"move_share", "stop_share"},
+		Values: map[string]float64{"move_share": moveWeight, "stop_share": 1 - moveWeight},
+	})
+	return t, nil
+}
+
+// Fig11 reproduces Fig. 11: the POI category distribution of the source, the
+// distribution of inferred stop categories and the distribution of
+// trajectory categories (Eq. 8) for the Milan-like private-car dataset.
+func Fig11(env *Env) (*Table, error) {
+	cfg := workload.DefaultPrivateCarConfig(env.Seed + 3)
+	cfg.NumVehicles = env.scaleInt(60)
+	cars, err := workload.GenerateVehicles(env.City, cfg)
+	if err != nil {
+		return nil, err
+	}
+	pipelineCfg := semitri.VehicleConfig()
+	pipelineCfg.DailySplit = false
+	p, _, err := runPipeline(env, cars, pipelineCfg)
+	if err != nil {
+		return nil, err
+	}
+	st := p.Store()
+	poiShares := env.City.POIs.CategoryShares()
+	stopDist := analytics.StopCountDistribution(st, semitri.InterpretationMerged, core.AnnPOICategory)
+	trajDist := analytics.TrajectoryCategoryDistribution(st, semitri.InterpretationMerged, core.AnnPOICategory)
+	t := &Table{
+		ID:    "fig11",
+		Title: "POI / stop / trajectory category distributions (Milan-like private cars)",
+		Notes: []string{
+			"paper: POIs 10.9% services, 17.7% feedings, 31.5% item sale, 38.6% person life, 1.3% unknown",
+			"paper: ~56.3% of stops item sale, ~24.2% person life; trajectory distribution statistically similar to the stop distribution",
+		},
+	}
+	cols := []string{"poi", "stop", "trajectory"}
+	names := []string{"services", "feedings", "item sale", "person life", "unknown"}
+	for i, name := range names {
+		t.Rows = append(t.Rows, Row{
+			Label: name, Columns: cols,
+			Values: map[string]float64{
+				"poi":        poiShares[i],
+				"stop":       stopDist.Share(name),
+				"trajectory": trajDist.Share(name),
+			},
+		})
+	}
+	return t, nil
+}
+
+// Compression reproduces the §5.2 storage-compression claim: the region
+// level representation of the taxi data uses a tiny fraction of the storage
+// units of the raw GPS records (the paper reports ≈99.7%).
+func Compression(env *Env) (*Table, error) {
+	cfg := workload.DefaultTaxiConfig(env.Seed + 4)
+	cfg.NumVehicles = env.scaleInt(2)
+	cfg.TripsPerVehicle = env.scaleInt(10)
+	if cfg.TripsPerVehicle < 6 {
+		// The compression ratio depends on cells being revisited across
+		// trips; keep enough trips even at small experiment scales.
+		cfg.TripsPerVehicle = 6
+	}
+	cfg.Sampling = time.Second // the Lausanne taxis sample at 1 Hz
+	taxis, err := workload.GenerateVehicles(env.City, cfg)
+	if err != nil {
+		return nil, err
+	}
+	pipelineCfg := semitri.VehicleConfig()
+	pipelineCfg.DailySplit = false
+	p, _, err := runPipeline(env, taxis, pipelineCfg)
+	if err != nil {
+		return nil, err
+	}
+	c := analytics.Compression(p.Store())
+	t := &Table{
+		ID:    "compression",
+		Title: "Storage compression of the region-level representation (§5.2)",
+		Notes: []string{
+			"paper: ~99.7% compression (3M GPS records over 5 months represented by 8,385 annotated cells)",
+			"reproduction note: the ratio grows with tracking duration as cells are revisited; the scaled dataset covers hours, not months",
+		},
+	}
+	t.Rows = append(t.Rows, Row{
+		Label:   "taxi dataset",
+		Columns: []string{"gps_records", "region_tuples", "distinct_cells", "compression"},
+		Values: map[string]float64{
+			"gps_records":    float64(c.GPSRecords),
+			"region_tuples":  float64(c.RegionTuples),
+			"distinct_cells": float64(c.DistinctCells),
+			"compression":    c.Ratio,
+		},
+	})
+	return t, nil
+}

@@ -1,0 +1,335 @@
+// Package geo provides the spatial primitives used throughout SeMiTri:
+// points, segments, polylines, rectangles and polygons, together with the
+// distance metrics and topological predicates required by the annotation
+// layers (spatial join, point–segment distance of Eq. 1 in the paper, and
+// the WGS-84 haversine metric used when ingesting real lon/lat data).
+//
+// All synthetic workloads operate in a local planar frame expressed in
+// metres, which keeps the geometry exact and fast; the package also offers
+// an equirectangular local projection so real GPS (lon, lat) records can be
+// mapped into the same planar frame.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// EarthRadiusMeters is the mean Earth radius used by the haversine formula.
+const EarthRadiusMeters = 6371000.0
+
+// Point is a position in the planar working frame (metres) or, when used
+// with the geographic helpers, a (lon, lat) pair in degrees where X is the
+// longitude and Y the latitude.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Pt is a shorthand constructor for Point.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.3f, %.3f)", p.X, p.Y) }
+
+// Add returns the vector sum p+q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns the vector difference p-q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by the factor s.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
+
+// Dot returns the dot product of the vectors p and q.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Cross returns the z-component of the cross product of p and q.
+func (p Point) Cross(q Point) float64 { return p.X*q.Y - p.Y*q.X }
+
+// Norm returns the Euclidean length of the vector p.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// DistanceTo returns the planar Euclidean distance between p and q.
+func (p Point) DistanceTo(q Point) float64 { return math.Hypot(p.X-q.X, p.Y-q.Y) }
+
+// Equal reports whether p and q are the same point up to eps.
+func (p Point) Equal(q Point, eps float64) bool {
+	return math.Abs(p.X-q.X) <= eps && math.Abs(p.Y-q.Y) <= eps
+}
+
+// Lerp returns the linear interpolation between p and q at parameter t in [0,1].
+func (p Point) Lerp(q Point, t float64) Point {
+	return Point{p.X + (q.X-p.X)*t, p.Y + (q.Y-p.Y)*t}
+}
+
+// Haversine returns the great-circle distance in metres between two
+// geographic points given as (lon, lat) in degrees.
+func Haversine(a, b Point) float64 {
+	lat1 := a.Y * math.Pi / 180
+	lat2 := b.Y * math.Pi / 180
+	dLat := (b.Y - a.Y) * math.Pi / 180
+	dLon := (b.X - a.X) * math.Pi / 180
+	s := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1)*math.Cos(lat2)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * EarthRadiusMeters * math.Asin(math.Min(1, math.Sqrt(s)))
+}
+
+// Projection converts geographic (lon, lat) coordinates into a local planar
+// frame (metres) using an equirectangular approximation around an origin.
+// It is accurate to well under a metre for city-scale extents, which is the
+// scale at which SeMiTri's annotation layers operate.
+type Projection struct {
+	originLon float64
+	originLat float64
+	cosLat    float64
+}
+
+// NewProjection creates a local projection centred at the given geographic
+// origin expressed in degrees.
+func NewProjection(originLon, originLat float64) *Projection {
+	return &Projection{
+		originLon: originLon,
+		originLat: originLat,
+		cosLat:    math.Cos(originLat * math.Pi / 180),
+	}
+}
+
+// ToPlane converts a geographic (lon, lat) point into local metres.
+func (pr *Projection) ToPlane(lonLat Point) Point {
+	dx := (lonLat.X - pr.originLon) * math.Pi / 180 * EarthRadiusMeters * pr.cosLat
+	dy := (lonLat.Y - pr.originLat) * math.Pi / 180 * EarthRadiusMeters
+	return Point{dx, dy}
+}
+
+// ToGeographic converts a local planar point back to (lon, lat) degrees.
+func (pr *Projection) ToGeographic(p Point) Point {
+	lon := pr.originLon + p.X/(EarthRadiusMeters*pr.cosLat)*180/math.Pi
+	lat := pr.originLat + p.Y/EarthRadiusMeters*180/math.Pi
+	return Point{lon, lat}
+}
+
+// Segment is a straight line segment between two crossings A and B.
+// It is the geometric shape of a semantic line (road segment).
+type Segment struct {
+	A Point
+	B Point
+}
+
+// Seg is a shorthand constructor for Segment.
+func Seg(a, b Point) Segment { return Segment{A: a, B: b} }
+
+// Length returns the Euclidean length of the segment.
+func (s Segment) Length() float64 { return s.A.DistanceTo(s.B) }
+
+// Midpoint returns the midpoint of the segment.
+func (s Segment) Midpoint() Point { return s.A.Lerp(s.B, 0.5) }
+
+// Bounds returns the axis-aligned bounding rectangle of the segment.
+func (s Segment) Bounds() Rect {
+	return Rect{
+		Min: Point{math.Min(s.A.X, s.B.X), math.Min(s.A.Y, s.B.Y)},
+		Max: Point{math.Max(s.A.X, s.B.X), math.Max(s.A.Y, s.B.Y)},
+	}
+}
+
+// ClosestPoint returns the point on the segment closest to q and the
+// parameter t in [0,1] locating it along A->B.
+func (s Segment) ClosestPoint(q Point) (Point, float64) {
+	ab := s.B.Sub(s.A)
+	denom := ab.Dot(ab)
+	if denom == 0 {
+		return s.A, 0
+	}
+	t := q.Sub(s.A).Dot(ab) / denom
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	return s.A.Lerp(s.B, t), t
+}
+
+// DistanceToPoint implements the point–segment distance of Eq. 1 in the
+// paper: the perpendicular distance if the projection of q falls on the
+// segment, otherwise the distance to the nearer endpoint.
+func (s Segment) DistanceToPoint(q Point) float64 {
+	cp, _ := s.ClosestPoint(q)
+	return cp.DistanceTo(q)
+}
+
+// Project returns the position of q projected onto the segment, clamped to
+// the segment, which is the "corrected position" (x', y') of Alg. 2.
+func (s Segment) Project(q Point) Point {
+	cp, _ := s.ClosestPoint(q)
+	return cp
+}
+
+// Heading returns the direction of the segment in radians in (-pi, pi].
+func (s Segment) Heading() float64 {
+	d := s.B.Sub(s.A)
+	return math.Atan2(d.Y, d.X)
+}
+
+// Rect is an axis-aligned rectangle used both as a bounding box and as the
+// spatial extent of grid-based regions (land-use cells).
+type Rect struct {
+	Min Point
+	Max Point
+}
+
+// NewRect builds a rectangle from any two opposite corners.
+func NewRect(a, b Point) Rect {
+	return Rect{
+		Min: Point{math.Min(a.X, b.X), math.Min(a.Y, b.Y)},
+		Max: Point{math.Max(a.X, b.X), math.Max(a.Y, b.Y)},
+	}
+}
+
+// EmptyRect returns a rectangle that acts as the identity for Union: any
+// rectangle unioned with it yields that rectangle.
+func EmptyRect() Rect {
+	return Rect{
+		Min: Point{math.Inf(1), math.Inf(1)},
+		Max: Point{math.Inf(-1), math.Inf(-1)},
+	}
+}
+
+// IsEmpty reports whether r is the empty rectangle (or degenerate negative).
+func (r Rect) IsEmpty() bool { return r.Min.X > r.Max.X || r.Min.Y > r.Max.Y }
+
+// Width returns the horizontal extent of the rectangle.
+func (r Rect) Width() float64 {
+	if r.IsEmpty() {
+		return 0
+	}
+	return r.Max.X - r.Min.X
+}
+
+// Height returns the vertical extent of the rectangle.
+func (r Rect) Height() float64 {
+	if r.IsEmpty() {
+		return 0
+	}
+	return r.Max.Y - r.Min.Y
+}
+
+// Area returns the area of the rectangle.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Margin returns the half-perimeter of the rectangle (R*-tree split metric).
+func (r Rect) Margin() float64 { return r.Width() + r.Height() }
+
+// Center returns the centre point of the rectangle.
+func (r Rect) Center() Point {
+	return Point{(r.Min.X + r.Max.X) / 2, (r.Min.Y + r.Max.Y) / 2}
+}
+
+// ContainsPoint reports whether the point lies inside or on the boundary.
+func (r Rect) ContainsPoint(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// ContainsRect reports whether r fully contains s (spatial subsumption,
+// the predicate most used for stop episodes in §4.1).
+func (r Rect) ContainsRect(s Rect) bool {
+	if r.IsEmpty() || s.IsEmpty() {
+		return false
+	}
+	return s.Min.X >= r.Min.X && s.Max.X <= r.Max.X && s.Min.Y >= r.Min.Y && s.Max.Y <= r.Max.Y
+}
+
+// Intersects reports whether the two rectangles overlap (touching counts).
+func (r Rect) Intersects(s Rect) bool {
+	if r.IsEmpty() || s.IsEmpty() {
+		return false
+	}
+	return r.Min.X <= s.Max.X && r.Max.X >= s.Min.X && r.Min.Y <= s.Max.Y && r.Max.Y >= s.Min.Y
+}
+
+// Intersection returns the overlapping rectangle of r and s; the result is
+// empty when they do not intersect.
+func (r Rect) Intersection(s Rect) Rect {
+	out := Rect{
+		Min: Point{math.Max(r.Min.X, s.Min.X), math.Max(r.Min.Y, s.Min.Y)},
+		Max: Point{math.Min(r.Max.X, s.Max.X), math.Min(r.Max.Y, s.Max.Y)},
+	}
+	if out.IsEmpty() {
+		return EmptyRect()
+	}
+	return out
+}
+
+// Union returns the smallest rectangle containing both r and s.
+func (r Rect) Union(s Rect) Rect {
+	if r.IsEmpty() {
+		return s
+	}
+	if s.IsEmpty() {
+		return r
+	}
+	return Rect{
+		Min: Point{math.Min(r.Min.X, s.Min.X), math.Min(r.Min.Y, s.Min.Y)},
+		Max: Point{math.Max(r.Max.X, s.Max.X), math.Max(r.Max.Y, s.Max.Y)},
+	}
+}
+
+// Expand returns the rectangle grown by d on every side.
+func (r Rect) Expand(d float64) Rect {
+	return Rect{
+		Min: Point{r.Min.X - d, r.Min.Y - d},
+		Max: Point{r.Max.X + d, r.Max.Y + d},
+	}
+}
+
+// EnlargementNeeded returns the increase in area required for r to cover s.
+func (r Rect) EnlargementNeeded(s Rect) float64 {
+	return r.Union(s).Area() - r.Area()
+}
+
+// OverlapArea returns the area of the intersection of r and s.
+func (r Rect) OverlapArea(s Rect) float64 {
+	in := r.Intersection(s)
+	if in.IsEmpty() {
+		return 0
+	}
+	return in.Area()
+}
+
+// DistanceToPoint returns the minimum distance from the rectangle to the
+// point (zero when the point is inside).
+func (r Rect) DistanceToPoint(p Point) float64 {
+	dx := math.Max(0, math.Max(r.Min.X-p.X, p.X-r.Max.X))
+	dy := math.Max(0, math.Max(r.Min.Y-p.Y, p.Y-r.Max.Y))
+	return math.Hypot(dx, dy)
+}
+
+// RectAround returns the square rectangle of half-width d centred at p.
+func RectAround(p Point, d float64) Rect {
+	return Rect{Min: Point{p.X - d, p.Y - d}, Max: Point{p.X + d, p.Y + d}}
+}
+
+// BoundsOf returns the bounding rectangle of a set of points. It returns
+// the empty rectangle when pts is empty.
+func BoundsOf(pts []Point) Rect {
+	r := EmptyRect()
+	for _, p := range pts {
+		r = r.Union(Rect{Min: p, Max: p})
+	}
+	return r
+}
+
+// Centroid returns the arithmetic mean of a set of points. It returns the
+// origin when pts is empty.
+func Centroid(pts []Point) Point {
+	if len(pts) == 0 {
+		return Point{}
+	}
+	var sx, sy float64
+	for _, p := range pts {
+		sx += p.X
+		sy += p.Y
+	}
+	n := float64(len(pts))
+	return Point{sx / n, sy / n}
+}

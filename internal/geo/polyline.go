@@ -1,0 +1,224 @@
+package geo
+
+import "math"
+
+// Polyline is an ordered sequence of points, used for trajectory geometry
+// and for multi-segment road geometries.
+type Polyline []Point
+
+// Length returns the total length of the polyline.
+func (pl Polyline) Length() float64 {
+	var total float64
+	for i := 1; i < len(pl); i++ {
+		total += pl[i-1].DistanceTo(pl[i])
+	}
+	return total
+}
+
+// Bounds returns the bounding rectangle of the polyline.
+func (pl Polyline) Bounds() Rect { return BoundsOf(pl) }
+
+// Segments decomposes the polyline into its constituent segments.
+func (pl Polyline) Segments() []Segment {
+	if len(pl) < 2 {
+		return nil
+	}
+	segs := make([]Segment, 0, len(pl)-1)
+	for i := 1; i < len(pl); i++ {
+		segs = append(segs, Segment{A: pl[i-1], B: pl[i]})
+	}
+	return segs
+}
+
+// DistanceToPoint returns the minimum distance from the polyline to q.
+func (pl Polyline) DistanceToPoint(q Point) float64 {
+	if len(pl) == 0 {
+		return math.Inf(1)
+	}
+	if len(pl) == 1 {
+		return pl[0].DistanceTo(q)
+	}
+	best := math.Inf(1)
+	for i := 1; i < len(pl); i++ {
+		d := (Segment{A: pl[i-1], B: pl[i]}).DistanceToPoint(q)
+		if d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// Interpolate returns the point located at the given fraction (0..1) of the
+// polyline's total length.
+func (pl Polyline) Interpolate(frac float64) Point {
+	if len(pl) == 0 {
+		return Point{}
+	}
+	if len(pl) == 1 || frac <= 0 {
+		return pl[0]
+	}
+	if frac >= 1 {
+		return pl[len(pl)-1]
+	}
+	target := frac * pl.Length()
+	var walked float64
+	for i := 1; i < len(pl); i++ {
+		segLen := pl[i-1].DistanceTo(pl[i])
+		if walked+segLen >= target {
+			if segLen == 0 {
+				return pl[i]
+			}
+			t := (target - walked) / segLen
+			return pl[i-1].Lerp(pl[i], t)
+		}
+		walked += segLen
+	}
+	return pl[len(pl)-1]
+}
+
+// Resample returns a polyline with n points spaced evenly along pl.
+func (pl Polyline) Resample(n int) Polyline {
+	if n <= 0 || len(pl) == 0 {
+		return nil
+	}
+	if n == 1 {
+		return Polyline{pl[0]}
+	}
+	out := make(Polyline, n)
+	for i := 0; i < n; i++ {
+		out[i] = pl.Interpolate(float64(i) / float64(n-1))
+	}
+	return out
+}
+
+// Polygon is a simple (non self-intersecting) polygon given by its ring of
+// vertices; the ring does not need to repeat the first vertex at the end.
+// It is the spatial extent of free-form semantic regions such as a campus.
+type Polygon []Point
+
+// Bounds returns the bounding rectangle of the polygon.
+func (pg Polygon) Bounds() Rect { return BoundsOf(pg) }
+
+// Area returns the absolute area of the polygon (shoelace formula).
+func (pg Polygon) Area() float64 {
+	if len(pg) < 3 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < len(pg); i++ {
+		j := (i + 1) % len(pg)
+		sum += pg[i].Cross(pg[j])
+	}
+	return math.Abs(sum) / 2
+}
+
+// ContainsPoint reports whether the point is inside the polygon using the
+// ray-casting (even-odd) rule; boundary points count as inside.
+func (pg Polygon) ContainsPoint(p Point) bool {
+	n := len(pg)
+	if n < 3 {
+		return false
+	}
+	// Boundary check first so points exactly on an edge are included.
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		if (Segment{A: pg[i], B: pg[j]}).DistanceToPoint(p) < 1e-9 {
+			return true
+		}
+	}
+	inside := false
+	for i, j := 0, n-1; i < n; j, i = i, i+1 {
+		pi, pj := pg[i], pg[j]
+		if (pi.Y > p.Y) != (pj.Y > p.Y) {
+			xCross := (pj.X-pi.X)*(p.Y-pi.Y)/(pj.Y-pi.Y) + pi.X
+			if p.X < xCross {
+				inside = !inside
+			}
+		}
+	}
+	return inside
+}
+
+// IntersectsRect reports whether the polygon and rectangle overlap. The test
+// is conservative and exact for the convex/rectangular shapes used by the
+// synthetic sources: it checks containment in either direction and edge
+// crossings.
+func (pg Polygon) IntersectsRect(r Rect) bool {
+	if len(pg) == 0 || r.IsEmpty() {
+		return false
+	}
+	if !pg.Bounds().Intersects(r) {
+		return false
+	}
+	// Any polygon vertex inside the rectangle.
+	for _, v := range pg {
+		if r.ContainsPoint(v) {
+			return true
+		}
+	}
+	// Any rectangle corner inside the polygon.
+	corners := []Point{r.Min, {r.Max.X, r.Min.Y}, r.Max, {r.Min.X, r.Max.Y}}
+	for _, c := range corners {
+		if pg.ContainsPoint(c) {
+			return true
+		}
+	}
+	// Any edge crossing.
+	rectEdges := []Segment{
+		{A: corners[0], B: corners[1]}, {A: corners[1], B: corners[2]},
+		{A: corners[2], B: corners[3]}, {A: corners[3], B: corners[0]},
+	}
+	for i := 0; i < len(pg); i++ {
+		e := Segment{A: pg[i], B: pg[(i+1)%len(pg)]}
+		for _, re := range rectEdges {
+			if SegmentsIntersect(e, re) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// SegmentsIntersect reports whether the two segments share at least one point.
+func SegmentsIntersect(s1, s2 Segment) bool {
+	d1 := direction(s2.A, s2.B, s1.A)
+	d2 := direction(s2.A, s2.B, s1.B)
+	d3 := direction(s1.A, s1.B, s2.A)
+	d4 := direction(s1.A, s1.B, s2.B)
+	if ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+		((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0)) {
+		return true
+	}
+	switch {
+	case d1 == 0 && onSegment(s2.A, s2.B, s1.A):
+		return true
+	case d2 == 0 && onSegment(s2.A, s2.B, s1.B):
+		return true
+	case d3 == 0 && onSegment(s1.A, s1.B, s2.A):
+		return true
+	case d4 == 0 && onSegment(s1.A, s1.B, s2.B):
+		return true
+	}
+	return false
+}
+
+func direction(a, b, c Point) float64 { return c.Sub(a).Cross(b.Sub(a)) }
+
+func onSegment(a, b, p Point) bool {
+	return math.Min(a.X, b.X) <= p.X && p.X <= math.Max(a.X, b.X) &&
+		math.Min(a.Y, b.Y) <= p.Y && p.Y <= math.Max(a.Y, b.Y)
+}
+
+// RegularPolygon returns an n-vertex regular polygon of the given radius
+// centred at c; it is used by the synthetic region generators.
+func RegularPolygon(c Point, radius float64, n int) Polygon {
+	if n < 3 {
+		n = 3
+	}
+	pg := make(Polygon, n)
+	for i := 0; i < n; i++ {
+		a := 2 * math.Pi * float64(i) / float64(n)
+		pg[i] = Point{c.X + radius*math.Cos(a), c.Y + radius*math.Sin(a)}
+	}
+	return pg
+}

@@ -1,0 +1,259 @@
+// Package grid provides a uniform grid over a rectangular extent. It backs
+// two parts of SeMiTri: the land-use cell model (regular 100m x 100m cells of
+// the Swisstopo source, Fig. 4) and the discretization used to pre-compute
+// POI emission probabilities for the HMM point-annotation layer (Fig. 7/8).
+package grid
+
+import (
+	"fmt"
+	"math"
+
+	"semitri/internal/geo"
+)
+
+// Grid partitions the extent into Cols x Rows equal cells of size CellSize.
+type Grid struct {
+	Origin   geo.Point // lower-left corner of cell (0,0)
+	CellSize float64   // side length of a square cell, in metres
+	Cols     int
+	Rows     int
+}
+
+// New creates a grid covering extent with square cells of the given size.
+// The extent is expanded (never shrunk) so an integer number of cells covers it.
+func New(extent geo.Rect, cellSize float64) (*Grid, error) {
+	if cellSize <= 0 {
+		return nil, fmt.Errorf("grid: cell size must be positive, got %v", cellSize)
+	}
+	if extent.IsEmpty() {
+		return nil, fmt.Errorf("grid: empty extent")
+	}
+	cols := int(math.Ceil(extent.Width() / cellSize))
+	rows := int(math.Ceil(extent.Height() / cellSize))
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	return &Grid{Origin: extent.Min, CellSize: cellSize, Cols: cols, Rows: rows}, nil
+}
+
+// NumCells returns the total number of cells in the grid.
+func (g *Grid) NumCells() int { return g.Cols * g.Rows }
+
+// Bounds returns the full extent covered by the grid.
+func (g *Grid) Bounds() geo.Rect {
+	return geo.Rect{
+		Min: g.Origin,
+		Max: geo.Pt(g.Origin.X+float64(g.Cols)*g.CellSize, g.Origin.Y+float64(g.Rows)*g.CellSize),
+	}
+}
+
+// CellIndex returns the (col, row) of the cell containing p and whether p is
+// inside the grid extent. Points on the max edge map to the last cell.
+func (g *Grid) CellIndex(p geo.Point) (col, row int, ok bool) {
+	col = int(math.Floor((p.X - g.Origin.X) / g.CellSize))
+	row = int(math.Floor((p.Y - g.Origin.Y) / g.CellSize))
+	if p.X == g.Origin.X+float64(g.Cols)*g.CellSize {
+		col = g.Cols - 1
+	}
+	if p.Y == g.Origin.Y+float64(g.Rows)*g.CellSize {
+		row = g.Rows - 1
+	}
+	if col < 0 || col >= g.Cols || row < 0 || row >= g.Rows {
+		return 0, 0, false
+	}
+	return col, row, true
+}
+
+// CellID returns a dense integer id for the cell (col, row).
+func (g *Grid) CellID(col, row int) int { return row*g.Cols + col }
+
+// CellAt returns the id of the cell containing p, or -1 when outside.
+func (g *Grid) CellAt(p geo.Point) int {
+	col, row, ok := g.CellIndex(p)
+	if !ok {
+		return -1
+	}
+	return g.CellID(col, row)
+}
+
+// CellRect returns the extent of the cell (col, row).
+func (g *Grid) CellRect(col, row int) geo.Rect {
+	min := geo.Pt(g.Origin.X+float64(col)*g.CellSize, g.Origin.Y+float64(row)*g.CellSize)
+	return geo.Rect{Min: min, Max: geo.Pt(min.X+g.CellSize, min.Y+g.CellSize)}
+}
+
+// CellRectByID returns the extent of the cell with the given dense id.
+func (g *Grid) CellRectByID(id int) geo.Rect {
+	return g.CellRect(id%g.Cols, id/g.Cols)
+}
+
+// CellCenter returns the centre point of the cell (col, row).
+func (g *Grid) CellCenter(col, row int) geo.Point { return g.CellRect(col, row).Center() }
+
+// CellsIntersecting returns the ids of all cells whose extent intersects r.
+func (g *Grid) CellsIntersecting(r geo.Rect) []int {
+	if r.IsEmpty() || !g.Bounds().Intersects(r) {
+		return nil
+	}
+	clipped := g.Bounds().Intersection(r)
+	minCol := int(math.Floor((clipped.Min.X - g.Origin.X) / g.CellSize))
+	maxCol := int(math.Floor((clipped.Max.X - g.Origin.X) / g.CellSize))
+	minRow := int(math.Floor((clipped.Min.Y - g.Origin.Y) / g.CellSize))
+	maxRow := int(math.Floor((clipped.Max.Y - g.Origin.Y) / g.CellSize))
+	clampInt := func(v, lo, hi int) int {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	minCol = clampInt(minCol, 0, g.Cols-1)
+	maxCol = clampInt(maxCol, 0, g.Cols-1)
+	minRow = clampInt(minRow, 0, g.Rows-1)
+	maxRow = clampInt(maxRow, 0, g.Rows-1)
+	out := make([]int, 0, (maxCol-minCol+1)*(maxRow-minRow+1))
+	for row := minRow; row <= maxRow; row++ {
+		for col := minCol; col <= maxCol; col++ {
+			out = append(out, g.CellID(col, row))
+		}
+	}
+	return out
+}
+
+// Neighborhood returns the ids of the cells within `radius` cells of the
+// cell containing p (a (2r+1)x(2r+1) block clipped to the grid). It is used
+// by the POI layer to restrict the Gaussian influence sum to nearby POIs.
+func (g *Grid) Neighborhood(p geo.Point, radius int) []int {
+	col, row, ok := g.CellIndex(p)
+	if !ok {
+		return nil
+	}
+	var out []int
+	for r := row - radius; r <= row+radius; r++ {
+		if r < 0 || r >= g.Rows {
+			continue
+		}
+		for c := col - radius; c <= col+radius; c++ {
+			if c < 0 || c >= g.Cols {
+				continue
+			}
+			out = append(out, g.CellID(c, r))
+		}
+	}
+	return out
+}
+
+// Index is a spatial bucket index over the grid: each cell holds the values
+// whose position falls inside it. It offers O(1) candidate lookup for dense
+// point sets (POIs) without the overhead of a tree.
+type Index struct {
+	grid    *Grid
+	buckets [][]indexed
+	size    int
+}
+
+type indexed struct {
+	p     geo.Point
+	value interface{}
+}
+
+// NewIndex creates an empty bucket index on top of the given grid geometry.
+func NewIndex(g *Grid) *Index {
+	return &Index{grid: g, buckets: make([][]indexed, g.NumCells())}
+}
+
+// Grid returns the underlying grid geometry.
+func (ix *Index) Grid() *Grid { return ix.grid }
+
+// Len returns the number of values stored.
+func (ix *Index) Len() int { return ix.size }
+
+// Insert adds a value at position p. Values outside the grid extent are
+// silently dropped (callers generate sources within the extent).
+func (ix *Index) Insert(p geo.Point, value interface{}) bool {
+	id := ix.grid.CellAt(p)
+	if id < 0 {
+		return false
+	}
+	ix.buckets[id] = append(ix.buckets[id], indexed{p: p, value: value})
+	ix.size++
+	return true
+}
+
+// WithinRect returns the values whose position lies inside r.
+func (ix *Index) WithinRect(r geo.Rect) []interface{} {
+	var out []interface{}
+	for _, id := range ix.grid.CellsIntersecting(r) {
+		for _, it := range ix.buckets[id] {
+			if r.ContainsPoint(it.p) {
+				out = append(out, it.value)
+			}
+		}
+	}
+	return out
+}
+
+// WithinDistance returns the values within dist of p.
+func (ix *Index) WithinDistance(p geo.Point, dist float64) []interface{} {
+	var out []interface{}
+	for _, id := range ix.grid.CellsIntersecting(geo.RectAround(p, dist)) {
+		for _, it := range ix.buckets[id] {
+			if it.p.DistanceTo(p) <= dist {
+				out = append(out, it.value)
+			}
+		}
+	}
+	return out
+}
+
+// Nearest returns the value closest to p and its distance; ok is false when
+// the index is empty. The search expands ring by ring so it remains cheap
+// even on large grids.
+func (ix *Index) Nearest(p geo.Point) (value interface{}, dist float64, ok bool) {
+	if ix.size == 0 {
+		return nil, 0, false
+	}
+	maxRadius := ix.grid.Cols
+	if ix.grid.Rows > maxRadius {
+		maxRadius = ix.grid.Rows
+	}
+	best := math.Inf(1)
+	var bestVal interface{}
+	for radius := 0; radius <= maxRadius; radius++ {
+		for _, id := range ix.grid.Neighborhood(p, radius) {
+			for _, it := range ix.buckets[id] {
+				d := it.p.DistanceTo(p)
+				if d < best {
+					best = d
+					bestVal = it.value
+				}
+			}
+		}
+		// Once we have a candidate and the next ring cannot contain anything
+		// closer, stop. Anything in ring radius+1 is at least radius*CellSize away.
+		if bestVal != nil && best <= float64(radius)*ix.grid.CellSize {
+			break
+		}
+	}
+	if bestVal == nil {
+		return nil, 0, false
+	}
+	return bestVal, best, true
+}
+
+// CellValues returns the values stored in the cell with the given id.
+func (ix *Index) CellValues(id int) []interface{} {
+	if id < 0 || id >= len(ix.buckets) {
+		return nil
+	}
+	out := make([]interface{}, len(ix.buckets[id]))
+	for i, it := range ix.buckets[id] {
+		out[i] = it.value
+	}
+	return out
+}

@@ -1,0 +1,257 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"semitri/internal/geo"
+)
+
+func mustGrid(t *testing.T, extent geo.Rect, cell float64) *Grid {
+	t.Helper()
+	g, err := New(extent, cell)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return g
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(geo.NewRect(geo.Pt(0, 0), geo.Pt(10, 10)), 0); err == nil {
+		t.Fatal("expected error for zero cell size")
+	}
+	if _, err := New(geo.NewRect(geo.Pt(0, 0), geo.Pt(10, 10)), -5); err == nil {
+		t.Fatal("expected error for negative cell size")
+	}
+	if _, err := New(geo.EmptyRect(), 10); err == nil {
+		t.Fatal("expected error for empty extent")
+	}
+}
+
+func TestGridDimensions(t *testing.T) {
+	g := mustGrid(t, geo.NewRect(geo.Pt(0, 0), geo.Pt(1000, 500)), 100)
+	if g.Cols != 10 || g.Rows != 5 {
+		t.Fatalf("cols/rows = %d/%d", g.Cols, g.Rows)
+	}
+	if g.NumCells() != 50 {
+		t.Fatalf("NumCells = %d", g.NumCells())
+	}
+	b := g.Bounds()
+	if b.Min != geo.Pt(0, 0) || b.Max != geo.Pt(1000, 500) {
+		t.Fatalf("Bounds = %+v", b)
+	}
+	// Non-integer extent expands upward.
+	g2 := mustGrid(t, geo.NewRect(geo.Pt(0, 0), geo.Pt(250, 90)), 100)
+	if g2.Cols != 3 || g2.Rows != 1 {
+		t.Fatalf("expanded cols/rows = %d/%d", g2.Cols, g2.Rows)
+	}
+}
+
+func TestCellIndexAndRect(t *testing.T) {
+	g := mustGrid(t, geo.NewRect(geo.Pt(0, 0), geo.Pt(1000, 1000)), 100)
+	col, row, ok := g.CellIndex(geo.Pt(250, 730))
+	if !ok || col != 2 || row != 7 {
+		t.Fatalf("CellIndex = %d,%d,%v", col, row, ok)
+	}
+	if _, _, ok := g.CellIndex(geo.Pt(-1, 50)); ok {
+		t.Fatal("point outside grid should not be ok")
+	}
+	if _, _, ok := g.CellIndex(geo.Pt(50, 1001)); ok {
+		t.Fatal("point outside grid should not be ok")
+	}
+	// Max-edge points map to last cell.
+	col, row, ok = g.CellIndex(geo.Pt(1000, 1000))
+	if !ok || col != 9 || row != 9 {
+		t.Fatalf("max edge CellIndex = %d,%d,%v", col, row, ok)
+	}
+	r := g.CellRect(2, 7)
+	if r.Min != geo.Pt(200, 700) || r.Max != geo.Pt(300, 800) {
+		t.Fatalf("CellRect = %+v", r)
+	}
+	if c := g.CellCenter(0, 0); c != geo.Pt(50, 50) {
+		t.Fatalf("CellCenter = %v", c)
+	}
+	id := g.CellAt(geo.Pt(250, 730))
+	if id != g.CellID(2, 7) {
+		t.Fatalf("CellAt = %d want %d", id, g.CellID(2, 7))
+	}
+	if g.CellAt(geo.Pt(-5, -5)) != -1 {
+		t.Fatal("outside point should return -1")
+	}
+	if rr := g.CellRectByID(id); rr != r {
+		t.Fatalf("CellRectByID = %+v want %+v", rr, r)
+	}
+}
+
+// Property: every point inside the bounds maps to exactly one cell whose
+// rect contains the point.
+func TestCellContainsItsPoints(t *testing.T) {
+	g := mustGrid(t, geo.NewRect(geo.Pt(-500, -500), geo.Pt(500, 500)), 37)
+	f := func(x, y float64) bool {
+		p := geo.Pt(-500+mod(x, 1000), -500+mod(y, 1000))
+		col, row, ok := g.CellIndex(p)
+		if !ok {
+			return false
+		}
+		return g.CellRect(col, row).ContainsPoint(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mod(v, m float64) float64 {
+	r := math.Mod(v, m)
+	if r < 0 {
+		r += m
+	}
+	if math.IsNaN(r) || math.IsInf(r, 0) {
+		return 0
+	}
+	return r
+}
+
+func TestCellsIntersecting(t *testing.T) {
+	g := mustGrid(t, geo.NewRect(geo.Pt(0, 0), geo.Pt(1000, 1000)), 100)
+	ids := g.CellsIntersecting(geo.NewRect(geo.Pt(150, 150), geo.Pt(350, 250)))
+	// covers cols 1..3, rows 1..2 -> 3*2=6 cells
+	if len(ids) != 6 {
+		t.Fatalf("CellsIntersecting = %d cells, want 6", len(ids))
+	}
+	if got := g.CellsIntersecting(geo.NewRect(geo.Pt(2000, 2000), geo.Pt(3000, 3000))); got != nil {
+		t.Fatalf("disjoint rect should yield nil, got %v", got)
+	}
+	if got := g.CellsIntersecting(geo.EmptyRect()); got != nil {
+		t.Fatal("empty rect should yield nil")
+	}
+	// Rect larger than grid should return all cells.
+	all := g.CellsIntersecting(geo.NewRect(geo.Pt(-10000, -10000), geo.Pt(10000, 10000)))
+	if len(all) != g.NumCells() {
+		t.Fatalf("oversized rect = %d cells want %d", len(all), g.NumCells())
+	}
+}
+
+func TestNeighborhood(t *testing.T) {
+	g := mustGrid(t, geo.NewRect(geo.Pt(0, 0), geo.Pt(1000, 1000)), 100)
+	ids := g.Neighborhood(geo.Pt(550, 550), 1)
+	if len(ids) != 9 {
+		t.Fatalf("interior neighborhood = %d cells want 9", len(ids))
+	}
+	corner := g.Neighborhood(geo.Pt(10, 10), 1)
+	if len(corner) != 4 {
+		t.Fatalf("corner neighborhood = %d cells want 4", len(corner))
+	}
+	if got := g.Neighborhood(geo.Pt(-10, 10), 1); got != nil {
+		t.Fatal("outside point should return nil")
+	}
+	zero := g.Neighborhood(geo.Pt(550, 550), 0)
+	if len(zero) != 1 || zero[0] != g.CellAt(geo.Pt(550, 550)) {
+		t.Fatalf("radius 0 neighborhood = %v", zero)
+	}
+}
+
+func TestIndexInsertAndQueries(t *testing.T) {
+	g := mustGrid(t, geo.NewRect(geo.Pt(0, 0), geo.Pt(1000, 1000)), 50)
+	ix := NewIndex(g)
+	if ix.Len() != 0 {
+		t.Fatal("empty index should have Len 0")
+	}
+	if ix.Grid() != g {
+		t.Fatal("Grid accessor")
+	}
+	if !ix.Insert(geo.Pt(100, 100), "a") || !ix.Insert(geo.Pt(105, 105), "b") || !ix.Insert(geo.Pt(900, 900), "c") {
+		t.Fatal("inserts inside extent should succeed")
+	}
+	if ix.Insert(geo.Pt(-10, 0), "out") {
+		t.Fatal("insert outside extent should fail")
+	}
+	if ix.Len() != 3 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	got := ix.WithinRect(geo.RectAround(geo.Pt(102, 102), 10))
+	if len(got) != 2 {
+		t.Fatalf("WithinRect = %v", got)
+	}
+	got = ix.WithinDistance(geo.Pt(100, 100), 8)
+	if len(got) != 2 {
+		t.Fatalf("WithinDistance = %v", got)
+	}
+	got = ix.WithinDistance(geo.Pt(100, 100), 1)
+	if len(got) != 1 || got[0].(string) != "a" {
+		t.Fatalf("tight WithinDistance = %v", got)
+	}
+}
+
+func TestIndexNearest(t *testing.T) {
+	g := mustGrid(t, geo.NewRect(geo.Pt(0, 0), geo.Pt(1000, 1000)), 25)
+	ix := NewIndex(g)
+	if _, _, ok := ix.Nearest(geo.Pt(500, 500)); ok {
+		t.Fatal("nearest on empty index should report !ok")
+	}
+	rng := rand.New(rand.NewSource(17))
+	type pv struct {
+		p geo.Point
+		v int
+	}
+	var pts []pv
+	for i := 0; i < 500; i++ {
+		p := geo.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		pts = append(pts, pv{p, i})
+		ix.Insert(p, i)
+	}
+	for trial := 0; trial < 50; trial++ {
+		q := geo.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		val, dist, ok := ix.Nearest(q)
+		if !ok {
+			t.Fatal("expected a nearest result")
+		}
+		// brute force
+		bestD := -1.0
+		bestV := -1
+		for _, it := range pts {
+			d := it.p.DistanceTo(q)
+			if bestD < 0 || d < bestD {
+				bestD, bestV = d, it.v
+			}
+		}
+		if val.(int) != bestV || dist != bestD {
+			t.Fatalf("Nearest(%v) = %v,%v; brute force %v,%v", q, val, dist, bestV, bestD)
+		}
+	}
+}
+
+func TestIndexNearestFarPoint(t *testing.T) {
+	// A single value far from the query: ring expansion must still find it.
+	g := mustGrid(t, geo.NewRect(geo.Pt(0, 0), geo.Pt(10000, 10000)), 100)
+	ix := NewIndex(g)
+	ix.Insert(geo.Pt(9900, 9900), "far")
+	val, dist, ok := ix.Nearest(geo.Pt(50, 50))
+	if !ok || val.(string) != "far" {
+		t.Fatalf("Nearest = %v, %v, %v", val, dist, ok)
+	}
+	want := geo.Pt(9900, 9900).DistanceTo(geo.Pt(50, 50))
+	if dist != want {
+		t.Fatalf("dist = %v want %v", dist, want)
+	}
+}
+
+func TestCellValues(t *testing.T) {
+	g := mustGrid(t, geo.NewRect(geo.Pt(0, 0), geo.Pt(100, 100)), 10)
+	ix := NewIndex(g)
+	ix.Insert(geo.Pt(5, 5), 1)
+	ix.Insert(geo.Pt(6, 6), 2)
+	ix.Insert(geo.Pt(95, 95), 3)
+	id := g.CellAt(geo.Pt(5, 5))
+	vals := ix.CellValues(id)
+	if len(vals) != 2 {
+		t.Fatalf("CellValues = %v", vals)
+	}
+	if got := ix.CellValues(-1); got != nil {
+		t.Fatal("invalid id should return nil")
+	}
+	if got := ix.CellValues(10_000); got != nil {
+		t.Fatal("out of range id should return nil")
+	}
+}

@@ -1,0 +1,266 @@
+// Package hmm implements a discrete-state hidden Markov model with Viterbi
+// decoding (Forney 1973, Rabiner 1990), the statistical machinery behind
+// SeMiTri's Semantic Point Annotation Layer (§4.3, Alg. 3).
+//
+// The model is deliberately generic: states are identified by index, and the
+// observation probabilities are supplied per observation through an emission
+// matrix B (rows = observations in sequence order, columns = states). This
+// matches the paper's formulation, where B is computed on the fly from the
+// Gaussian influence of nearby POIs on each stop rather than from a fixed
+// discrete alphabet. Decoding is done in log space to remain numerically
+// stable for long stop sequences.
+package hmm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Model is a hidden Markov model λ = (π, A) over N states. Emissions are
+// provided per decoding call (see Viterbi), mirroring the paper where
+// B(o|Ci) depends on the geometry of each observed stop.
+type Model struct {
+	// Pi is the initial state distribution π (length N, sums to 1).
+	Pi []float64
+	// A is the state transition matrix, A[i][j] = Pr(state j | state i).
+	A [][]float64
+}
+
+// New validates and returns a model; the distributions are normalised so
+// callers may pass raw counts.
+func New(pi []float64, a [][]float64) (*Model, error) {
+	n := len(pi)
+	if n == 0 {
+		return nil, errors.New("hmm: empty initial distribution")
+	}
+	if len(a) != n {
+		return nil, fmt.Errorf("hmm: transition matrix has %d rows, want %d", len(a), n)
+	}
+	for i, row := range a {
+		if len(row) != n {
+			return nil, fmt.Errorf("hmm: transition row %d has %d columns, want %d", i, len(row), n)
+		}
+	}
+	m := &Model{Pi: normalize(pi), A: make([][]float64, n)}
+	for i, row := range a {
+		m.A[i] = normalize(row)
+	}
+	for i, p := range m.Pi {
+		if p < 0 || math.IsNaN(p) {
+			return nil, fmt.Errorf("hmm: invalid initial probability at %d", i)
+		}
+	}
+	return m, nil
+}
+
+// NumStates returns the number of hidden states.
+func (m *Model) NumStates() int { return len(m.Pi) }
+
+func normalize(v []float64) []float64 {
+	out := make([]float64, len(v))
+	var sum float64
+	for _, x := range v {
+		if x > 0 {
+			sum += x
+		}
+	}
+	if sum == 0 {
+		// Degenerate distribution: fall back to uniform.
+		for i := range out {
+			out[i] = 1 / float64(len(v))
+		}
+		return out
+	}
+	for i, x := range v {
+		if x < 0 {
+			x = 0
+		}
+		out[i] = x / sum
+	}
+	return out
+}
+
+// UniformTransitions returns an n x n matrix with self-transition probability
+// `selfProb` and the remainder spread uniformly over the other states. This
+// mirrors the structured transition matrix of Fig. 6 in the paper.
+func UniformTransitions(n int, selfProb float64) [][]float64 {
+	if n <= 0 {
+		return nil
+	}
+	if selfProb < 0 || selfProb > 1 {
+		selfProb = 0.8
+	}
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+		if n == 1 {
+			a[i][0] = 1
+			continue
+		}
+		for j := range a[i] {
+			if i == j {
+				a[i][j] = selfProb
+			} else {
+				a[i][j] = (1 - selfProb) / float64(n-1)
+			}
+		}
+	}
+	return a
+}
+
+// DecodeResult is the output of Viterbi decoding.
+type DecodeResult struct {
+	// States is the most likely hidden state sequence (one per observation).
+	States []int
+	// LogProb is the log probability of the decoded sequence.
+	LogProb float64
+	// Delta is the final-step delta vector (log space), exposed for
+	// diagnostics and for tests that verify the recursion.
+	Delta []float64
+}
+
+const logZero = math.MaxFloat64 * -1
+
+func safeLog(p float64) float64 {
+	if p <= 0 {
+		return logZero
+	}
+	return math.Log(p)
+}
+
+// Viterbi computes the most likely hidden state sequence given per
+// observation emission likelihoods. emissions[t][i] is Pr(o_t | state i)
+// (not necessarily normalised; only relative magnitudes matter).
+// It implements equations (5)–(7) of the paper in log space with the
+// backtracking step of Alg. 3.
+func (m *Model) Viterbi(emissions [][]float64) (*DecodeResult, error) {
+	n := m.NumStates()
+	tLen := len(emissions)
+	if tLen == 0 {
+		return nil, errors.New("hmm: empty observation sequence")
+	}
+	for t, row := range emissions {
+		if len(row) != n {
+			return nil, fmt.Errorf("hmm: emission row %d has %d entries, want %d", t, len(row), n)
+		}
+	}
+	logA := make([][]float64, n)
+	for i := range logA {
+		logA[i] = make([]float64, n)
+		for j := range logA[i] {
+			logA[i][j] = safeLog(m.A[i][j])
+		}
+	}
+	delta := make([]float64, n)
+	psi := make([][]int, tLen)
+	for i := 0; i < n; i++ {
+		delta[i] = safeLog(m.Pi[i]) + safeLog(emissions[0][i])
+	}
+	psi[0] = make([]int, n)
+	next := make([]float64, n)
+	for t := 1; t < tLen; t++ {
+		psi[t] = make([]int, n)
+		for j := 0; j < n; j++ {
+			best := logZero
+			bestI := 0
+			for i := 0; i < n; i++ {
+				v := delta[i] + logA[i][j]
+				if v > best {
+					best = v
+					bestI = i
+				}
+			}
+			next[j] = best + safeLog(emissions[t][j])
+			psi[t][j] = bestI
+		}
+		delta, next = next, delta
+	}
+	// Termination.
+	best := logZero
+	bestState := 0
+	for i := 0; i < n; i++ {
+		if delta[i] > best {
+			best = delta[i]
+			bestState = i
+		}
+	}
+	states := make([]int, tLen)
+	states[tLen-1] = bestState
+	for t := tLen - 1; t >= 1; t-- {
+		states[t-1] = psi[t][states[t]]
+	}
+	finalDelta := make([]float64, n)
+	copy(finalDelta, delta)
+	return &DecodeResult{States: states, LogProb: best, Delta: finalDelta}, nil
+}
+
+// SequenceLogProb returns the log probability of a given state sequence and
+// emissions under the model (used by tests to check the Viterbi optimum and
+// by ablations to compare decodings).
+func (m *Model) SequenceLogProb(states []int, emissions [][]float64) (float64, error) {
+	if len(states) != len(emissions) {
+		return 0, fmt.Errorf("hmm: %d states for %d observations", len(states), len(emissions))
+	}
+	if len(states) == 0 {
+		return 0, errors.New("hmm: empty sequence")
+	}
+	n := m.NumStates()
+	for t, s := range states {
+		if s < 0 || s >= n {
+			return 0, fmt.Errorf("hmm: state %d at position %d out of range", s, t)
+		}
+	}
+	lp := safeLog(m.Pi[states[0]]) + safeLog(emissions[0][states[0]])
+	for t := 1; t < len(states); t++ {
+		lp += safeLog(m.A[states[t-1]][states[t]]) + safeLog(emissions[t][states[t]])
+	}
+	return lp, nil
+}
+
+// Posterior computes, with the forward algorithm, the (normalised) filtered
+// probability of each state after consuming all observations. It is used by
+// the point layer to attach per-category confidence values to annotations.
+func (m *Model) Posterior(emissions [][]float64) ([]float64, error) {
+	n := m.NumStates()
+	if len(emissions) == 0 {
+		return nil, errors.New("hmm: empty observation sequence")
+	}
+	alpha := make([]float64, n)
+	for i := 0; i < n; i++ {
+		alpha[i] = m.Pi[i] * emissions[0][i]
+	}
+	scale(alpha)
+	next := make([]float64, n)
+	for t := 1; t < len(emissions); t++ {
+		if len(emissions[t]) != n {
+			return nil, fmt.Errorf("hmm: emission row %d has %d entries, want %d", t, len(emissions[t]), n)
+		}
+		for j := 0; j < n; j++ {
+			var s float64
+			for i := 0; i < n; i++ {
+				s += alpha[i] * m.A[i][j]
+			}
+			next[j] = s * emissions[t][j]
+		}
+		copy(alpha, next)
+		scale(alpha)
+	}
+	return append([]float64(nil), alpha...), nil
+}
+
+func scale(v []float64) {
+	var sum float64
+	for _, x := range v {
+		sum += x
+	}
+	if sum <= 0 {
+		for i := range v {
+			v[i] = 1 / float64(len(v))
+		}
+		return
+	}
+	for i := range v {
+		v[i] /= sum
+	}
+}

@@ -1,0 +1,322 @@
+package hmm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Fatal("empty pi should error")
+	}
+	if _, err := New([]float64{1, 1}, [][]float64{{1, 0}}); err == nil {
+		t.Fatal("wrong row count should error")
+	}
+	if _, err := New([]float64{1, 1}, [][]float64{{1}, {1, 0}}); err == nil {
+		t.Fatal("wrong column count should error")
+	}
+	m, err := New([]float64{2, 2}, [][]float64{{3, 1}, {1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumStates() != 2 {
+		t.Fatalf("NumStates = %d", m.NumStates())
+	}
+	if m.Pi[0] != 0.5 || m.Pi[1] != 0.5 {
+		t.Fatalf("pi not normalised: %v", m.Pi)
+	}
+	if m.A[0][0] != 0.75 || m.A[0][1] != 0.25 {
+		t.Fatalf("A not normalised: %v", m.A)
+	}
+}
+
+func TestNormalizeDegenerate(t *testing.T) {
+	m, err := New([]float64{0, 0, 0}, UniformTransitions(3, 0.8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range m.Pi {
+		if math.Abs(p-1.0/3.0) > 1e-12 {
+			t.Fatalf("degenerate pi should become uniform, got %v", m.Pi)
+		}
+	}
+}
+
+func TestUniformTransitions(t *testing.T) {
+	a := UniformTransitions(5, 0.8)
+	if len(a) != 5 {
+		t.Fatalf("rows = %d", len(a))
+	}
+	for i, row := range a {
+		var sum float64
+		for j, p := range row {
+			sum += p
+			if i == j && p != 0.8 {
+				t.Fatalf("self transition = %v", p)
+			}
+			if i != j && math.Abs(p-0.05) > 1e-12 {
+				t.Fatalf("off-diagonal = %v", p)
+			}
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+	}
+	if UniformTransitions(0, 0.5) != nil {
+		t.Fatal("n=0 should return nil")
+	}
+	if got := UniformTransitions(1, 0.7); got[0][0] != 1 {
+		t.Fatalf("single state self transition = %v", got[0][0])
+	}
+	// Invalid selfProb falls back to 0.8.
+	if got := UniformTransitions(2, 1.5); got[0][0] != 0.8 {
+		t.Fatalf("invalid selfProb fallback = %v", got[0][0])
+	}
+}
+
+func TestViterbiErrors(t *testing.T) {
+	m, _ := New([]float64{0.5, 0.5}, UniformTransitions(2, 0.8))
+	if _, err := m.Viterbi(nil); err == nil {
+		t.Fatal("empty emissions should error")
+	}
+	if _, err := m.Viterbi([][]float64{{0.5}}); err == nil {
+		t.Fatal("short emission row should error")
+	}
+}
+
+func TestViterbiObviousSequence(t *testing.T) {
+	// Two states; emissions point unambiguously at state 0 then 1 then 1.
+	m, _ := New([]float64{0.5, 0.5}, UniformTransitions(2, 0.7))
+	emissions := [][]float64{
+		{0.99, 0.01},
+		{0.01, 0.99},
+		{0.05, 0.95},
+	}
+	res, err := m.Viterbi(emissions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 1}
+	for i, s := range res.States {
+		if s != want[i] {
+			t.Fatalf("States = %v want %v", res.States, want)
+		}
+	}
+	if res.LogProb >= 0 {
+		t.Fatalf("LogProb = %v, expected negative log probability", res.LogProb)
+	}
+	if len(res.Delta) != 2 {
+		t.Fatalf("Delta length = %d", len(res.Delta))
+	}
+}
+
+func TestViterbiStickyTransitionsSmoothNoise(t *testing.T) {
+	// Strong self-transitions should smooth over a single noisy observation.
+	a := [][]float64{{0.95, 0.05}, {0.05, 0.95}}
+	m, _ := New([]float64{0.5, 0.5}, a)
+	emissions := [][]float64{
+		{0.9, 0.1},
+		{0.9, 0.1},
+		{0.45, 0.55}, // weak evidence for state 1
+		{0.9, 0.1},
+		{0.9, 0.1},
+	}
+	res, err := m.Viterbi(emissions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range res.States {
+		if s != 0 {
+			t.Fatalf("position %d decoded as %d; sticky prior should keep state 0 (states=%v)", i, s, res.States)
+		}
+	}
+}
+
+func TestViterbiMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(3) // 2..4 states
+		tLen := 2 + rng.Intn(5)
+		pi := make([]float64, n)
+		a := make([][]float64, n)
+		for i := range pi {
+			pi[i] = rng.Float64() + 0.01
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = rng.Float64() + 0.01
+			}
+		}
+		m, err := New(pi, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		emissions := make([][]float64, tLen)
+		for tt := range emissions {
+			emissions[tt] = make([]float64, n)
+			for i := range emissions[tt] {
+				emissions[tt][i] = rng.Float64() + 0.001
+			}
+		}
+		res, err := m.Viterbi(emissions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Brute force over all n^tLen sequences.
+		bestLP := math.Inf(-1)
+		var bestSeq []int
+		seq := make([]int, tLen)
+		var walk func(pos int)
+		walk = func(pos int) {
+			if pos == tLen {
+				lp, _ := m.SequenceLogProb(seq, emissions)
+				if lp > bestLP {
+					bestLP = lp
+					bestSeq = append([]int(nil), seq...)
+				}
+				return
+			}
+			for s := 0; s < n; s++ {
+				seq[pos] = s
+				walk(pos + 1)
+			}
+		}
+		walk(0)
+		gotLP, err := m.SequenceLogProb(res.States, emissions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(gotLP-bestLP) > 1e-9 {
+			t.Fatalf("trial %d: viterbi seq %v (lp %v) differs from brute force %v (lp %v)",
+				trial, res.States, gotLP, bestSeq, bestLP)
+		}
+		if math.Abs(res.LogProb-bestLP) > 1e-9 {
+			t.Fatalf("trial %d: reported LogProb %v != brute force %v", trial, res.LogProb, bestLP)
+		}
+	}
+}
+
+func TestSequenceLogProbErrors(t *testing.T) {
+	m, _ := New([]float64{0.5, 0.5}, UniformTransitions(2, 0.8))
+	emissions := [][]float64{{0.5, 0.5}}
+	if _, err := m.SequenceLogProb([]int{0, 1}, emissions); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	if _, err := m.SequenceLogProb(nil, nil); err == nil {
+		t.Fatal("empty sequence should error")
+	}
+	if _, err := m.SequenceLogProb([]int{5}, emissions); err == nil {
+		t.Fatal("out of range state should error")
+	}
+}
+
+func TestSequenceLogProbZeroEmission(t *testing.T) {
+	m, _ := New([]float64{0.5, 0.5}, UniformTransitions(2, 0.8))
+	lp, err := m.SequenceLogProb([]int{0}, [][]float64{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp > -1e100 {
+		t.Fatalf("zero-probability emission should give a huge negative log prob, got %v", lp)
+	}
+}
+
+func TestPosterior(t *testing.T) {
+	m, _ := New([]float64{0.5, 0.5}, UniformTransitions(2, 0.9))
+	post, err := m.Posterior([][]float64{{0.9, 0.1}, {0.9, 0.1}, {0.8, 0.2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, p := range post {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("posterior sums to %v", sum)
+	}
+	if post[0] <= post[1] {
+		t.Fatalf("state 0 should dominate: %v", post)
+	}
+	if _, err := m.Posterior(nil); err == nil {
+		t.Fatal("empty emissions should error")
+	}
+	if _, err := m.Posterior([][]float64{{0.5, 0.5}, {0.5}}); err == nil {
+		t.Fatal("bad row length should error")
+	}
+	// All-zero emissions fall back to uniform rather than NaN.
+	post, err = m.Posterior([][]float64{{0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(post[0]) || math.Abs(post[0]-0.5) > 1e-9 {
+		t.Fatalf("degenerate posterior = %v", post)
+	}
+}
+
+// Property: the Viterbi path's log probability is never below that of the
+// constant path through any single state.
+func TestViterbiAtLeastAsGoodAsConstantPaths(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(seed%3+3)%3
+		if n < 2 {
+			n = 2
+		}
+		tLen := 3 + rng.Intn(6)
+		pi := make([]float64, n)
+		for i := range pi {
+			pi[i] = rng.Float64() + 0.01
+		}
+		m, err := New(pi, UniformTransitions(n, 0.5+rng.Float64()*0.4))
+		if err != nil {
+			return false
+		}
+		emissions := make([][]float64, tLen)
+		for t := range emissions {
+			emissions[t] = make([]float64, n)
+			for i := range emissions[t] {
+				emissions[t][i] = rng.Float64() + 0.001
+			}
+		}
+		res, err := m.Viterbi(emissions)
+		if err != nil {
+			return false
+		}
+		vlp, _ := m.SequenceLogProb(res.States, emissions)
+		for s := 0; s < n; s++ {
+			constSeq := make([]int, tLen)
+			for i := range constSeq {
+				constSeq[i] = s
+			}
+			clp, _ := m.SequenceLogProb(constSeq, emissions)
+			if clp > vlp+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkViterbi(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 5
+	pi := []float64{0.11, 0.18, 0.31, 0.39, 0.01}
+	m, _ := New(pi, UniformTransitions(n, 0.8))
+	emissions := make([][]float64, 200)
+	for t := range emissions {
+		emissions[t] = make([]float64, n)
+		for i := range emissions[t] {
+			emissions[t][i] = rng.Float64()
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Viterbi(emissions); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

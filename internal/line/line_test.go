@@ -1,0 +1,317 @@
+package line
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"semitri/internal/core"
+	"semitri/internal/episode"
+	"semitri/internal/geo"
+	"semitri/internal/gps"
+	"semitri/internal/roadnet"
+)
+
+var t0 = time.Date(2010, 3, 15, 8, 0, 0, 0, time.UTC)
+
+// parallelNetwork builds two parallel horizontal roads 40 m apart plus a
+// metro line, the configuration where per-point nearest matching is fragile.
+func parallelNetwork(t *testing.T) *roadnet.Network {
+	t.Helper()
+	n := roadnet.NewNetwork()
+	mk := func(x1, y1, x2, y2 float64, cl roadnet.Class, name string) *roadnet.Segment {
+		a := n.AddNode(geo.Pt(x1, y1))
+		b := n.AddNode(geo.Pt(x2, y2))
+		s, err := n.AddSegment(a, b, cl, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	mk(0, 0, 1000, 0, roadnet.Arterial, "main-street")      // seg 0
+	mk(0, 40, 1000, 40, roadnet.Residential, "back-street") // seg 1
+	mk(0, 200, 1000, 200, roadnet.MetroRail, "metro-M1")    // seg 2
+	mk(0, -300, 1000, -300, roadnet.Footpath, "lake-path")  // seg 3
+	return n
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{CandidateRadius: 0, GlobalRadius: 2, SigmaFactor: 1},
+		{CandidateRadius: 50, GlobalRadius: -1, SigmaFactor: 1},
+		{CandidateRadius: 50, GlobalRadius: 2, SigmaFactor: 0},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Fatalf("config %d should be invalid", i)
+		}
+	}
+}
+
+func TestNewAnnotator(t *testing.T) {
+	if _, err := NewAnnotator(nil, DefaultConfig()); err == nil {
+		t.Fatal("nil network should error")
+	}
+	if _, err := NewAnnotator(parallelNetwork(t), Config{}); err == nil {
+		t.Fatal("invalid config should error")
+	}
+	a, err := NewAnnotator(parallelNetwork(t), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Config().GlobalRadius != 2 {
+		t.Fatal("Config accessor wrong")
+	}
+}
+
+func TestMatchPointsCleanTrack(t *testing.T) {
+	a, _ := NewAnnotator(parallelNetwork(t), DefaultConfig())
+	// Points running exactly along main-street.
+	var pts []geo.Point
+	for x := 0.0; x <= 1000; x += 50 {
+		pts = append(pts, geo.Pt(x, 1))
+	}
+	matched := a.MatchPoints(pts)
+	for i, id := range matched {
+		if id != 0 {
+			t.Fatalf("point %d matched to segment %d, want 0", i, id)
+		}
+	}
+	if got := a.MatchPoints(nil); len(got) != 0 {
+		t.Fatal("empty input should give empty output")
+	}
+}
+
+func TestGlobalMatchingSmoothsNoise(t *testing.T) {
+	// A noisy track along main-street where some points are pulled closer to
+	// back-street; the global algorithm should keep them on main-street while
+	// the nearest baseline flips.
+	net := parallelNetwork(t)
+	a, _ := NewAnnotator(net, Config{CandidateRadius: 80, GlobalRadius: 3, SigmaFactor: 1})
+	rng := rand.New(rand.NewSource(4))
+	var pts []geo.Point
+	truth := []int{}
+	for x := 0.0; x <= 1000; x += 25 {
+		y := rng.NormFloat64() * 8
+		if int(x)%200 == 100 {
+			y = 25 // occasional outlier towards the parallel road (dist 25 vs 15)
+		}
+		pts = append(pts, geo.Pt(x, y))
+		truth = append(truth, 0)
+	}
+	global := a.MatchPoints(pts)
+	nearest := a.MatchPointsNearest(pts)
+	accGlobal := Accuracy(global, truth)
+	accNearest := Accuracy(nearest, truth)
+	if accGlobal < accNearest {
+		t.Fatalf("global accuracy %v should be at least nearest accuracy %v", accGlobal, accNearest)
+	}
+	if accGlobal < 0.95 {
+		t.Fatalf("global accuracy = %v, want >= 0.95", accGlobal)
+	}
+	if accNearest > 0.999 {
+		t.Fatalf("test setup broken: nearest baseline should make mistakes, accuracy %v", accNearest)
+	}
+}
+
+func TestMatchPointsFallbackOutsideCandidateRadius(t *testing.T) {
+	a, _ := NewAnnotator(parallelNetwork(t), DefaultConfig())
+	// A point far from every segment still gets the nearest-segment fallback.
+	matched := a.MatchPoints([]geo.Point{geo.Pt(500, 5000)})
+	if matched[0] != 2 { // metro at y=200 is the closest
+		t.Fatalf("fallback matched %d, want 2", matched[0])
+	}
+	// With an empty network MatchPoints yields -1.
+	empty := roadnet.NewNetwork()
+	ea, _ := NewAnnotator(empty, DefaultConfig())
+	if got := ea.MatchPoints([]geo.Point{geo.Pt(0, 0)}); got[0] != -1 {
+		t.Fatalf("empty network match = %d, want -1", got[0])
+	}
+	if got := ea.MatchPointsNearest([]geo.Point{geo.Pt(0, 0)}); got[0] != -1 {
+		t.Fatalf("empty network nearest = %d, want -1", got[0])
+	}
+}
+
+func TestInferMode(t *testing.T) {
+	cases := []struct {
+		class    roadnet.Class
+		avg, max float64
+		want     Mode
+	}{
+		{roadnet.MetroRail, 10, 15, ModeMetro},
+		{roadnet.Footpath, 1.2, 2.0, ModeWalk},
+		{roadnet.Residential, 1.5, 3.0, ModeWalk},
+		{roadnet.Footpath, 4.5, 7.0, ModeBicycle},
+		{roadnet.Arterial, 5.0, 9.0, ModeBicycle},
+		{roadnet.Arterial, 9.0, 14.0, ModeBus},
+		{roadnet.Highway, 25.0, 33.0, ModeCar},
+		{roadnet.Arterial, 20.0, 28.0, ModeCar},
+	}
+	for i, c := range cases {
+		if got := InferMode(c.class, c.avg, c.max); got != c.want {
+			t.Errorf("case %d: InferMode(%v, %v, %v) = %v, want %v", i, c.class, c.avg, c.max, got, c.want)
+		}
+	}
+}
+
+// commute builds a trajectory that walks along the footpath, rides the metro
+// and walks again, returning the trajectory and its single move episode.
+func commute(t *testing.T) (*gps.RawTrajectory, *episode.Episode) {
+	t.Helper()
+	var recs []gps.Record
+	now := t0
+	add := func(p geo.Point, step time.Duration) {
+		recs = append(recs, gps.Record{ObjectID: "u4", Position: p, Time: now})
+		now = now.Add(step)
+	}
+	// Walk along the footpath (y=-300) from x=0 to x=200 at 1.4 m/s.
+	for x := 0.0; x <= 200; x += 14 {
+		add(geo.Pt(x, -300), 10*time.Second)
+	}
+	// Metro along y=200 from x=200 to x=900 at 15 m/s.
+	for x := 200.0; x <= 900; x += 75 {
+		add(geo.Pt(x, 200), 5*time.Second)
+	}
+	// Walk along main-street (y=0) from x=900 to x=1000.
+	for x := 900.0; x <= 1000; x += 14 {
+		add(geo.Pt(x, 0), 10*time.Second)
+	}
+	tr := &gps.RawTrajectory{ID: "u4-T0", ObjectID: "u4", Records: recs}
+	ep := &episode.Episode{
+		TrajectoryID: tr.ID, ObjectID: tr.ObjectID, Kind: episode.Move,
+		StartIdx: 0, EndIdx: len(recs) - 1,
+		Start: recs[0].Time, End: recs[len(recs)-1].Time,
+		Center: geo.Centroid([]geo.Point{recs[0].Position, recs[len(recs)-1].Position}),
+		Bounds: tr.Bounds(), RecordCount: len(recs),
+	}
+	return tr, ep
+}
+
+func TestAnnotateMoveHomeOfficeCommute(t *testing.T) {
+	a, _ := NewAnnotator(parallelNetwork(t), DefaultConfig())
+	tr, ep := commute(t)
+	tuples, runs, err := a.AnnotateMove(tr, ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) == 0 || len(runs) == 0 {
+		t.Fatal("expected at least one tuple and run")
+	}
+	// The metro leg must be present with the metro mode (Fig. 15 behaviour).
+	var sawMetro, sawWalk bool
+	for _, tp := range tuples {
+		mode := Mode(tp.Annotations.Value(core.AnnTransportMode))
+		switch mode {
+		case ModeMetro:
+			sawMetro = true
+			if tp.Annotations.Value(core.AnnRoadName) != "metro-M1" {
+				t.Fatalf("metro tuple road = %q", tp.Annotations.Value(core.AnnRoadName))
+			}
+		case ModeWalk:
+			sawWalk = true
+		}
+		if tp.Place == nil || tp.Place.Kind != core.LinePlace {
+			t.Fatalf("tuple place = %+v", tp.Place)
+		}
+		if tp.Kind != episode.Move {
+			t.Fatal("line tuples must be move tuples")
+		}
+		if tp.TimeOut.Before(tp.TimeIn) {
+			t.Fatal("tuple times reversed")
+		}
+	}
+	if !sawMetro || !sawWalk {
+		t.Fatalf("expected both metro and walk legs, tuples: %d (metro=%v walk=%v)", len(tuples), sawMetro, sawWalk)
+	}
+	// Runs cover increasing index ranges within the episode.
+	for i := 1; i < len(runs); i++ {
+		if runs[i].StartIdx <= runs[i-1].EndIdx {
+			t.Fatalf("runs overlap: %+v then %+v", runs[i-1], runs[i])
+		}
+	}
+}
+
+func TestAnnotateMoveVehicleOverride(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.VehicleMode = ModeCar
+	a, _ := NewAnnotator(parallelNetwork(t), cfg)
+	tr, ep := commute(t)
+	tuples, _, err := a.AnnotateMove(tr, ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range tuples {
+		if tp.Annotations.Value(core.AnnTransportMode) != string(ModeCar) {
+			t.Fatalf("vehicle override not applied: %q", tp.Annotations.Value(core.AnnTransportMode))
+		}
+	}
+}
+
+func TestAnnotateMoveErrors(t *testing.T) {
+	a, _ := NewAnnotator(parallelNetwork(t), DefaultConfig())
+	if _, _, err := a.AnnotateMove(nil, nil); err == nil {
+		t.Fatal("nil inputs should error")
+	}
+	tr, _ := commute(t)
+	badEp := &episode.Episode{StartIdx: 5, EndIdx: 100000}
+	if _, _, err := a.AnnotateMove(tr, badEp); err == nil {
+		t.Fatal("episode with out-of-range records should error")
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	if Accuracy([]int{1, 2, 3}, []int{1, 2, 4}) != 2.0/3.0 {
+		t.Fatal("accuracy wrong")
+	}
+	if Accuracy([]int{1}, []int{1, 2}) != 0 {
+		t.Fatal("length mismatch should give 0")
+	}
+	if Accuracy(nil, nil) != 0 {
+		t.Fatal("empty should give 0")
+	}
+	// Ignored ground truth entries.
+	if Accuracy([]int{1, 9}, []int{1, -1}) != 1 {
+		t.Fatal("entries without ground truth must be ignored")
+	}
+	if Accuracy([]int{5}, []int{-1}) != 0 {
+		t.Fatal("all-ignored should give 0")
+	}
+}
+
+func TestSpeedProfile(t *testing.T) {
+	recs := []gps.Record{
+		{Position: geo.Pt(0, 0), Time: t0},
+		{Position: geo.Pt(10, 0), Time: t0.Add(time.Second)},
+		{Position: geo.Pt(40, 0), Time: t0.Add(2 * time.Second)},
+	}
+	avg, max := speedProfile(recs)
+	if avg != 20 || max != 30 {
+		t.Fatalf("speedProfile = %v, %v", avg, max)
+	}
+	if a, m := speedProfile(recs[:1]); a != 0 || m != 0 {
+		t.Fatal("single record profile should be zero")
+	}
+}
+
+func BenchmarkMatchPoints(b *testing.B) {
+	net, err := roadnet.Generate(roadnet.DefaultGeneratorConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, _ := NewAnnotator(net, DefaultConfig())
+	rng := rand.New(rand.NewSource(2))
+	pts := make([]geo.Point, 500)
+	x, y := 5000.0, 5000.0
+	for i := range pts {
+		x += rng.Float64()*40 - 10
+		y += rng.Float64()*20 - 10
+		pts[i] = geo.Pt(x, y)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MatchPoints(pts)
+	}
+}

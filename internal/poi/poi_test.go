@@ -1,0 +1,212 @@
+package poi
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"semitri/internal/geo"
+)
+
+func TestCategoryBasics(t *testing.T) {
+	if NumCategories != 5 || len(AllCategories) != 5 {
+		t.Fatal("there must be exactly five categories")
+	}
+	names := []string{"services", "feedings", "item sale", "person life", "unknown"}
+	for i, c := range AllCategories {
+		if c.String() != names[i] {
+			t.Fatalf("String(%d) = %q", i, c.String())
+		}
+		if !c.Valid() {
+			t.Fatalf("category %v should be valid", c)
+		}
+	}
+	if Category(9).Valid() || Category(-1).Valid() {
+		t.Fatal("out-of-range categories should be invalid")
+	}
+	if !strings.HasPrefix(Category(9).String(), "category(") {
+		t.Fatalf("unknown category string = %q", Category(9).String())
+	}
+}
+
+func TestMilanShares(t *testing.T) {
+	total := 0
+	for _, n := range MilanCounts {
+		total += n
+	}
+	if total != MilanTotal {
+		t.Fatalf("Milan counts sum to %d, constant says %d", total, MilanTotal)
+	}
+	shares := MilanShares()
+	var sum float64
+	for _, s := range shares {
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("Milan shares sum to %v", sum)
+	}
+	// Person life is the largest category, unknown the smallest (Fig. 5).
+	if shares[PersonLife] <= shares[ItemSale] || shares[Unknown] >= shares[Services] {
+		t.Fatalf("share ordering wrong: %v", shares)
+	}
+	if math.Abs(shares[Services]-4339.0/39772.0) > 1e-12 {
+		t.Fatalf("services share = %v", shares[Services])
+	}
+}
+
+func TestNewSetAndAdd(t *testing.T) {
+	if _, err := NewSet(geo.EmptyRect(), 100); err == nil {
+		t.Fatal("empty extent should error")
+	}
+	s, err := NewSet(geo.NewRect(geo.Pt(0, 0), geo.Pt(1000, 1000)), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 || len(s.All()) != 0 {
+		t.Fatal("new set should be empty")
+	}
+	p, err := s.Add("cafe", Feedings, geo.Pt(100, 100))
+	if err != nil || p.ID != 0 {
+		t.Fatalf("Add = %+v, %v", p, err)
+	}
+	if _, err := s.Add("bad", Category(12), geo.Pt(10, 10)); err == nil {
+		t.Fatal("invalid category should error")
+	}
+	if _, err := s.Add("outside", Services, geo.Pt(-10, 0)); err == nil {
+		t.Fatal("outside position should error")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if got := s.ByCategory(Feedings); len(got) != 1 || got[0].Name != "cafe" {
+		t.Fatalf("ByCategory = %+v", got)
+	}
+	if got := s.ByCategory(Services); len(got) != 0 {
+		t.Fatal("Services should be empty")
+	}
+	counts := s.CategoryCounts()
+	if counts[int(Feedings)] != 1 {
+		t.Fatalf("CategoryCounts = %v", counts)
+	}
+	if s.Grid() == nil {
+		t.Fatal("Grid accessor nil")
+	}
+}
+
+func TestCategorySharesEmptyAndPopulated(t *testing.T) {
+	s, _ := NewSet(geo.NewRect(geo.Pt(0, 0), geo.Pt(100, 100)), 10)
+	shares := s.CategoryShares()
+	for _, v := range shares {
+		if math.Abs(v-0.2) > 1e-12 {
+			t.Fatalf("empty set shares should be uniform: %v", shares)
+		}
+	}
+	s.Add("a", Services, geo.Pt(1, 1))
+	s.Add("b", Services, geo.Pt(2, 2))
+	s.Add("c", ItemSale, geo.Pt(3, 3))
+	shares = s.CategoryShares()
+	if math.Abs(shares[int(Services)]-2.0/3.0) > 1e-12 || math.Abs(shares[int(ItemSale)]-1.0/3.0) > 1e-12 {
+		t.Fatalf("shares = %v", shares)
+	}
+}
+
+func TestSpatialQueries(t *testing.T) {
+	s, _ := NewSet(geo.NewRect(geo.Pt(0, 0), geo.Pt(1000, 1000)), 50)
+	s.Add("a", Services, geo.Pt(100, 100))
+	s.Add("b", Feedings, geo.Pt(110, 100))
+	s.Add("c", ItemSale, geo.Pt(500, 500))
+	got := s.WithinDistance(geo.Pt(100, 100), 20)
+	if len(got) != 2 || got[0].Name != "a" || got[1].Name != "b" {
+		t.Fatalf("WithinDistance = %+v", got)
+	}
+	got = s.WithinRect(geo.NewRect(geo.Pt(0, 0), geo.Pt(200, 200)))
+	if len(got) != 2 {
+		t.Fatalf("WithinRect = %+v", got)
+	}
+	nearest, d, ok := s.Nearest(geo.Pt(480, 480))
+	if !ok || nearest.Name != "c" || math.Abs(d-geo.Pt(480, 480).DistanceTo(geo.Pt(500, 500))) > 1e-9 {
+		t.Fatalf("Nearest = %v, %v, %v", nearest, d, ok)
+	}
+	empty, _ := NewSet(geo.NewRect(geo.Pt(0, 0), geo.Pt(10, 10)), 5)
+	if _, _, ok := empty.Nearest(geo.Pt(1, 1)); ok {
+		t.Fatal("nearest on empty set should be !ok")
+	}
+	// Density: 2 POIs within 20 m.
+	density := s.DensityAround(geo.Pt(100, 100), 20)
+	want := 2.0 / (math.Pi * 400)
+	if math.Abs(density-want) > 1e-12 {
+		t.Fatalf("DensityAround = %v want %v", density, want)
+	}
+	if s.DensityAround(geo.Pt(100, 100), 0) != 0 {
+		t.Fatal("zero radius density should be 0")
+	}
+}
+
+func TestGenerateMilanLike(t *testing.T) {
+	cfg := DefaultGeneratorConfig(5000, 11)
+	s, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 5000 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	// Category shares within 3 percentage points of the Milan shares.
+	want := MilanShares()
+	got := s.CategoryShares()
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 0.03 {
+			t.Fatalf("category %v share = %v, want about %v", Category(i), got[i], want[i])
+		}
+	}
+	// Density profile: core denser than periphery.
+	center := cfg.Extent.Center()
+	coreDensity := s.DensityAround(center, 500)
+	peripheryDensity := s.DensityAround(geo.Pt(500, 9500), 500)
+	if coreDensity <= peripheryDensity {
+		t.Fatalf("core density %v should exceed periphery density %v", coreDensity, peripheryDensity)
+	}
+	// All POIs inside the extent.
+	for _, p := range s.All() {
+		if !cfg.Extent.ContainsPoint(p.Position) {
+			t.Fatalf("POI %d outside extent: %v", p.ID, p.Position)
+		}
+	}
+	// Determinism.
+	s2, _ := Generate(cfg)
+	for i, p := range s.All() {
+		q := s2.All()[i]
+		if p.Category != q.Category || !p.Position.Equal(q.Position, 1e-12) {
+			t.Fatal("generation not deterministic")
+		}
+	}
+}
+
+func TestGenerateCustomSharesAndErrors(t *testing.T) {
+	cfg := DefaultGeneratorConfig(1000, 3)
+	cfg.Shares = []float64{1, 0, 0, 0, 0}
+	s, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.CategoryShares(); got[int(Services)] != 1 {
+		t.Fatalf("all-services shares = %v", got)
+	}
+	bad := cfg
+	bad.Total = 0
+	if _, err := Generate(bad); err == nil {
+		t.Fatal("zero total should error")
+	}
+	bad = cfg
+	bad.Shares = []float64{0.5, 0.5}
+	if _, err := Generate(bad); err == nil {
+		t.Fatal("wrong share vector length should error")
+	}
+	// Nil shares defaults to Milan; zero cell size defaults sensibly.
+	okCfg := DefaultGeneratorConfig(200, 5)
+	okCfg.Shares = nil
+	okCfg.IndexCellSize = 0
+	if _, err := Generate(okCfg); err != nil {
+		t.Fatalf("defaulting config should work: %v", err)
+	}
+}

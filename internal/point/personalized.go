@@ -1,0 +1,64 @@
+package point
+
+import (
+	"fmt"
+
+	"semitri/internal/poi"
+)
+
+// TransitionFromLabels converts an empirical transition matrix whose rows and
+// columns are labelled with POI category names (as produced by
+// analytics.TransitionMatrix over annotated stops) into the 5x5 matrix
+// expected by Config.Transition, enabling the "personalised transition
+// matrix" the paper mentions as future work in §4.3: annotate a first batch
+// of trajectories with the structured Fig. 6 matrix, learn the empirical
+// transitions from the store, and re-annotate with the personalised model.
+//
+// Categories absent from the labels keep the structured default row
+// (selfProb on the diagonal); observed rows are blended with the default by
+// `smoothing` in [0,1] (0 = purely empirical, 1 = purely default), which
+// prevents zero probabilities from starving the Viterbi decoder.
+func TransitionFromLabels(labels []string, matrix [][]float64, selfProb, smoothing float64) ([][]float64, error) {
+	if len(labels) != len(matrix) {
+		return nil, fmt.Errorf("point: %d labels for %d matrix rows", len(labels), len(matrix))
+	}
+	if smoothing < 0 || smoothing > 1 {
+		return nil, fmt.Errorf("point: smoothing %v outside [0,1]", smoothing)
+	}
+	indexOf := map[string]int{}
+	for _, c := range poi.AllCategories {
+		indexOf[c.String()] = int(c)
+	}
+	out := PaperTransitionMatrix(selfProb)
+	for i, fromLabel := range labels {
+		fromIdx, ok := indexOf[fromLabel]
+		if !ok {
+			return nil, fmt.Errorf("point: unknown category label %q", fromLabel)
+		}
+		if len(matrix[i]) != len(labels) {
+			return nil, fmt.Errorf("point: row %d has %d columns, want %d", i, len(matrix[i]), len(labels))
+		}
+		row := make([]float64, poi.NumCategories)
+		copy(row, out[fromIdx])
+		// Blend the empirical transitions over the observed columns.
+		for j, toLabel := range labels {
+			toIdx, ok := indexOf[toLabel]
+			if !ok {
+				return nil, fmt.Errorf("point: unknown category label %q", toLabel)
+			}
+			row[toIdx] = smoothing*out[fromIdx][toIdx] + (1-smoothing)*matrix[i][j]
+		}
+		// Renormalise the row.
+		var sum float64
+		for _, v := range row {
+			sum += v
+		}
+		if sum > 0 {
+			for k := range row {
+				row[k] /= sum
+			}
+		}
+		out[fromIdx] = row
+	}
+	return out, nil
+}

@@ -1,0 +1,94 @@
+package point
+
+import (
+	"math"
+	"testing"
+
+	"semitri/internal/episode"
+	"semitri/internal/geo"
+	"semitri/internal/poi"
+)
+
+func TestTransitionFromLabelsErrors(t *testing.T) {
+	if _, err := TransitionFromLabels([]string{"item sale"}, nil, 0.8, 0.2); err == nil {
+		t.Fatal("label/matrix length mismatch should error")
+	}
+	if _, err := TransitionFromLabels([]string{"item sale"}, [][]float64{{1}}, 0.8, 2); err == nil {
+		t.Fatal("smoothing outside [0,1] should error")
+	}
+	if _, err := TransitionFromLabels([]string{"bogus"}, [][]float64{{1}}, 0.8, 0.2); err == nil {
+		t.Fatal("unknown label should error")
+	}
+	if _, err := TransitionFromLabels([]string{"item sale"}, [][]float64{{1, 0}}, 0.8, 0.2); err == nil {
+		t.Fatal("ragged matrix should error")
+	}
+}
+
+func TestTransitionFromLabelsBlending(t *testing.T) {
+	// Empirical matrix observed over two categories: item sale always
+	// followed by person life and vice versa.
+	labels := []string{"item sale", "person life"}
+	empirical := [][]float64{{0, 1}, {1, 0}}
+	a, err := TransitionFromLabels(labels, empirical, 0.8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != poi.NumCategories {
+		t.Fatalf("matrix rows = %d", len(a))
+	}
+	// Rows sum to 1.
+	for i, row := range a {
+		var sum float64
+		for _, v := range row {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+	}
+	is, pl := int(poi.ItemSale), int(poi.PersonLife)
+	// With zero smoothing the observed transition dominates the row.
+	if a[is][pl] <= a[is][is] {
+		t.Fatalf("item sale -> person life (%v) should dominate self transition (%v)", a[is][pl], a[is][is])
+	}
+	// Unobserved rows keep the structured default.
+	def := PaperTransitionMatrix(0.8)
+	sv := int(poi.Services)
+	for j := range a[sv] {
+		if math.Abs(a[sv][j]-def[sv][j]) > 1e-9 {
+			t.Fatalf("services row changed despite not being observed: %v vs %v", a[sv], def[sv])
+		}
+	}
+	// Full smoothing reproduces the default everywhere.
+	b, err := TransitionFromLabels(labels, empirical, 0.8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b[is][pl]-def[is][pl]) > 1e-9 {
+		t.Fatalf("smoothing=1 should keep the default, got %v want %v", b[is][pl], def[is][pl])
+	}
+}
+
+func TestPersonalizedMatrixUsableByAnnotator(t *testing.T) {
+	set := clusteredPOIs(t)
+	labels := []string{"item sale", "feedings"}
+	empirical := [][]float64{{0.7, 0.3}, {0.4, 0.6}}
+	trans, err := TransitionFromLabels(labels, empirical, 0.8, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Transition = trans
+	a, err := NewAnnotator(set, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stops := []*episode.Episode{stopAt(geo.Pt(205, 195), 0, 45), stopAt(geo.Pt(795, 205), 60, 120)}
+	_, anns, err := a.AnnotateStops(stops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anns[0].Category != poi.ItemSale || anns[1].Category != poi.Feedings {
+		t.Fatalf("personalised model decoded %v, %v", anns[0].Category, anns[1].Category)
+	}
+}

@@ -1,0 +1,363 @@
+package point
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"semitri/internal/core"
+	"semitri/internal/episode"
+	"semitri/internal/geo"
+	"semitri/internal/poi"
+)
+
+var t0 = time.Date(2010, 3, 15, 8, 0, 0, 0, time.UTC)
+
+// clusteredPOIs builds a POI set with three well separated clusters of
+// distinct categories: item-sale around (200,200), feedings around (800,200)
+// and person-life around (500,800), plus a lone services POI far away.
+func clusteredPOIs(t *testing.T) *poi.Set {
+	t.Helper()
+	set, err := poi.NewSet(geo.NewRect(geo.Pt(0, 0), geo.Pt(1000, 1000)), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add := func(cat poi.Category, cx, cy float64, n int) {
+		for i := 0; i < n; i++ {
+			dx := float64(i%5)*12 - 24
+			dy := float64(i/5)*12 - 24
+			if _, err := set.Add(cat.String(), cat, geo.Pt(cx+dx, cy+dy)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	add(poi.ItemSale, 200, 200, 25)
+	add(poi.Feedings, 800, 200, 25)
+	add(poi.PersonLife, 500, 800, 25)
+	add(poi.Services, 50, 950, 1)
+	return set
+}
+
+func stopAt(p geo.Point, startMin, endMin int) *episode.Episode {
+	return &episode.Episode{
+		TrajectoryID: "u1-T0", ObjectID: "u1", Kind: episode.Stop,
+		Start:  t0.Add(time.Duration(startMin) * time.Minute),
+		End:    t0.Add(time.Duration(endMin) * time.Minute),
+		Center: p, Bounds: geo.RectAround(p, 30), RecordCount: 20,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Sigma: 0, NeighborhoodCells: 3, SelfTransition: 0.8},
+		{Sigma: 60, NeighborhoodCells: 0, SelfTransition: 0.8},
+		{Sigma: 60, NeighborhoodCells: 3, SelfTransition: 0},
+		{Sigma: 60, NeighborhoodCells: 3, SelfTransition: 1},
+		{Sigma: 60, NeighborhoodCells: 3, SelfTransition: 0.8, CategorySigma: []float64{1, 2}},
+		{Sigma: 60, NeighborhoodCells: 3, SelfTransition: 0.8, Transition: [][]float64{{1}}},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Fatalf("config %d should be invalid", i)
+		}
+	}
+}
+
+func TestPaperTransitionMatrix(t *testing.T) {
+	a := PaperTransitionMatrix(0.8)
+	if len(a) != poi.NumCategories {
+		t.Fatalf("rows = %d", len(a))
+	}
+	for i, row := range a {
+		var sum float64
+		for _, v := range row {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+	}
+	// Meaningful categories have a strong self transition.
+	if a[int(poi.ItemSale)][int(poi.ItemSale)] != 0.8 {
+		t.Fatalf("item sale self transition = %v", a[int(poi.ItemSale)][int(poi.ItemSale)])
+	}
+	// The unknown row is flatter (Fig. 6).
+	if a[int(poi.Unknown)][int(poi.Unknown)] >= 0.8 {
+		t.Fatalf("unknown self transition = %v should be smaller", a[int(poi.Unknown)][int(poi.Unknown)])
+	}
+	// Invalid selfProb falls back to 0.8.
+	b := PaperTransitionMatrix(2)
+	if b[0][0] != 0.8 {
+		t.Fatalf("fallback self transition = %v", b[0][0])
+	}
+}
+
+func TestNewAnnotatorValidation(t *testing.T) {
+	if _, err := NewAnnotator(nil, DefaultConfig()); err == nil {
+		t.Fatal("nil set should error")
+	}
+	if _, err := NewAnnotator(clusteredPOIs(t), Config{}); err == nil {
+		t.Fatal("invalid config should error")
+	}
+	a, err := NewAnnotator(clusteredPOIs(t), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Model() == nil || a.Model().NumStates() != poi.NumCategories {
+		t.Fatal("model not built correctly")
+	}
+}
+
+func TestEmissionsReflectLocalDensity(t *testing.T) {
+	a, _ := NewAnnotator(clusteredPOIs(t), DefaultConfig())
+	em := a.Emissions([]geo.Point{geo.Pt(200, 200), geo.Pt(800, 200), geo.Pt(500, 800)})
+	if len(em) != 3 {
+		t.Fatalf("emissions rows = %d", len(em))
+	}
+	if argmax(em[0]) != int(poi.ItemSale) {
+		t.Fatalf("stop near the item-sale cluster has emissions %v", em[0])
+	}
+	if argmax(em[1]) != int(poi.Feedings) {
+		t.Fatalf("stop near the feedings cluster has emissions %v", em[1])
+	}
+	if argmax(em[2]) != int(poi.PersonLife) {
+		t.Fatalf("stop near the person-life cluster has emissions %v", em[2])
+	}
+	// A stop far from every POI falls back to the global category shares.
+	far := a.Emissions([]geo.Point{geo.Pt(999, 500)})
+	shares := a.pois.CategoryShares()
+	for i := range far[0] {
+		if math.Abs(far[0][i]-shares[i]) > 1e-9 {
+			t.Fatalf("far stop emissions %v should equal shares %v", far[0], shares)
+		}
+	}
+	// Outside the grid extent: also falls back (never zero).
+	outside := a.Emissions([]geo.Point{geo.Pt(-500, -500)})
+	if sum(outside[0]) == 0 {
+		t.Fatal("outside emissions must not be all zero")
+	}
+}
+
+func argmax(v []float64) int {
+	best := 0
+	for i, x := range v {
+		if x > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func TestAnnotateStopsDecodesClusters(t *testing.T) {
+	a, _ := NewAnnotator(clusteredPOIs(t), DefaultConfig())
+	stops := []*episode.Episode{
+		stopAt(geo.Pt(205, 195), 0, 45),
+		stopAt(geo.Pt(795, 205), 60, 120),
+		stopAt(geo.Pt(505, 795), 150, 300),
+	}
+	tuples, anns, err := a.AnnotateStops(stops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 3 || len(anns) != 3 {
+		t.Fatalf("got %d tuples, %d annotations", len(tuples), len(anns))
+	}
+	want := []poi.Category{poi.ItemSale, poi.Feedings, poi.PersonLife}
+	for i, ann := range anns {
+		if ann.Category != want[i] {
+			t.Fatalf("stop %d decoded as %v, want %v", i, ann.Category, want[i])
+		}
+		if ann.Confidence <= 0 || ann.Confidence > 1 {
+			t.Fatalf("stop %d confidence = %v", i, ann.Confidence)
+		}
+		if ann.NearestPOI == nil || ann.NearestPOI.Category != want[i] {
+			t.Fatalf("stop %d nearest POI = %+v", i, ann.NearestPOI)
+		}
+	}
+	wantActivity := []string{"shopping", "eating", "leisure"}
+	for i, tp := range tuples {
+		if tp.Annotations.Value(core.AnnPOICategory) != want[i].String() {
+			t.Fatalf("tuple %d category = %q", i, tp.Annotations.Value(core.AnnPOICategory))
+		}
+		if tp.Annotations.Value(core.AnnActivity) != wantActivity[i] {
+			t.Fatalf("tuple %d activity = %q", i, tp.Annotations.Value(core.AnnActivity))
+		}
+		if tp.Annotations.Value(core.AnnPOIName) == "" {
+			t.Fatalf("tuple %d has no poi name", i)
+		}
+		if tp.Place == nil || tp.Place.Kind != core.PointPlace {
+			t.Fatalf("tuple %d place = %+v", i, tp.Place)
+		}
+		if tp.Kind != episode.Stop || tp.Episode != stops[i] {
+			t.Fatalf("tuple %d episode linkage wrong", i)
+		}
+	}
+}
+
+func TestAnnotateStopsErrors(t *testing.T) {
+	a, _ := NewAnnotator(clusteredPOIs(t), DefaultConfig())
+	if _, _, err := a.AnnotateStops(nil); err == nil {
+		t.Fatal("no stops should error")
+	}
+	if _, _, err := a.AnnotateStops([]*episode.Episode{nil}); err == nil {
+		t.Fatal("nil stop should error")
+	}
+	move := stopAt(geo.Pt(100, 100), 0, 10)
+	move.Kind = episode.Move
+	if _, _, err := a.AnnotateStops([]*episode.Episode{move}); err == nil {
+		t.Fatal("move episode should error")
+	}
+}
+
+func TestAnnotateStopsSequenceSmoothing(t *testing.T) {
+	// A stop located midway between the item-sale and feedings clusters is
+	// ambiguous; when the preceding and following stops are firmly item-sale
+	// and the transition matrix is sticky, the HMM should label the whole
+	// sequence item-sale, unlike the nearest-POI baseline that flips to the
+	// marginally closer feedings POI.
+	set, err := poi.NewSet(geo.NewRect(geo.Pt(0, 0), geo.Pt(1000, 1000)), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		set.Add("shop", poi.ItemSale, geo.Pt(200+float64(i%5)*10, 200+float64(i/5)*10))
+	}
+	// One feedings POI slightly closer to the ambiguous stop location.
+	set.Add("cafe", poi.Feedings, geo.Pt(305, 200))
+	cfg := DefaultConfig()
+	cfg.SelfTransition = 0.9
+	a, err := NewAnnotator(set, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stops := []*episode.Episode{
+		stopAt(geo.Pt(210, 210), 0, 30),
+		stopAt(geo.Pt(300, 200), 40, 70), // ambiguous: cafe at 5 m, shops at ~60+ m
+		stopAt(geo.Pt(215, 205), 80, 120),
+	}
+	_, anns, err := a.AnnotateStops(stops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := a.AnnotateStopsNearest(stops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseline[1].Category != poi.Feedings {
+		t.Fatalf("baseline should pick the nearest cafe, got %v", baseline[1].Category)
+	}
+	if anns[0].Category != poi.ItemSale || anns[2].Category != poi.ItemSale {
+		t.Fatalf("anchor stops decoded as %v/%v", anns[0].Category, anns[2].Category)
+	}
+	if anns[1].Category != poi.ItemSale {
+		t.Fatalf("HMM should smooth the ambiguous stop to item sale, got %v", anns[1].Category)
+	}
+}
+
+func TestAnnotateStopsNearestBaseline(t *testing.T) {
+	a, _ := NewAnnotator(clusteredPOIs(t), DefaultConfig())
+	stops := []*episode.Episode{stopAt(geo.Pt(200, 200), 0, 30)}
+	anns, err := a.AnnotateStopsNearest(stops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anns[0].Category != poi.ItemSale || anns[0].NearestPOI == nil {
+		t.Fatalf("baseline annotation = %+v", anns[0])
+	}
+	if _, err := a.AnnotateStopsNearest(nil); err == nil {
+		t.Fatal("no stops should error")
+	}
+	// Empty POI set: baseline degrades to unknown.
+	emptySet, _ := poi.NewSet(geo.NewRect(geo.Pt(0, 0), geo.Pt(10, 10)), 5)
+	ea, err := NewAnnotator(emptySet, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	anns, err = ea.AnnotateStopsNearest(stops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anns[0].Category != poi.Unknown || anns[0].NearestPOI != nil {
+		t.Fatalf("empty-set baseline = %+v", anns[0])
+	}
+}
+
+func TestActivityFor(t *testing.T) {
+	want := map[poi.Category]string{
+		poi.Services:   "errand",
+		poi.Feedings:   "eating",
+		poi.ItemSale:   "shopping",
+		poi.PersonLife: "leisure",
+		poi.Unknown:    "unknown",
+	}
+	for c, w := range want {
+		if got := ActivityFor(c); got != w {
+			t.Fatalf("ActivityFor(%v) = %q, want %q", c, got, w)
+		}
+	}
+	if ActivityFor(poi.Category(9)) != "unknown" {
+		t.Fatal("out-of-range category should map to unknown")
+	}
+}
+
+func TestCategorySigmaOverride(t *testing.T) {
+	set := clusteredPOIs(t)
+	cfg := DefaultConfig()
+	cfg.CategorySigma = []float64{0, 0, 200, 0, 0} // wide influence for item sale only
+	a, err := NewAnnotator(set, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At a point ~130 m from the item-sale cluster (and far from the others)
+	// the wide item-sale sigma should dominate the emission row.
+	em := a.Emissions([]geo.Point{geo.Pt(350, 200)})
+	if argmax(em[0]) != int(poi.ItemSale) {
+		t.Fatalf("wide sigma should dominate, emissions %v", em[0])
+	}
+}
+
+func TestGaussian2D(t *testing.T) {
+	if gaussian2D(0, 10) <= gaussian2D(5, 10) {
+		t.Fatal("density must decrease with distance")
+	}
+	if gaussian2D(100, 10) > gaussian2D(10, 10) {
+		t.Fatal("density must decrease with distance")
+	}
+	// Peak value is 1/(2*pi*sigma^2).
+	if math.Abs(gaussian2D(0, 10)-1/(2*math.Pi*100)) > 1e-12 {
+		t.Fatalf("peak density = %v", gaussian2D(0, 10))
+	}
+}
+
+func TestConfidence(t *testing.T) {
+	if got := confidence([]float64{1, 3}, 1); got != 0.75 {
+		t.Fatalf("confidence = %v", got)
+	}
+	if got := confidence([]float64{0, 0}, 0); got != 0.5 {
+		t.Fatalf("degenerate confidence = %v", got)
+	}
+}
+
+func BenchmarkAnnotateStops(b *testing.B) {
+	set, err := poi.Generate(poi.DefaultGeneratorConfig(5000, 3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := NewAnnotator(set, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var stops []*episode.Episode
+	for i := 0; i < 50; i++ {
+		stops = append(stops, stopAt(geo.Pt(4000+float64(i*30), 5000), i*10, i*10+8))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := a.AnnotateStops(stops); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Package region implements SeMiTri's Semantic Region Annotation Layer
+// (§4.1, Algorithm 1): a spatial join between trajectories (GPS records or
+// stop/move episodes) and semantic regions — land-use cells and free-form
+// named regions — producing the coarse-grained structured semantic
+// trajectory Tregion and the land-use distributions of Figs. 9 and 14.
+package region
+
+import (
+	"errors"
+	"fmt"
+
+	"semitri/internal/core"
+	"semitri/internal/episode"
+	"semitri/internal/gps"
+	"semitri/internal/landuse"
+	"semitri/internal/stats"
+)
+
+// Annotator joins trajectory data with a land-use map. It is safe for
+// concurrent use once constructed (the map is read-only).
+type Annotator struct {
+	landUse *landuse.Map
+}
+
+// NewAnnotator returns an annotator over the given land-use map.
+func NewAnnotator(m *landuse.Map) (*Annotator, error) {
+	if m == nil {
+		return nil, errors.New("region: nil land-use map")
+	}
+	return &Annotator{landUse: m}, nil
+}
+
+// placeForCell builds the semantic place record for a land-use cell.
+func placeForCell(c landuse.Cell) *core.Place {
+	return &core.Place{
+		ID:       fmt.Sprintf("cell-%d", c.ID),
+		Kind:     core.RegionPlace,
+		Name:     c.Category.Label(),
+		Category: string(c.Category),
+		Extent:   c.Extent,
+	}
+}
+
+// AnnotateTrajectory implements Algorithm 1 on the raw GPS records: every
+// record is joined with the land-use cell containing it, consecutive records
+// falling in cells of the same category are grouped into a single tuple
+// (lines 10-11 of the algorithm), and the enter/leave times are taken from
+// the first and last record of the group. Records outside the map extent
+// produce unlinked tuples so the trajectory still covers its whole duration.
+func (a *Annotator) AnnotateTrajectory(t *gps.RawTrajectory) (*core.StructuredTrajectory, error) {
+	if t == nil || len(t.Records) == 0 {
+		return nil, errors.New("region: empty trajectory")
+	}
+	out := &core.StructuredTrajectory{ID: t.ID, ObjectID: t.ObjectID, Interpretation: "region"}
+	var cur *core.EpisodeTuple
+	var curCategory landuse.Category
+	var haveCur bool
+	flush := func() {
+		if cur != nil {
+			out.Tuples = append(out.Tuples, cur)
+			cur = nil
+			haveCur = false
+		}
+	}
+	for _, rec := range t.Records {
+		cell, ok := a.landUse.CellAt(rec.Position)
+		if !ok {
+			// Outside the map: close the current group and emit an unlinked tuple.
+			flush()
+			out.Tuples = append(out.Tuples, &core.EpisodeTuple{
+				Kind: episode.Move, TimeIn: rec.Time, TimeOut: rec.Time,
+			})
+			continue
+		}
+		if haveCur && cell.Category == curCategory {
+			cur.TimeOut = rec.Time
+			continue
+		}
+		flush()
+		cur = &core.EpisodeTuple{
+			Kind:    episode.Move,
+			Place:   placeForCell(cell),
+			TimeIn:  rec.Time,
+			TimeOut: rec.Time,
+		}
+		cur.Annotations.Add(core.Annotation{
+			Key: core.AnnLanduse, Value: string(cell.Category), Confidence: 1, Source: "region",
+		})
+		cur.Annotations.Add(core.Annotation{
+			Key: core.AnnLanduseTop, Value: cell.Category.TopLevel(), Confidence: 1, Source: "region",
+		})
+		curCategory = cell.Category
+		haveCur = true
+	}
+	flush()
+	return out, nil
+}
+
+// AnnotateEpisodes joins stop/move episodes with the land-use map using the
+// spatial predicates of §4.1: the episode centre for stops (spatial
+// subsumption) and the bounding rectangle for moves (intersection, annotated
+// with the dominant category among intersected cells). Named free-form
+// regions covering the episode are attached under AnnNamedRegion.
+func (a *Annotator) AnnotateEpisodes(eps []*episode.Episode) ([]*core.EpisodeTuple, error) {
+	if len(eps) == 0 {
+		return nil, errors.New("region: no episodes")
+	}
+	out := make([]*core.EpisodeTuple, 0, len(eps))
+	for _, ep := range eps {
+		tuple := &core.EpisodeTuple{
+			Kind:    ep.Kind,
+			TimeIn:  ep.Start,
+			TimeOut: ep.End,
+			Episode: ep,
+		}
+		var cat landuse.Category
+		var found bool
+		if ep.Kind == episode.Stop {
+			if cell, ok := a.landUse.CellAt(ep.Center); ok {
+				tuple.Place = placeForCell(cell)
+				cat, found = cell.Category, true
+			}
+		} else {
+			cells := a.landUse.CellsIntersecting(ep.Bounds)
+			if len(cells) > 0 {
+				dist := stats.NewDistribution()
+				for _, c := range cells {
+					dist.AddCount(string(c.Category))
+				}
+				top := dist.TopN(1)[0]
+				cat, found = landuse.Category(top), true
+				// Link the place to the cell containing the episode centre
+				// when possible, otherwise to the first intersected cell.
+				if cell, ok := a.landUse.CellAt(ep.Center); ok {
+					tuple.Place = placeForCell(cell)
+				} else {
+					tuple.Place = placeForCell(cells[0])
+				}
+			}
+		}
+		if found {
+			tuple.Annotations.Add(core.Annotation{
+				Key: core.AnnLanduse, Value: string(cat), Confidence: 1, Source: "region",
+			})
+			tuple.Annotations.Add(core.Annotation{
+				Key: core.AnnLanduseTop, Value: cat.TopLevel(), Confidence: 1, Source: "region",
+			})
+		}
+		// Named free-form regions (campus, recreation ...) covering the episode.
+		var named []landuse.NamedRegion
+		if ep.Kind == episode.Stop {
+			named = a.landUse.NamedRegionsAt(ep.Center)
+		} else {
+			named = a.landUse.NamedRegionsIntersecting(ep.Bounds)
+		}
+		if len(named) > 0 {
+			tuple.Annotations.Add(core.Annotation{
+				Key: core.AnnNamedRegion, Value: named[0].Name, Confidence: 1, Source: "region",
+			})
+		}
+		out = append(out, tuple)
+	}
+	return out, nil
+}
+
+// LanduseDistribution computes the per-category share of GPS records of the
+// trajectory (the "trajectory" column of Fig. 9). Records outside the map
+// are ignored.
+func (a *Annotator) LanduseDistribution(t *gps.RawTrajectory) *stats.Distribution {
+	d := stats.NewDistribution()
+	if t == nil {
+		return d
+	}
+	for _, rec := range t.Records {
+		if c, ok := a.landUse.CategoryAt(rec.Position); ok {
+			d.AddCount(string(c))
+		}
+	}
+	return d
+}
+
+// EpisodeLanduseDistribution computes the per-category share over a set of
+// episodes (the "move" and "stop" columns of Fig. 9 and the per-user columns
+// of Fig. 14), weighting each episode by its GPS record count.
+func (a *Annotator) EpisodeLanduseDistribution(eps []*episode.Episode) *stats.Distribution {
+	d := stats.NewDistribution()
+	for _, ep := range eps {
+		if c, ok := a.landUse.CategoryAt(ep.Center); ok {
+			d.Add(string(c), float64(ep.RecordCount))
+		}
+	}
+	return d
+}
+
+// CompressionRatio returns the storage saving of representing the trajectory
+// at the region level: 1 - (#tuples after merging) / (#GPS records), the
+// ≈99.7% figure of §5.2.
+func (a *Annotator) CompressionRatio(t *gps.RawTrajectory) (float64, error) {
+	st, err := a.AnnotateTrajectory(t)
+	if err != nil {
+		return 0, err
+	}
+	merged := st.MergeConsecutive(core.AnnLanduse)
+	return stats.CompressionRatio(len(t.Records), len(merged.Tuples)), nil
+}

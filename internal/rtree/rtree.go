@@ -1,0 +1,488 @@
+// Package rtree implements an in-memory R*-tree (Beckmann et al., SIGMOD
+// 1990), the spatial index the paper uses both for the semantic-region
+// spatial join (Alg. 1) and for selecting candidate road segments in the
+// semantic-line annotation layer (Alg. 2).
+//
+// The tree stores arbitrary values keyed by their bounding rectangle and
+// supports rectangle range search, point search and k-nearest-neighbour
+// search. Inserts use the R* forced-reinsertion heuristic and the
+// margin/overlap-minimising split of the original paper. The tree is not
+// safe for concurrent mutation; once built it may be searched from many
+// goroutines concurrently, which is how the annotation layers use it.
+package rtree
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"semitri/internal/geo"
+)
+
+const (
+	defaultMaxEntries = 16
+	reinsertFraction  = 0.3
+)
+
+// Entry is a value stored in the tree together with its bounding rectangle.
+type Entry struct {
+	Rect  geo.Rect
+	Value interface{}
+}
+
+type node struct {
+	leaf     bool
+	level    int
+	rect     geo.Rect
+	entries  []Entry // populated when leaf
+	children []*node // populated when !leaf
+}
+
+// Tree is an R*-tree. The zero value is not usable; use New.
+type Tree struct {
+	root       *node
+	size       int
+	maxEntries int
+	minEntries int
+	// reinsertedLevels guards against repeated forced reinsertion at the
+	// same level during a single insert (the R* "first call on a level" rule).
+	reinsertedLevels map[int]bool
+}
+
+// New returns an empty R*-tree with the default node capacity.
+func New() *Tree { return NewWithCapacity(defaultMaxEntries) }
+
+// NewWithCapacity returns an empty R*-tree whose nodes hold at most
+// maxEntries entries (minimum fill is 40% as in the R* paper).
+func NewWithCapacity(maxEntries int) *Tree {
+	if maxEntries < 4 {
+		maxEntries = 4
+	}
+	minEntries := maxEntries * 2 / 5
+	if minEntries < 2 {
+		minEntries = 2
+	}
+	return &Tree{
+		root:       &node{leaf: true, rect: geo.EmptyRect()},
+		maxEntries: maxEntries,
+		minEntries: minEntries,
+	}
+}
+
+// Len returns the number of entries stored in the tree.
+func (t *Tree) Len() int { return t.size }
+
+// Insert adds a value with the given bounding rectangle.
+func (t *Tree) Insert(r geo.Rect, value interface{}) {
+	t.reinsertedLevels = map[int]bool{}
+	t.insertEntry(Entry{Rect: r, Value: value}, 0)
+	t.size++
+}
+
+// InsertPoint adds a value located at a single point.
+func (t *Tree) InsertPoint(p geo.Point, value interface{}) {
+	t.Insert(geo.Rect{Min: p, Max: p}, value)
+}
+
+// Bounds returns the bounding rectangle of all entries (empty when Len==0).
+func (t *Tree) Bounds() geo.Rect { return t.root.rect }
+
+func (t *Tree) insertEntry(e Entry, level int) {
+	leaf := t.chooseSubtree(t.root, e.Rect, level, nil)
+	leaf.node.entries = append(leaf.node.entries, e)
+	leaf.node.rect = leaf.node.rect.Union(e.Rect)
+	t.adjustPath(leaf.path, e.Rect)
+	if len(leaf.node.entries) > t.maxEntries {
+		t.overflowTreatment(leaf.node, leaf.path)
+	}
+}
+
+type chosen struct {
+	node *node
+	path []*node // ancestors from root down to (excluding) node
+}
+
+// chooseSubtree descends from n to the node at the target level that needs
+// the least enlargement (least overlap enlargement for leaf parents, as in
+// the R* paper).
+func (t *Tree) chooseSubtree(n *node, r geo.Rect, targetLevel int, path []*node) chosen {
+	if n.leaf || n.level == targetLevel {
+		return chosen{node: n, path: path}
+	}
+	path = append(path, n)
+	var best *node
+	if n.children[0].leaf {
+		// Minimise overlap enlargement among children.
+		bestOverlap := math.Inf(1)
+		bestEnlarge := math.Inf(1)
+		bestArea := math.Inf(1)
+		for _, c := range n.children {
+			union := c.rect.Union(r)
+			var overlap, overlapAfter float64
+			for _, o := range n.children {
+				if o == c {
+					continue
+				}
+				overlap += c.rect.OverlapArea(o.rect)
+				overlapAfter += union.OverlapArea(o.rect)
+			}
+			dOverlap := overlapAfter - overlap
+			enlarge := c.rect.EnlargementNeeded(r)
+			area := c.rect.Area()
+			if dOverlap < bestOverlap ||
+				(dOverlap == bestOverlap && enlarge < bestEnlarge) ||
+				(dOverlap == bestOverlap && enlarge == bestEnlarge && area < bestArea) {
+				best, bestOverlap, bestEnlarge, bestArea = c, dOverlap, enlarge, area
+			}
+		}
+	} else {
+		bestEnlarge := math.Inf(1)
+		bestArea := math.Inf(1)
+		for _, c := range n.children {
+			enlarge := c.rect.EnlargementNeeded(r)
+			area := c.rect.Area()
+			if enlarge < bestEnlarge || (enlarge == bestEnlarge && area < bestArea) {
+				best, bestEnlarge, bestArea = c, enlarge, area
+			}
+		}
+	}
+	return t.chooseSubtree(best, r, targetLevel, path)
+}
+
+func (t *Tree) adjustPath(path []*node, r geo.Rect) {
+	for _, n := range path {
+		n.rect = n.rect.Union(r)
+	}
+}
+
+func (t *Tree) overflowTreatment(n *node, path []*node) {
+	// Forced reinsert at non-root levels, once per level per insert.
+	if len(path) > 0 && !t.reinsertedLevels[n.level] && n.leaf {
+		t.reinsertedLevels[n.level] = true
+		t.forcedReinsert(n, path)
+		return
+	}
+	t.splitNode(n, path)
+}
+
+func (t *Tree) forcedReinsert(n *node, path []*node) {
+	center := n.rect.Center()
+	sort.Slice(n.entries, func(i, j int) bool {
+		return n.entries[i].Rect.Center().DistanceTo(center) <
+			n.entries[j].Rect.Center().DistanceTo(center)
+	})
+	k := int(float64(len(n.entries)) * reinsertFraction)
+	if k < 1 {
+		k = 1
+	}
+	removed := make([]Entry, k)
+	copy(removed, n.entries[len(n.entries)-k:])
+	n.entries = n.entries[:len(n.entries)-k]
+	n.recomputeRect()
+	for _, p := range path {
+		p.recomputeRectShallow()
+	}
+	for _, e := range removed {
+		t.insertEntry(e, 0)
+	}
+}
+
+func (t *Tree) splitNode(n *node, path []*node) {
+	var left, right *node
+	if n.leaf {
+		left, right = splitLeaf(n, t.minEntries)
+	} else {
+		left, right = splitInner(n, t.minEntries)
+	}
+	if len(path) == 0 {
+		// n is the root: grow the tree.
+		newRoot := &node{
+			leaf:     false,
+			level:    n.level + 1,
+			children: []*node{left, right},
+		}
+		newRoot.recomputeRect()
+		t.root = newRoot
+		return
+	}
+	parent := path[len(path)-1]
+	// Replace n with left and right in parent.
+	for i, c := range parent.children {
+		if c == n {
+			parent.children[i] = left
+			break
+		}
+	}
+	parent.children = append(parent.children, right)
+	parent.recomputeRectShallow()
+	if len(parent.children) > t.maxEntries {
+		t.splitNode(parent, path[:len(path)-1])
+	}
+}
+
+func (n *node) recomputeRect() {
+	r := geo.EmptyRect()
+	if n.leaf {
+		for _, e := range n.entries {
+			r = r.Union(e.Rect)
+		}
+	} else {
+		for _, c := range n.children {
+			r = r.Union(c.rect)
+		}
+	}
+	n.rect = r
+}
+
+func (n *node) recomputeRectShallow() { n.recomputeRect() }
+
+// splitLeaf applies the R* choose-split-axis / choose-split-index heuristic
+// to a leaf node's entries.
+func splitLeaf(n *node, minEntries int) (*node, *node) {
+	entries := n.entries
+	axis := chooseSplitAxis(entries, minEntries)
+	sortEntriesByAxis(entries, axis)
+	idx := chooseSplitIndex(entries, minEntries)
+	leftEntries := append([]Entry(nil), entries[:idx]...)
+	rightEntries := append([]Entry(nil), entries[idx:]...)
+	left := &node{leaf: true, level: n.level, entries: leftEntries}
+	right := &node{leaf: true, level: n.level, entries: rightEntries}
+	left.recomputeRect()
+	right.recomputeRect()
+	return left, right
+}
+
+func splitInner(n *node, minEntries int) (*node, *node) {
+	children := n.children
+	// Reuse the entry-based heuristics by wrapping children rects.
+	wrapped := make([]Entry, len(children))
+	for i, c := range children {
+		wrapped[i] = Entry{Rect: c.rect, Value: c}
+	}
+	axis := chooseSplitAxis(wrapped, minEntries)
+	sortEntriesByAxis(wrapped, axis)
+	idx := chooseSplitIndex(wrapped, minEntries)
+	left := &node{leaf: false, level: n.level}
+	right := &node{leaf: false, level: n.level}
+	for i, w := range wrapped {
+		c := w.Value.(*node)
+		if i < idx {
+			left.children = append(left.children, c)
+		} else {
+			right.children = append(right.children, c)
+		}
+	}
+	left.recomputeRect()
+	right.recomputeRect()
+	return left, right
+}
+
+func sortEntriesByAxis(entries []Entry, axis int) {
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i].Rect, entries[j].Rect
+		if axis == 0 {
+			if a.Min.X != b.Min.X {
+				return a.Min.X < b.Min.X
+			}
+			return a.Max.X < b.Max.X
+		}
+		if a.Min.Y != b.Min.Y {
+			return a.Min.Y < b.Min.Y
+		}
+		return a.Max.Y < b.Max.Y
+	})
+}
+
+// chooseSplitAxis returns 0 (X) or 1 (Y), the axis with minimal total margin
+// over all valid distributions.
+func chooseSplitAxis(entries []Entry, minEntries int) int {
+	bestAxis := 0
+	bestMargin := math.Inf(1)
+	for axis := 0; axis < 2; axis++ {
+		tmp := append([]Entry(nil), entries...)
+		sortEntriesByAxis(tmp, axis)
+		margin := 0.0
+		for k := minEntries; k <= len(tmp)-minEntries; k++ {
+			margin += boundsOfEntries(tmp[:k]).Margin() + boundsOfEntries(tmp[k:]).Margin()
+		}
+		if margin < bestMargin {
+			bestMargin = margin
+			bestAxis = axis
+		}
+	}
+	return bestAxis
+}
+
+// chooseSplitIndex assumes entries are sorted along the chosen axis and
+// returns the split position minimising overlap, then area.
+func chooseSplitIndex(entries []Entry, minEntries int) int {
+	bestIdx := minEntries
+	bestOverlap := math.Inf(1)
+	bestArea := math.Inf(1)
+	for k := minEntries; k <= len(entries)-minEntries; k++ {
+		l := boundsOfEntries(entries[:k])
+		r := boundsOfEntries(entries[k:])
+		overlap := l.OverlapArea(r)
+		area := l.Area() + r.Area()
+		if overlap < bestOverlap || (overlap == bestOverlap && area < bestArea) {
+			bestOverlap, bestArea, bestIdx = overlap, area, k
+		}
+	}
+	return bestIdx
+}
+
+func boundsOfEntries(entries []Entry) geo.Rect {
+	r := geo.EmptyRect()
+	for _, e := range entries {
+		r = r.Union(e.Rect)
+	}
+	return r
+}
+
+// SearchRect returns the values of all entries whose rectangle intersects r.
+func (t *Tree) SearchRect(r geo.Rect) []interface{} {
+	var out []interface{}
+	t.searchNode(t.root, r, func(e Entry) { out = append(out, e.Value) })
+	return out
+}
+
+// SearchEntries returns the entries (rect + value) intersecting r.
+func (t *Tree) SearchEntries(r geo.Rect) []Entry {
+	var out []Entry
+	t.searchNode(t.root, r, func(e Entry) { out = append(out, e) })
+	return out
+}
+
+// SearchPoint returns the values of all entries whose rectangle contains p.
+func (t *Tree) SearchPoint(p geo.Point) []interface{} {
+	return t.SearchRect(geo.Rect{Min: p, Max: p})
+}
+
+// Visit calls fn for every entry intersecting r; returning false stops the walk.
+func (t *Tree) Visit(r geo.Rect, fn func(Entry) bool) {
+	t.visitNode(t.root, r, fn)
+}
+
+func (t *Tree) visitNode(n *node, r geo.Rect, fn func(Entry) bool) bool {
+	if !n.rect.Intersects(r) {
+		return true
+	}
+	if n.leaf {
+		for _, e := range n.entries {
+			if e.Rect.Intersects(r) {
+				if !fn(e) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, c := range n.children {
+		if !t.visitNode(c, r, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *Tree) searchNode(n *node, r geo.Rect, emit func(Entry)) {
+	if !n.rect.Intersects(r) {
+		return
+	}
+	if n.leaf {
+		for _, e := range n.entries {
+			if e.Rect.Intersects(r) {
+				emit(e)
+			}
+		}
+		return
+	}
+	for _, c := range n.children {
+		t.searchNode(c, r, emit)
+	}
+}
+
+// nnItem is a best-first search queue item for NearestNeighbors.
+type nnItem struct {
+	dist  float64
+	node  *node
+	entry *Entry
+}
+
+type nnQueue []nnItem
+
+func (q nnQueue) Len() int            { return len(q) }
+func (q nnQueue) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q nnQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *nnQueue) Push(x interface{}) { *q = append(*q, x.(nnItem)) }
+func (q *nnQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	*q = old[:n-1]
+	return item
+}
+
+// NearestNeighbors returns up to k entries closest (by rectangle distance)
+// to the point p, ordered by increasing distance. Classic best-first search.
+func (t *Tree) NearestNeighbors(p geo.Point, k int) []Entry {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	q := &nnQueue{}
+	heap.Push(q, nnItem{dist: t.root.rect.DistanceToPoint(p), node: t.root})
+	out := make([]Entry, 0, k)
+	for q.Len() > 0 && len(out) < k {
+		item := heap.Pop(q).(nnItem)
+		if item.entry != nil {
+			out = append(out, *item.entry)
+			continue
+		}
+		n := item.node
+		if n.leaf {
+			for i := range n.entries {
+				e := &n.entries[i]
+				heap.Push(q, nnItem{dist: e.Rect.DistanceToPoint(p), entry: e})
+			}
+		} else {
+			for _, c := range n.children {
+				heap.Push(q, nnItem{dist: c.rect.DistanceToPoint(p), node: c})
+			}
+		}
+	}
+	return out
+}
+
+// WithinDistance returns all entries whose rectangle lies within dist of p.
+func (t *Tree) WithinDistance(p geo.Point, dist float64) []Entry {
+	search := geo.RectAround(p, dist)
+	var out []Entry
+	t.searchNode(t.root, search, func(e Entry) {
+		if e.Rect.DistanceToPoint(p) <= dist {
+			out = append(out, e)
+		}
+	})
+	return out
+}
+
+// Height returns the height of the tree (1 for a tree with only a root leaf).
+func (t *Tree) Height() int {
+	h := 1
+	n := t.root
+	for !n.leaf {
+		h++
+		n = n.children[0]
+	}
+	return h
+}
+
+// Bulk builds a tree from a slice of entries. It simply inserts every entry,
+// which is sufficient for the dataset sizes of the experiments while keeping
+// the code easy to verify.
+func Bulk(entries []Entry) *Tree {
+	t := New()
+	for _, e := range entries {
+		t.Insert(e.Rect, e.Value)
+	}
+	return t
+}

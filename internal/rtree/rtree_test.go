@@ -1,0 +1,305 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"semitri/internal/geo"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if got := tr.SearchRect(geo.NewRect(geo.Pt(0, 0), geo.Pt(10, 10))); len(got) != 0 {
+		t.Fatalf("search on empty tree returned %d results", len(got))
+	}
+	if got := tr.NearestNeighbors(geo.Pt(0, 0), 3); got != nil {
+		t.Fatalf("NN on empty tree returned %v", got)
+	}
+	if !tr.Bounds().IsEmpty() {
+		t.Fatal("empty tree bounds should be empty")
+	}
+	if tr.Height() != 1 {
+		t.Fatalf("empty tree height = %d", tr.Height())
+	}
+}
+
+func TestInsertAndSearchSmall(t *testing.T) {
+	tr := New()
+	tr.InsertPoint(geo.Pt(1, 1), "a")
+	tr.InsertPoint(geo.Pt(5, 5), "b")
+	tr.Insert(geo.NewRect(geo.Pt(2, 2), geo.Pt(3, 3)), "c")
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	got := tr.SearchRect(geo.NewRect(geo.Pt(0, 0), geo.Pt(2.5, 2.5)))
+	if len(got) != 2 {
+		t.Fatalf("expected a and c, got %v", got)
+	}
+	pts := tr.SearchPoint(geo.Pt(5, 5))
+	if len(pts) != 1 || pts[0].(string) != "b" {
+		t.Fatalf("SearchPoint = %v", pts)
+	}
+}
+
+// buildRandom inserts n random small rects and returns the tree plus entries.
+func buildRandom(n int, seed int64) (*Tree, []Entry) {
+	rng := rand.New(rand.NewSource(seed))
+	tr := New()
+	entries := make([]Entry, n)
+	for i := 0; i < n; i++ {
+		p := geo.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		r := geo.RectAround(p, rng.Float64()*5)
+		entries[i] = Entry{Rect: r, Value: i}
+		tr.Insert(r, i)
+	}
+	return tr, entries
+}
+
+func bruteRange(entries []Entry, r geo.Rect) map[int]bool {
+	out := map[int]bool{}
+	for _, e := range entries {
+		if e.Rect.Intersects(r) {
+			out[e.Value.(int)] = true
+		}
+	}
+	return out
+}
+
+func TestRangeSearchMatchesBruteForce(t *testing.T) {
+	tr, entries := buildRandom(2000, 42)
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 50; trial++ {
+		c := geo.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		q := geo.RectAround(c, 10+rng.Float64()*100)
+		want := bruteRange(entries, q)
+		got := tr.SearchRect(q)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d results want %d", trial, len(got), len(want))
+		}
+		for _, v := range got {
+			if !want[v.(int)] {
+				t.Fatalf("trial %d: unexpected value %v", trial, v)
+			}
+		}
+	}
+}
+
+func TestAllEntriesRetrievable(t *testing.T) {
+	tr, entries := buildRandom(5000, 7)
+	if tr.Len() != 5000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	got := tr.SearchRect(tr.Bounds())
+	if len(got) != len(entries) {
+		t.Fatalf("full-extent search returned %d of %d", len(got), len(entries))
+	}
+	seen := map[int]bool{}
+	for _, v := range got {
+		if seen[v.(int)] {
+			t.Fatalf("duplicate value %v returned", v)
+		}
+		seen[v.(int)] = true
+	}
+}
+
+func TestNearestNeighborsMatchesBruteForce(t *testing.T) {
+	tr, entries := buildRandom(1500, 99)
+	rng := rand.New(rand.NewSource(100))
+	for trial := 0; trial < 30; trial++ {
+		p := geo.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		k := 1 + rng.Intn(10)
+		got := tr.NearestNeighbors(p, k)
+		if len(got) != k {
+			t.Fatalf("trial %d: got %d results want %d", trial, len(got), k)
+		}
+		// Brute-force distances.
+		dists := make([]float64, len(entries))
+		for i, e := range entries {
+			dists[i] = e.Rect.DistanceToPoint(p)
+		}
+		sort.Float64s(dists)
+		for i, e := range got {
+			d := e.Rect.DistanceToPoint(p)
+			if math.Abs(d-dists[i]) > 1e-9 {
+				t.Fatalf("trial %d: NN %d distance %v, brute force %v", trial, i, d, dists[i])
+			}
+		}
+		// Results must be ordered by distance.
+		for i := 1; i < len(got); i++ {
+			if got[i].Rect.DistanceToPoint(p) < got[i-1].Rect.DistanceToPoint(p)-1e-9 {
+				t.Fatalf("trial %d: NN results not ordered", trial)
+			}
+		}
+	}
+}
+
+func TestWithinDistance(t *testing.T) {
+	tr, entries := buildRandom(1000, 3)
+	p := geo.Pt(500, 500)
+	const dist = 50.0
+	got := tr.WithinDistance(p, dist)
+	want := 0
+	for _, e := range entries {
+		if e.Rect.DistanceToPoint(p) <= dist {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("WithinDistance returned %d, brute force %d", len(got), want)
+	}
+	for _, e := range got {
+		if e.Rect.DistanceToPoint(p) > dist {
+			t.Fatalf("entry at distance %v exceeds %v", e.Rect.DistanceToPoint(p), dist)
+		}
+	}
+}
+
+func TestVisitEarlyStop(t *testing.T) {
+	tr, _ := buildRandom(500, 11)
+	count := 0
+	tr.Visit(tr.Bounds(), func(e Entry) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("Visit visited %d entries, want early stop at 10", count)
+	}
+	full := 0
+	tr.Visit(tr.Bounds(), func(e Entry) bool { full++; return true })
+	if full != 500 {
+		t.Fatalf("full visit = %d", full)
+	}
+}
+
+func TestSearchEntriesReturnsRects(t *testing.T) {
+	tr := New()
+	r := geo.NewRect(geo.Pt(1, 1), geo.Pt(2, 2))
+	tr.Insert(r, "x")
+	es := tr.SearchEntries(geo.RectAround(geo.Pt(1.5, 1.5), 1))
+	if len(es) != 1 || es[0].Rect != r || es[0].Value.(string) != "x" {
+		t.Fatalf("SearchEntries = %+v", es)
+	}
+}
+
+func TestTreeGrowsInHeight(t *testing.T) {
+	tr, _ := buildRandom(3000, 21)
+	if tr.Height() < 3 {
+		t.Fatalf("height = %d, expected the tree to have split into multiple levels", tr.Height())
+	}
+	// Every entry must be within the root bounds.
+	b := tr.Bounds()
+	tr.Visit(b, func(e Entry) bool {
+		if !b.ContainsRect(e.Rect) {
+			t.Fatalf("entry %v outside root bounds %v", e.Rect, b)
+		}
+		return true
+	})
+}
+
+func TestCapacityClamping(t *testing.T) {
+	tr := NewWithCapacity(1) // should clamp to a sane minimum
+	for i := 0; i < 100; i++ {
+		tr.InsertPoint(geo.Pt(float64(i), float64(i)), i)
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if got := tr.SearchRect(tr.Bounds()); len(got) != 100 {
+		t.Fatalf("retrieved %d", len(got))
+	}
+}
+
+func TestDuplicateRects(t *testing.T) {
+	tr := New()
+	r := geo.RectAround(geo.Pt(10, 10), 1)
+	for i := 0; i < 50; i++ {
+		tr.Insert(r, i)
+	}
+	got := tr.SearchRect(r)
+	if len(got) != 50 {
+		t.Fatalf("expected all 50 duplicates, got %d", len(got))
+	}
+}
+
+func TestBulk(t *testing.T) {
+	entries := make([]Entry, 200)
+	for i := range entries {
+		entries[i] = Entry{Rect: geo.RectAround(geo.Pt(float64(i%20)*10, float64(i/20)*10), 2), Value: i}
+	}
+	tr := Bulk(entries)
+	if tr.Len() != 200 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	got := tr.SearchRect(geo.RectAround(geo.Pt(0, 0), 3))
+	if len(got) == 0 {
+		t.Fatal("expected results near origin")
+	}
+}
+
+// Property-based test: every inserted rectangle is found by a query that
+// equals that rectangle, regardless of insertion order.
+func TestInsertedAlwaysFound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + rng.Intn(200)
+		tr := New()
+		rects := make([]geo.Rect, n)
+		for i := 0; i < n; i++ {
+			p := geo.Pt(rng.Float64()*500, rng.Float64()*500)
+			rects[i] = geo.RectAround(p, rng.Float64()*3)
+			tr.Insert(rects[i], i)
+		}
+		for i, r := range rects {
+			found := false
+			for _, v := range tr.SearchRect(r) {
+				if v.(int) == i {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := geo.Pt(rng.Float64()*10000, rng.Float64()*10000)
+		tr.Insert(geo.RectAround(p, 5), i)
+	}
+}
+
+func BenchmarkSearchRect(b *testing.B) {
+	tr, _ := buildRandom(50000, 5)
+	rng := rand.New(rand.NewSource(6))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := geo.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		tr.SearchRect(geo.RectAround(c, 20))
+	}
+}
+
+func BenchmarkNearestNeighbors(b *testing.B) {
+	tr, _ := buildRandom(50000, 5)
+	rng := rand.New(rand.NewSource(6))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := geo.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		tr.NearestNeighbors(p, 8)
+	}
+}

@@ -1,0 +1,191 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Count != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.Median != 3 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2)) > 1e-9 {
+		t.Fatalf("StdDev = %v", s.StdDev)
+	}
+	if got := Summarize(nil); got != (Summary{}) {
+		t.Fatalf("empty sample should give zero summary: %+v", got)
+	}
+	one := Summarize([]float64{7})
+	if one.Min != 7 || one.Max != 7 || one.Median != 7 || one.StdDev != 0 {
+		t.Fatalf("single sample = %+v", one)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	if Percentile(sorted, 0) != 10 || Percentile(sorted, 100) != 40 {
+		t.Fatal("extremes wrong")
+	}
+	if got := Percentile(sorted, 50); got != 25 {
+		t.Fatalf("P50 = %v", got)
+	}
+	if got := Percentile(sorted, -5); got != 10 {
+		t.Fatalf("negative percentile = %v", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Fatalf("empty percentile = %v", got)
+	}
+	if got := Percentile([]float64{5}, 73); got != 5 {
+		t.Fatalf("single value percentile = %v", got)
+	}
+}
+
+// Property: the median lies between min and max, and stddev is non-negative.
+func TestSummarizeProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		clean := make([]float64, 0, len(vals))
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				clean = append(clean, math.Mod(v, 1e9))
+			}
+		}
+		s := Summarize(clean)
+		if len(clean) == 0 {
+			return s.Count == 0
+		}
+		return s.Min <= s.Median && s.Median <= s.Max && s.StdDev >= 0 && s.Count == len(clean)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistribution(t *testing.T) {
+	d := NewDistribution()
+	if d.Total() != 0 || d.Share("x") != 0 {
+		t.Fatal("empty distribution should have zero total and shares")
+	}
+	d.AddCount("building")
+	d.AddCount("building")
+	d.Add("transport", 2)
+	d.Add("forest", 0) // ignored
+	d.Add("forest", -3)
+	if d.Total() != 4 {
+		t.Fatalf("Total = %v", d.Total())
+	}
+	if d.Count("building") != 2 || d.Share("building") != 0.5 {
+		t.Fatalf("building share = %v", d.Share("building"))
+	}
+	if d.Share("missing") != 0 {
+		t.Fatal("missing category share should be 0")
+	}
+	cats := d.Categories()
+	if len(cats) != 2 {
+		t.Fatalf("Categories = %v", cats)
+	}
+	// Equal weights sort by name; both have weight 2.
+	if cats[0] != "building" || cats[1] != "transport" {
+		t.Fatalf("Categories order = %v", cats)
+	}
+	if got := d.TopN(1); len(got) != 1 {
+		t.Fatalf("TopN(1) = %v", got)
+	}
+	if got := d.TopN(10); len(got) != 2 {
+		t.Fatalf("TopN(10) = %v", got)
+	}
+	shares := d.Shares()
+	if math.Abs(shares["building"]+shares["transport"]-1) > 1e-9 {
+		t.Fatalf("Shares = %v", shares)
+	}
+	if s := d.String(); !strings.Contains(s, "building=50.0%") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestLogHistogram(t *testing.T) {
+	h := NewLogHistogram(1)
+	for _, v := range []float64{1, 5, 9, 15, 99, 150, 1500, 0, -3} {
+		h.Add(v)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	bins := h.Bins()
+	if len(bins) != 4 {
+		t.Fatalf("bins = %+v", bins)
+	}
+	// Decade bins: [1,10): 3 values, [10,100): 2, [100,1000): 1, [1000,..): 1.
+	wantCounts := []int{3, 2, 1, 1}
+	wantLowers := []float64{1, 10, 100, 1000}
+	for i, b := range bins {
+		if b.Count != wantCounts[i] || math.Abs(b.Lower-wantLowers[i]) > 1e-9 {
+			t.Fatalf("bin %d = %+v", i, b)
+		}
+	}
+	// Higher resolution.
+	h2 := NewLogHistogram(2)
+	h2.Add(1)
+	h2.Add(3) // sqrt(10)≈3.16 boundary: 3 -> bin 0, 4 -> bin 1
+	h2.Add(4)
+	if got := len(h2.Bins()); got != 2 {
+		t.Fatalf("2-bin-per-decade bins = %d", got)
+	}
+	// Invalid resolution clamps to 1.
+	h3 := NewLogHistogram(0)
+	if h3.BinsPerDecade != 1 {
+		t.Fatalf("BinsPerDecade = %d", h3.BinsPerDecade)
+	}
+}
+
+func TestLatencyBreakdown(t *testing.T) {
+	l := NewLatencyBreakdown()
+	l.Record("compute episode", 10*time.Millisecond)
+	l.Record("compute episode", 20*time.Millisecond)
+	l.Record("store episode", 200*time.Millisecond)
+	if got := l.Average("compute episode"); got != 15*time.Millisecond {
+		t.Fatalf("Average = %v", got)
+	}
+	if got := l.Total("store episode"); got != 200*time.Millisecond {
+		t.Fatalf("Total = %v", got)
+	}
+	if l.Count("compute episode") != 2 || l.Count("missing") != 0 {
+		t.Fatal("Count wrong")
+	}
+	if got := l.Average("missing"); got != 0 {
+		t.Fatalf("missing stage average = %v", got)
+	}
+	stages := l.Stages()
+	if len(stages) != 2 || stages[0] != "compute episode" || stages[1] != "store episode" {
+		t.Fatalf("Stages = %v", stages)
+	}
+	other := NewLatencyBreakdown()
+	other.Record("store episode", 100*time.Millisecond)
+	other.Record("map match", 5*time.Millisecond)
+	l.Merge(other)
+	if l.Count("store episode") != 2 || l.Count("map match") != 1 {
+		t.Fatalf("merge failed: %+v", l.counts)
+	}
+	if len(l.Stages()) != 3 {
+		t.Fatalf("Stages after merge = %v", l.Stages())
+	}
+	l.Merge(nil) // no-op
+}
+
+func TestCompressionRatio(t *testing.T) {
+	if got := CompressionRatio(1000, 3); math.Abs(got-0.997) > 1e-9 {
+		t.Fatalf("CompressionRatio = %v", got)
+	}
+	if CompressionRatio(0, 5) != 0 {
+		t.Fatal("zero original should give 0")
+	}
+	if CompressionRatio(10, 20) != 0 {
+		t.Fatal("negative saving should clamp to 0")
+	}
+	if CompressionRatio(10, 0) != 1 {
+		t.Fatal("full compression should give 1")
+	}
+}

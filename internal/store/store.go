@@ -1,0 +1,425 @@
+// Package store implements SeMiTri's Semantic Trajectory Store: the
+// repository that holds raw GPS records, stop/move episodes and the
+// structured semantic trajectories produced by the annotation layers, and
+// that the analytics layer and applications query (Fig. 2).
+//
+// The paper uses PostgreSQL/PostGIS; this implementation is an embedded,
+// mutex-guarded in-memory store with optional JSON persistence, which keeps
+// the repository dependency-free while preserving the behaviour that matters
+// to the experiments: dedicated tables per artefact kind, query-by-object /
+// time-window / annotation interfaces, and the fact that storing results is
+// the slowest pipeline stage (it serialises and writes everything, Fig. 17).
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"semitri/internal/core"
+	"semitri/internal/episode"
+	"semitri/internal/geo"
+	"semitri/internal/gps"
+)
+
+// Store is the semantic trajectory store. The zero value is not usable; use
+// New. All methods are safe for concurrent use.
+type Store struct {
+	mu sync.RWMutex
+	// tables
+	records      map[string][]gps.Record       // object id -> raw records
+	trajectories map[string]*gps.RawTrajectory // trajectory id -> raw trajectory
+	episodes     map[string][]*episode.Episode // trajectory id -> episodes
+	structured   map[string]structuredByInterp // trajectory id -> interpretation -> SST
+	trajByObject map[string][]string           // object id -> trajectory ids
+}
+
+type structuredByInterp map[string]*core.StructuredTrajectory
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{
+		records:      map[string][]gps.Record{},
+		trajectories: map[string]*gps.RawTrajectory{},
+		episodes:     map[string][]*episode.Episode{},
+		structured:   map[string]structuredByInterp{},
+		trajByObject: map[string][]string{},
+	}
+}
+
+// PutRecords appends raw GPS records to the record table.
+func (s *Store) PutRecords(records []gps.Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range records {
+		s.records[r.ObjectID] = append(s.records[r.ObjectID], r)
+	}
+}
+
+// Records returns the raw records of an object (a copy).
+func (s *Store) Records(objectID string) []gps.Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]gps.Record(nil), s.records[objectID]...)
+}
+
+// RecordCount returns the total number of stored GPS records.
+func (s *Store) RecordCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, rs := range s.records {
+		n += len(rs)
+	}
+	return n
+}
+
+// PutTrajectory stores a raw trajectory.
+func (s *Store) PutTrajectory(t *gps.RawTrajectory) error {
+	if t == nil || t.ID == "" {
+		return errors.New("store: trajectory must have an id")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.trajectories[t.ID]; !exists {
+		s.trajByObject[t.ObjectID] = append(s.trajByObject[t.ObjectID], t.ID)
+	}
+	s.trajectories[t.ID] = t
+	return nil
+}
+
+// Trajectory returns a stored raw trajectory by id.
+func (s *Store) Trajectory(id string) (*gps.RawTrajectory, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.trajectories[id]
+	return t, ok
+}
+
+// TrajectoryIDs returns the ids of the stored trajectories of an object,
+// in insertion order. With an empty objectID it returns all trajectory ids.
+func (s *Store) TrajectoryIDs(objectID string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if objectID != "" {
+		return append([]string(nil), s.trajByObject[objectID]...)
+	}
+	out := make([]string, 0, len(s.trajectories))
+	for id := range s.trajectories {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TrajectoryCount returns the number of stored raw trajectories.
+func (s *Store) TrajectoryCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.trajectories)
+}
+
+// PutEpisodes stores the stop/move episodes of a trajectory (replacing any
+// previously stored episodes for that trajectory).
+func (s *Store) PutEpisodes(trajectoryID string, eps []*episode.Episode) error {
+	if trajectoryID == "" {
+		return errors.New("store: empty trajectory id")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.episodes[trajectoryID] = append([]*episode.Episode(nil), eps...)
+	return nil
+}
+
+// Episodes returns the episodes stored for a trajectory.
+func (s *Store) Episodes(trajectoryID string) []*episode.Episode {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]*episode.Episode(nil), s.episodes[trajectoryID]...)
+}
+
+// EpisodeCounts returns the total number of stop and move episodes stored.
+func (s *Store) EpisodeCounts() (stops, moves int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, eps := range s.episodes {
+		for _, e := range eps {
+			if e.Kind == episode.Stop {
+				stops++
+			} else {
+				moves++
+			}
+		}
+	}
+	return stops, moves
+}
+
+// PutStructured stores a structured semantic trajectory under its
+// interpretation (region, line, point, merged ...).
+func (s *Store) PutStructured(st *core.StructuredTrajectory) error {
+	if st == nil || st.ID == "" {
+		return errors.New("store: structured trajectory must have an id")
+	}
+	if st.Interpretation == "" {
+		return errors.New("store: structured trajectory must name its interpretation")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	byInterp, ok := s.structured[st.ID]
+	if !ok {
+		byInterp = structuredByInterp{}
+		s.structured[st.ID] = byInterp
+	}
+	byInterp[st.Interpretation] = st
+	return nil
+}
+
+// Structured returns the stored structured trajectory for a trajectory id
+// and interpretation.
+func (s *Store) Structured(trajectoryID, interpretation string) (*core.StructuredTrajectory, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	byInterp, ok := s.structured[trajectoryID]
+	if !ok {
+		return nil, false
+	}
+	st, ok := byInterp[interpretation]
+	return st, ok
+}
+
+// Interpretations lists the interpretations stored for a trajectory.
+func (s *Store) Interpretations(trajectoryID string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	byInterp := s.structured[trajectoryID]
+	out := make([]string, 0, len(byInterp))
+	for k := range byInterp {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StructuredIDs returns the ids of all trajectories that have at least one
+// stored structured interpretation, sorted lexicographically.
+func (s *Store) StructuredIDs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.structured))
+	for id := range s.structured {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StructuredCount returns the number of stored structured trajectories
+// across all interpretations.
+func (s *Store) StructuredCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, byInterp := range s.structured {
+		n += len(byInterp)
+	}
+	return n
+}
+
+// QueryStopsByAnnotation returns, across all stored structured trajectories
+// of the given interpretation, the stop tuples whose annotation `key` equals
+// `value` (e.g. all stops annotated with the "item sale" POI category).
+func (s *Store) QueryStopsByAnnotation(interpretation, key, value string) []*core.EpisodeTuple {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []*core.EpisodeTuple
+	ids := make([]string, 0, len(s.structured))
+	for id := range s.structured {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		st, ok := s.structured[id][interpretation]
+		if !ok {
+			continue
+		}
+		for _, tp := range st.Tuples {
+			if tp.Kind == episode.Stop && tp.Annotations.Value(key) == value {
+				out = append(out, tp)
+			}
+		}
+	}
+	return out
+}
+
+// QueryTuplesInWindow returns the tuples of a trajectory's interpretation
+// overlapping the [from, to] time window.
+func (s *Store) QueryTuplesInWindow(trajectoryID, interpretation string, from, to time.Time) []*core.EpisodeTuple {
+	st, ok := s.Structured(trajectoryID, interpretation)
+	if !ok {
+		return nil
+	}
+	var out []*core.EpisodeTuple
+	for _, tp := range st.Tuples {
+		if tp.TimeOut.Before(from) || tp.TimeIn.After(to) {
+			continue
+		}
+		out = append(out, tp)
+	}
+	return out
+}
+
+// snapshot is the JSON persistence format of the store.
+type snapshot struct {
+	Records      map[string][]jsonRecord          `json:"records"`
+	Trajectories []jsonTrajectory                 `json:"trajectories"`
+	Episodes     map[string][]*episode.Episode    `json:"episodes"`
+	Structured   map[string]map[string]jsonStruct `json:"structured"`
+}
+
+type jsonRecord struct {
+	Object string    `json:"object"`
+	X      float64   `json:"x"`
+	Y      float64   `json:"y"`
+	Time   time.Time `json:"time"`
+}
+
+type jsonTrajectory struct {
+	ID       string       `json:"id"`
+	ObjectID string       `json:"object_id"`
+	Records  []jsonRecord `json:"records"`
+}
+
+type jsonStruct struct {
+	ID             string      `json:"id"`
+	ObjectID       string      `json:"object_id"`
+	Interpretation string      `json:"interpretation"`
+	Tuples         []jsonTuple `json:"tuples"`
+}
+
+type jsonTuple struct {
+	Kind        string            `json:"kind"`
+	Place       *core.Place       `json:"place,omitempty"`
+	TimeIn      time.Time         `json:"time_in"`
+	TimeOut     time.Time         `json:"time_out"`
+	Annotations []core.Annotation `json:"annotations,omitempty"`
+}
+
+// Save writes the store contents as JSON to the given path, creating parent
+// directories as needed.
+func (s *Store) Save(path string) error {
+	s.mu.RLock()
+	snap := snapshot{
+		Records:    map[string][]jsonRecord{},
+		Episodes:   map[string][]*episode.Episode{},
+		Structured: map[string]map[string]jsonStruct{},
+	}
+	for obj, recs := range s.records {
+		rows := make([]jsonRecord, len(recs))
+		for i, r := range recs {
+			rows[i] = jsonRecord{Object: r.ObjectID, X: r.Position.X, Y: r.Position.Y, Time: r.Time}
+		}
+		snap.Records[obj] = rows
+	}
+	for _, t := range s.trajectories {
+		rows := make([]jsonRecord, len(t.Records))
+		for i, r := range t.Records {
+			rows[i] = jsonRecord{Object: r.ObjectID, X: r.Position.X, Y: r.Position.Y, Time: r.Time}
+		}
+		snap.Trajectories = append(snap.Trajectories, jsonTrajectory{ID: t.ID, ObjectID: t.ObjectID, Records: rows})
+	}
+	for id, eps := range s.episodes {
+		snap.Episodes[id] = eps
+	}
+	for id, byInterp := range s.structured {
+		m := map[string]jsonStruct{}
+		for interp, st := range byInterp {
+			js := jsonStruct{ID: st.ID, ObjectID: st.ObjectID, Interpretation: st.Interpretation}
+			for _, tp := range st.Tuples {
+				js.Tuples = append(js.Tuples, jsonTuple{
+					Kind:        tp.Kind.String(),
+					Place:       tp.Place,
+					TimeIn:      tp.TimeIn,
+					TimeOut:     tp.TimeOut,
+					Annotations: tp.Annotations.All(),
+				})
+			}
+			m[interp] = js
+		}
+		snap.Structured[id] = m
+	}
+	s.mu.RUnlock()
+
+	sort.Slice(snap.Trajectories, func(i, j int) bool { return snap.Trajectories[i].ID < snap.Trajectories[j].ID })
+	data, err := json.MarshalIndent(&snap, "", " ")
+	if err != nil {
+		return fmt.Errorf("store: marshal: %w", err)
+	}
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("store: mkdir: %w", err)
+		}
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("store: write: %w", err)
+	}
+	return nil
+}
+
+// Load reads a snapshot produced by Save into a fresh store.
+func Load(path string) (*Store, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: read: %w", err)
+	}
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("store: unmarshal: %w", err)
+	}
+	s := New()
+	for _, rows := range snap.Records {
+		recs := make([]gps.Record, len(rows))
+		for i, r := range rows {
+			recs[i] = gps.Record{ObjectID: r.Object, Position: geo.Pt(r.X, r.Y), Time: r.Time}
+		}
+		s.PutRecords(recs)
+	}
+	for _, jt := range snap.Trajectories {
+		recs := make([]gps.Record, len(jt.Records))
+		for i, r := range jt.Records {
+			recs[i] = gps.Record{ObjectID: r.Object, Position: geo.Pt(r.X, r.Y), Time: r.Time}
+		}
+		if err := s.PutTrajectory(&gps.RawTrajectory{ID: jt.ID, ObjectID: jt.ObjectID, Records: recs}); err != nil {
+			return nil, err
+		}
+	}
+	for id, eps := range snap.Episodes {
+		if err := s.PutEpisodes(id, eps); err != nil {
+			return nil, err
+		}
+	}
+	for _, byInterp := range snap.Structured {
+		for _, js := range byInterp {
+			st := &core.StructuredTrajectory{ID: js.ID, ObjectID: js.ObjectID, Interpretation: js.Interpretation}
+			for _, jtp := range js.Tuples {
+				kind := episode.Move
+				if jtp.Kind == "stop" {
+					kind = episode.Stop
+				}
+				tp := &core.EpisodeTuple{Kind: kind, Place: jtp.Place, TimeIn: jtp.TimeIn, TimeOut: jtp.TimeOut}
+				for _, a := range jtp.Annotations {
+					tp.Annotations.Add(a)
+				}
+				st.Tuples = append(st.Tuples, tp)
+			}
+			if err := s.PutStructured(st); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}

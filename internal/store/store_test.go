@@ -1,0 +1,304 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"semitri/internal/core"
+	"semitri/internal/episode"
+	"semitri/internal/geo"
+	"semitri/internal/gps"
+)
+
+var t0 = time.Date(2010, 3, 15, 8, 0, 0, 0, time.UTC)
+
+func sampleTrajectory(id, object string, n int) *gps.RawTrajectory {
+	recs := make([]gps.Record, n)
+	for i := range recs {
+		recs[i] = gps.Record{ObjectID: object, Position: geo.Pt(float64(i), 0), Time: t0.Add(time.Duration(i) * time.Second)}
+	}
+	return &gps.RawTrajectory{ID: id, ObjectID: object, Records: recs}
+}
+
+func sampleStructured(id, object, interp string) *core.StructuredTrajectory {
+	st := &core.StructuredTrajectory{ID: id, ObjectID: object, Interpretation: interp}
+	stop := &core.EpisodeTuple{
+		Kind:    episode.Stop,
+		Place:   &core.Place{ID: "poi-1", Kind: core.PointPlace, Name: "mall"},
+		TimeIn:  t0,
+		TimeOut: t0.Add(30 * time.Minute),
+	}
+	stop.Annotations.Add(core.Annotation{Key: core.AnnPOICategory, Value: "item sale", Confidence: 0.8, Source: "point"})
+	move := &core.EpisodeTuple{
+		Kind:    episode.Move,
+		Place:   &core.Place{ID: "seg-4", Kind: core.LinePlace, Name: "main"},
+		TimeIn:  t0.Add(30 * time.Minute),
+		TimeOut: t0.Add(45 * time.Minute),
+	}
+	move.Annotations.Add(core.Annotation{Key: core.AnnTransportMode, Value: "bus", Confidence: 0.9, Source: "line"})
+	st.Tuples = []*core.EpisodeTuple{stop, move}
+	return st
+}
+
+func TestRecordsTable(t *testing.T) {
+	s := New()
+	if s.RecordCount() != 0 {
+		t.Fatal("new store should be empty")
+	}
+	s.PutRecords([]gps.Record{
+		{ObjectID: "u1", Position: geo.Pt(1, 1), Time: t0},
+		{ObjectID: "u1", Position: geo.Pt(2, 2), Time: t0.Add(time.Second)},
+		{ObjectID: "u2", Position: geo.Pt(3, 3), Time: t0},
+	})
+	if s.RecordCount() != 3 {
+		t.Fatalf("RecordCount = %d", s.RecordCount())
+	}
+	if got := s.Records("u1"); len(got) != 2 {
+		t.Fatalf("Records(u1) = %d", len(got))
+	}
+	if got := s.Records("missing"); len(got) != 0 {
+		t.Fatal("missing object should have no records")
+	}
+	// Returned slice is a copy.
+	recs := s.Records("u1")
+	recs[0].ObjectID = "mutated"
+	if s.Records("u1")[0].ObjectID != "u1" {
+		t.Fatal("Records must return a copy")
+	}
+}
+
+func TestTrajectoryTable(t *testing.T) {
+	s := New()
+	if err := s.PutTrajectory(nil); err == nil {
+		t.Fatal("nil trajectory should error")
+	}
+	if err := s.PutTrajectory(&gps.RawTrajectory{}); err == nil {
+		t.Fatal("missing id should error")
+	}
+	tr := sampleTrajectory("u1-T0", "u1", 10)
+	if err := s.PutTrajectory(tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutTrajectory(sampleTrajectory("u1-T1", "u1", 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutTrajectory(sampleTrajectory("u2-T0", "u2", 5)); err != nil {
+		t.Fatal(err)
+	}
+	if s.TrajectoryCount() != 3 {
+		t.Fatalf("TrajectoryCount = %d", s.TrajectoryCount())
+	}
+	got, ok := s.Trajectory("u1-T0")
+	if !ok || got != tr {
+		t.Fatal("Trajectory lookup failed")
+	}
+	if _, ok := s.Trajectory("nope"); ok {
+		t.Fatal("missing trajectory should not be found")
+	}
+	if ids := s.TrajectoryIDs("u1"); len(ids) != 2 || ids[0] != "u1-T0" {
+		t.Fatalf("TrajectoryIDs(u1) = %v", ids)
+	}
+	if ids := s.TrajectoryIDs(""); len(ids) != 3 {
+		t.Fatalf("TrajectoryIDs(all) = %v", ids)
+	}
+	// Re-putting the same id does not duplicate the object index.
+	if err := s.PutTrajectory(tr); err != nil {
+		t.Fatal(err)
+	}
+	if ids := s.TrajectoryIDs("u1"); len(ids) != 2 {
+		t.Fatalf("duplicate put changed ids: %v", ids)
+	}
+}
+
+func TestEpisodesTable(t *testing.T) {
+	s := New()
+	if err := s.PutEpisodes("", nil); err == nil {
+		t.Fatal("empty trajectory id should error")
+	}
+	eps := []*episode.Episode{
+		{TrajectoryID: "u1-T0", Kind: episode.Stop, Start: t0, End: t0.Add(time.Minute)},
+		{TrajectoryID: "u1-T0", Kind: episode.Move, Start: t0.Add(time.Minute), End: t0.Add(2 * time.Minute)},
+		{TrajectoryID: "u1-T0", Kind: episode.Stop, Start: t0.Add(2 * time.Minute), End: t0.Add(3 * time.Minute)},
+	}
+	if err := s.PutEpisodes("u1-T0", eps); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Episodes("u1-T0"); len(got) != 3 {
+		t.Fatalf("Episodes = %d", len(got))
+	}
+	if got := s.Episodes("missing"); len(got) != 0 {
+		t.Fatal("missing trajectory should have no episodes")
+	}
+	stops, moves := s.EpisodeCounts()
+	if stops != 2 || moves != 1 {
+		t.Fatalf("EpisodeCounts = %d, %d", stops, moves)
+	}
+	// Replacement semantics.
+	if err := s.PutEpisodes("u1-T0", eps[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Episodes("u1-T0"); len(got) != 1 {
+		t.Fatalf("episodes after replacement = %d", len(got))
+	}
+}
+
+func TestStructuredTable(t *testing.T) {
+	s := New()
+	if err := s.PutStructured(nil); err == nil {
+		t.Fatal("nil structured should error")
+	}
+	if err := s.PutStructured(&core.StructuredTrajectory{ID: "x"}); err == nil {
+		t.Fatal("missing interpretation should error")
+	}
+	if err := s.PutStructured(&core.StructuredTrajectory{Interpretation: "region"}); err == nil {
+		t.Fatal("missing id should error")
+	}
+	st := sampleStructured("u1-T0", "u1", "merged")
+	if err := s.PutStructured(st); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutStructured(sampleStructured("u1-T0", "u1", "region")); err != nil {
+		t.Fatal(err)
+	}
+	if s.StructuredCount() != 2 {
+		t.Fatalf("StructuredCount = %d", s.StructuredCount())
+	}
+	got, ok := s.Structured("u1-T0", "merged")
+	if !ok || got != st {
+		t.Fatal("Structured lookup failed")
+	}
+	if _, ok := s.Structured("u1-T0", "point"); ok {
+		t.Fatal("missing interpretation should not be found")
+	}
+	if _, ok := s.Structured("zzz", "merged"); ok {
+		t.Fatal("missing trajectory should not be found")
+	}
+	if interps := s.Interpretations("u1-T0"); len(interps) != 2 || interps[0] != "merged" {
+		t.Fatalf("Interpretations = %v", interps)
+	}
+	if ids := s.StructuredIDs(); len(ids) != 1 || ids[0] != "u1-T0" {
+		t.Fatalf("StructuredIDs = %v", ids)
+	}
+	if err := s.PutStructured(sampleStructured("a-T0", "a", "merged")); err != nil {
+		t.Fatal(err)
+	}
+	if ids := s.StructuredIDs(); len(ids) != 2 || ids[0] != "a-T0" {
+		t.Fatalf("StructuredIDs after second put = %v", ids)
+	}
+	if ids := New().StructuredIDs(); len(ids) != 0 {
+		t.Fatalf("empty store StructuredIDs = %v", ids)
+	}
+}
+
+func TestQueries(t *testing.T) {
+	s := New()
+	s.PutStructured(sampleStructured("u1-T0", "u1", "merged"))
+	s.PutStructured(sampleStructured("u2-T0", "u2", "merged"))
+	hits := s.QueryStopsByAnnotation("merged", core.AnnPOICategory, "item sale")
+	if len(hits) != 2 {
+		t.Fatalf("QueryStopsByAnnotation = %d", len(hits))
+	}
+	if got := s.QueryStopsByAnnotation("merged", core.AnnPOICategory, "feedings"); len(got) != 0 {
+		t.Fatal("no stops should match feedings")
+	}
+	if got := s.QueryStopsByAnnotation("region", core.AnnPOICategory, "item sale"); len(got) != 0 {
+		t.Fatal("missing interpretation should match nothing")
+	}
+	window := s.QueryTuplesInWindow("u1-T0", "merged", t0.Add(10*time.Minute), t0.Add(20*time.Minute))
+	if len(window) != 1 || window[0].Kind != episode.Stop {
+		t.Fatalf("window query = %+v", window)
+	}
+	all := s.QueryTuplesInWindow("u1-T0", "merged", t0, t0.Add(2*time.Hour))
+	if len(all) != 2 {
+		t.Fatalf("full window = %d", len(all))
+	}
+	if got := s.QueryTuplesInWindow("u1-T0", "merged", t0.Add(5*time.Hour), t0.Add(6*time.Hour)); len(got) != 0 {
+		t.Fatal("disjoint window should match nothing")
+	}
+	if got := s.QueryTuplesInWindow("nope", "merged", t0, t0.Add(time.Hour)); got != nil {
+		t.Fatal("missing trajectory window should be nil")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "nested", "store.json")
+	s := New()
+	s.PutRecords([]gps.Record{{ObjectID: "u1", Position: geo.Pt(1.5, 2.5), Time: t0}})
+	s.PutTrajectory(sampleTrajectory("u1-T0", "u1", 5))
+	s.PutEpisodes("u1-T0", []*episode.Episode{
+		{TrajectoryID: "u1-T0", Kind: episode.Stop, Start: t0, End: t0.Add(time.Minute), RecordCount: 5},
+	})
+	s.PutStructured(sampleStructured("u1-T0", "u1", "merged"))
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.RecordCount() != 1 || loaded.TrajectoryCount() != 1 || loaded.StructuredCount() != 1 {
+		t.Fatalf("loaded counts = %d records, %d trajectories, %d structured",
+			loaded.RecordCount(), loaded.TrajectoryCount(), loaded.StructuredCount())
+	}
+	tr, ok := loaded.Trajectory("u1-T0")
+	if !ok || len(tr.Records) != 5 || tr.ObjectID != "u1" {
+		t.Fatalf("loaded trajectory = %+v", tr)
+	}
+	st, ok := loaded.Structured("u1-T0", "merged")
+	if !ok || len(st.Tuples) != 2 {
+		t.Fatalf("loaded structured = %+v", st)
+	}
+	if st.Tuples[0].Kind != episode.Stop || st.Tuples[0].Annotations.Value(core.AnnPOICategory) != "item sale" {
+		t.Fatalf("loaded tuple = %+v", st.Tuples[0])
+	}
+	if st.Tuples[1].Kind != episode.Move || st.Tuples[1].Place.Name != "main" {
+		t.Fatalf("loaded move tuple = %+v", st.Tuples[1])
+	}
+	if eps := loaded.Episodes("u1-T0"); len(eps) != 1 || eps[0].RecordCount != 5 {
+		t.Fatalf("loaded episodes = %+v", eps)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load("/nonexistent/path/store.json"); err == nil {
+		t.Fatal("missing file should error")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Fatal("corrupt file should error")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id := sampleTrajectory("t", "obj", 1)
+				id.ID = "tr-" + string(rune('a'+w)) + "-" + time.Duration(i).String()
+				s.PutTrajectory(id)
+				s.PutRecords([]gps.Record{{ObjectID: "obj", Position: geo.Pt(float64(i), 0), Time: t0}})
+				s.TrajectoryIDs("obj")
+				s.RecordCount()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.RecordCount() != 8*50 {
+		t.Fatalf("RecordCount = %d", s.RecordCount())
+	}
+	if s.TrajectoryCount() != 8*50 {
+		t.Fatalf("TrajectoryCount = %d", s.TrajectoryCount())
+	}
+}

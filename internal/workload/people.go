@@ -1,0 +1,310 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"semitri/internal/geo"
+	"semitri/internal/gps"
+	"semitri/internal/roadnet"
+)
+
+// PeopleConfig controls the smartphone people-trajectory generator, the
+// synthetic counterpart of the Nokia dataset of Table 2: multi-modal daily
+// movement between home, office and leisure/shopping places, with indoor
+// signal loss and non-stationary sampling.
+type PeopleConfig struct {
+	// NumUsers is the number of people to simulate.
+	NumUsers int
+	// Days is the number of consecutive days per user.
+	Days int
+	// Sampling is the base sampling interval; the generator jitters it to
+	// mimic the on-chip power-saving behaviour described in §5.3.
+	Sampling time.Duration
+	// NoiseStd is the GPS noise standard deviation while moving (metres).
+	NoiseStd float64
+	// SignalLossProb is the probability that an indoor stay produces no GPS
+	// records at all.
+	SignalLossProb float64
+	// ErrandsPerDay is the mean number of extra stops besides home and work.
+	ErrandsPerDay int
+	// Start is the first day of the simulation.
+	Start time.Time
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultPeopleConfig returns a configuration shaped like the six profiled
+// users of Table 2: daily home-office commutes plus errands, 10-30 s
+// sampling, frequent indoor signal loss.
+func DefaultPeopleConfig(numUsers, days int, seed int64) PeopleConfig {
+	return PeopleConfig{
+		NumUsers:       numUsers,
+		Days:           days,
+		Sampling:       15 * time.Second,
+		NoiseStd:       8,
+		SignalLossProb: 0.35,
+		ErrandsPerDay:  2,
+		Start:          time.Date(2010, 3, 15, 0, 0, 0, 0, time.UTC),
+		Seed:           seed,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c PeopleConfig) Validate() error {
+	if c.NumUsers <= 0 || c.Days <= 0 {
+		return errors.New("workload: NumUsers and Days must be positive")
+	}
+	if c.Sampling <= 0 {
+		return errors.New("workload: Sampling must be positive")
+	}
+	if c.SignalLossProb < 0 || c.SignalLossProb > 1 {
+		return errors.New("workload: SignalLossProb must be in [0,1]")
+	}
+	return nil
+}
+
+// personProfile fixes a user's anchors and preferred transportation mode.
+type personProfile struct {
+	homeNode   int
+	officeNode int
+	homePos    geo.Point
+	officePos  geo.Point
+	// preferredMode is the commute mode: walk, bicycle, bus or metro.
+	preferredMode string
+}
+
+// GeneratePeople produces the people dataset: for every user and day, a
+// morning commute home -> office, an optional lunch errand, an evening
+// commute back with optional shopping/leisure stops, all on the city's
+// network with the mode-specific road classes and speeds. Ground truth
+// records the segment, mode and the POI category of every errand stop.
+func GeneratePeople(city *City, cfg PeopleConfig) (*Dataset, error) {
+	if city == nil {
+		return nil, errors.New("workload: nil city")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ds := &Dataset{
+		Name:      "people-phones",
+		City:      city,
+		PerObject: map[string][]gps.Record{},
+		Truth:     map[string]*Truth{},
+	}
+	modes := []string{"walk", "bicycle", "bus", "metro"}
+	for u := 0; u < cfg.NumUsers; u++ {
+		object := fmt.Sprintf("user-%03d", u+1)
+		profile := personProfile{
+			homeNode:      rng.Intn(city.Roads.NumNodes()),
+			officeNode:    rng.Intn(city.Roads.NumNodes()),
+			preferredMode: modes[u%len(modes)],
+		}
+		profile.homePos = mustNode(city, profile.homeNode)
+		profile.officePos = mustNode(city, profile.officeNode)
+		truth := &Truth{}
+		var recs []gps.Record
+		for day := 0; day < cfg.Days; day++ {
+			dayStart := cfg.Start.AddDate(0, 0, day)
+			now := dayStart.Add(7*time.Hour + time.Duration(rng.Intn(3600))*time.Second)
+			// Morning at home.
+			now = stay(rng, &recs, truth, object, profile.homePos,
+				time.Duration(20+rng.Intn(30))*time.Minute, cfg.Sampling, cfg.SignalLossProb, now)
+			// Commute to the office.
+			now = commuteLeg(rng, city, cfg, &recs, truth, object, profile.homeNode, profile.officeNode, profile.preferredMode, now)
+			// Work (long indoor stay, often without signal).
+			now = stay(rng, &recs, truth, object, profile.officePos,
+				time.Duration(6+rng.Intn(3))*time.Hour, cfg.Sampling, cfg.SignalLossProb, now)
+			// Errands on the way home.
+			current := profile.officeNode
+			errands := rng.Intn(cfg.ErrandsPerDay + 1)
+			for e := 0; e < errands && city.POIs.Len() > 0; e++ {
+				p := city.POIs.All()[rng.Intn(city.POIs.Len())]
+				node, ok := city.Roads.NearestNode(p.Position)
+				if !ok || node == current {
+					continue
+				}
+				now = commuteLeg(rng, city, cfg, &recs, truth, object, current, node, profile.preferredMode, now)
+				now = stay(rng, &recs, truth, object, p.Position,
+					time.Duration(15+rng.Intn(45))*time.Minute, cfg.Sampling, cfg.SignalLossProb*0.5, now)
+				truth.StopCategories = append(truth.StopCategories, p.Category)
+				truth.StopCenters = append(truth.StopCenters, p.Position)
+				current = node
+			}
+			// Home for the evening.
+			now = commuteLeg(rng, city, cfg, &recs, truth, object, current, profile.homeNode, profile.preferredMode, now)
+			_ = stay(rng, &recs, truth, object, profile.homePos,
+				time.Duration(1+rng.Intn(2))*time.Hour, cfg.Sampling, cfg.SignalLossProb, now)
+		}
+		if len(recs) == 0 {
+			continue
+		}
+		ds.Objects = append(ds.Objects, object)
+		ds.PerObject[object] = recs
+		ds.Truth[object] = truth
+	}
+	if len(ds.Objects) == 0 {
+		return nil, errors.New("workload: people generation produced no records")
+	}
+	return ds, nil
+}
+
+// commuteLeg routes a single leg between two crossings with the user's
+// preferred mode, falling back to walking when the mode's sub-network does
+// not connect the two crossings. Walking legs to and from metro platforms
+// are generated implicitly because metro nodes sit on their own line.
+func commuteLeg(rng *rand.Rand, city *City, cfg PeopleConfig, recs *[]gps.Record, truth *Truth,
+	object string, fromNode, toNode int, mode string, now time.Time) time.Time {
+	if fromNode == toNode {
+		return now
+	}
+	var allowed func(roadnet.Class) bool
+	var speed float64
+	switch mode {
+	case "walk":
+		// Pedestrians stick to footpaths and residential streets (they only
+		// fall back to arterials when nothing else connects the two points).
+		allowed = func(c roadnet.Class) bool { return c == roadnet.Footpath || c == roadnet.Residential }
+		speed = 1.4
+	case "bicycle":
+		allowed = func(c roadnet.Class) bool { return c == roadnet.Footpath || c == roadnet.Residential }
+		speed = 4.5
+	case "bus":
+		allowed = func(c roadnet.Class) bool {
+			return c == roadnet.Arterial || c == roadnet.Residential || c == roadnet.Highway
+		}
+		speed = 9
+	case "metro":
+		// Metro commutes are three-legged: walk to the line, ride, walk out.
+		return metroCommute(rng, city, cfg, recs, truth, object, fromNode, toNode, now)
+	default:
+		allowed = nil
+		speed = 1.4
+	}
+	route, err := city.Roads.ShortestPath(fromNode, toNode, allowed)
+	if err != nil {
+		// Fall back to an unrestricted walking route.
+		route, err = city.Roads.ShortestPath(fromNode, toNode, nil)
+		if err != nil {
+			return now
+		}
+		mode = "walk"
+		speed = 1.4
+	}
+	sampling := jitterSampling(rng, cfg.Sampling)
+	return travelRoute(rng, city, recs, truth, object, route, speed, sampling, cfg.NoiseStd, mode, now)
+}
+
+// metroCommute walks to the nearest metro node, rides the line to the metro
+// node nearest to the destination and walks the final stretch.
+func metroCommute(rng *rand.Rand, city *City, cfg PeopleConfig, recs *[]gps.Record, truth *Truth,
+	object string, fromNode, toNode int, now time.Time) time.Time {
+	fromPos := mustNode(city, fromNode)
+	toPos := mustNode(city, toNode)
+	entry, entryNode, okEntry := nearestMetroNode(city, fromPos)
+	exit, exitNode, okExit := nearestMetroNode(city, toPos)
+	sampling := jitterSampling(rng, cfg.Sampling)
+	// Pedestrian legs prefer footpaths and residential streets and fall back
+	// to any non-metro road when the quiet sub-network does not connect the
+	// two crossings.
+	walkRoute := func(from, to int) *roadnet.Route {
+		quiet := func(c roadnet.Class) bool { return c == roadnet.Footpath || c == roadnet.Residential }
+		if route, err := city.Roads.ShortestPath(from, to, quiet); err == nil {
+			return route
+		}
+		any := func(c roadnet.Class) bool { return c != roadnet.MetroRail }
+		if route, err := city.Roads.ShortestPath(from, to, any); err == nil {
+			return route
+		}
+		return nil
+	}
+	if !okEntry || !okExit || entryNode == exitNode {
+		// No usable metro: walk the whole leg.
+		if route := walkRoute(fromNode, toNode); route != nil {
+			return travelRoute(rng, city, recs, truth, object, route, 1.4, sampling, cfg.NoiseStd, "walk", now)
+		}
+		return now
+	}
+	// Walk to the platform. Metro nodes are only connected to the metro line,
+	// so the walking leg ends at the street crossing nearest to the platform.
+	entryStreet, okES := nearestStreetNode(city, entry)
+	exitStreet, okXS := nearestStreetNode(city, exit)
+	if okES {
+		if route := walkRoute(fromNode, entryStreet); route != nil {
+			now = travelRoute(rng, city, recs, truth, object, route, 1.4, sampling, cfg.NoiseStd, "walk", now)
+		}
+	}
+	// Ride the metro.
+	metroOnly := func(c roadnet.Class) bool { return c == roadnet.MetroRail }
+	if route, err := city.Roads.ShortestPath(entryNode, exitNode, metroOnly); err == nil {
+		now = travelRoute(rng, city, recs, truth, object, route, roadnet.MetroRail.TypicalSpeed(), sampling, cfg.NoiseStd, "metro", now)
+	}
+	// Walk from the exit platform to the destination.
+	if okXS {
+		if route := walkRoute(exitStreet, toNode); route != nil {
+			now = travelRoute(rng, city, recs, truth, object, route, 1.4, sampling, cfg.NoiseStd, "walk", now)
+		}
+	}
+	return now
+}
+
+// nearestStreetNode returns the non-metro crossing closest to p.
+func nearestStreetNode(city *City, p geo.Point) (int, bool) {
+	bestD := -1.0
+	bestNode := -1
+	seen := map[int]bool{}
+	for _, s := range city.Roads.Segments() {
+		if s.Class == roadnet.MetroRail {
+			continue
+		}
+		for _, node := range []int{s.From, s.To} {
+			if seen[node] {
+				continue
+			}
+			seen[node] = true
+			pos, err := city.Roads.Node(node)
+			if err != nil {
+				continue
+			}
+			d := pos.DistanceTo(p)
+			if bestD < 0 || d < bestD {
+				bestD, bestNode = d, node
+			}
+		}
+	}
+	return bestNode, bestNode >= 0
+}
+
+// nearestMetroNode returns the position and node id of the metro-rail node
+// closest to p (ok is false when the network has no metro).
+func nearestMetroNode(city *City, p geo.Point) (geo.Point, int, bool) {
+	bestD := -1.0
+	bestNode := -1
+	var bestPos geo.Point
+	for _, s := range city.Roads.Segments() {
+		if s.Class != roadnet.MetroRail {
+			continue
+		}
+		for _, node := range []int{s.From, s.To} {
+			pos, err := city.Roads.Node(node)
+			if err != nil {
+				continue
+			}
+			d := pos.DistanceTo(p)
+			if bestD < 0 || d < bestD {
+				bestD, bestNode, bestPos = d, node, pos
+			}
+		}
+	}
+	return bestPos, bestNode, bestNode >= 0
+}
+
+// jitterSampling perturbs the base sampling interval by up to +-30% to mimic
+// the non-stationary sampling of power-managed smartphones (§5.3).
+func jitterSampling(rng *rand.Rand, base time.Duration) time.Duration {
+	f := 0.7 + rng.Float64()*0.6
+	return time.Duration(float64(base) * f)
+}

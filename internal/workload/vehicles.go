@@ -1,0 +1,251 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"semitri/internal/geo"
+	"semitri/internal/gps"
+	"semitri/internal/poi"
+	"semitri/internal/roadnet"
+)
+
+// VehicleKind selects the behaviour profile of the generated vehicles.
+type VehicleKind int
+
+const (
+	// Taxi vehicles drive nearly continuously with brief pick-up/drop-off
+	// stops (the Lausanne taxi dataset of Table 1, 1 s sampling).
+	Taxi VehicleKind = iota
+	// PrivateCar vehicles make home-to-POI trips with longer parked stops at
+	// POIs (the Milan private-car dataset of Table 1, ~40 s sampling).
+	PrivateCar
+)
+
+// String implements fmt.Stringer.
+func (k VehicleKind) String() string {
+	if k == Taxi {
+		return "taxi"
+	}
+	return "private-car"
+}
+
+// DestinationWeights gives the probability that a private-car trip targets a
+// POI of each category (indexed by poi.Category). Car trips are dominated by
+// shopping and leisure destinations, which is what produces the stop-category
+// distribution of Fig. 11 (item sale ≈ 56%, person life ≈ 24%).
+var DestinationWeights = []float64{0.06, 0.10, 0.54, 0.27, 0.03}
+
+// VehicleConfig controls the vehicle workload generator.
+type VehicleConfig struct {
+	Kind VehicleKind
+	// NumVehicles is the number of distinct moving objects.
+	NumVehicles int
+	// TripsPerVehicle is the number of trips each vehicle makes.
+	TripsPerVehicle int
+	// Sampling is the GPS sampling interval (1 s for taxis, ~40 s for the
+	// Milan cars in the paper).
+	Sampling time.Duration
+	// NoiseStd is the standard deviation of the per-record GPS noise (metres).
+	NoiseStd float64
+	// StopDuration is the mean duration of a stop at a destination.
+	StopDuration time.Duration
+	// Start is the timestamp of the first record.
+	Start time.Time
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultTaxiConfig mirrors the Lausanne taxi dataset shape at a reduced
+// scale: few vehicles, high-rate sampling, many short trips with brief stops.
+func DefaultTaxiConfig(seed int64) VehicleConfig {
+	return VehicleConfig{
+		Kind:            Taxi,
+		NumVehicles:     2,
+		TripsPerVehicle: 12,
+		Sampling:        2 * time.Second,
+		NoiseStd:        5,
+		StopDuration:    4 * time.Minute,
+		Start:           time.Date(2010, 3, 15, 7, 0, 0, 0, time.UTC),
+		Seed:            seed,
+	}
+}
+
+// DefaultPrivateCarConfig mirrors the Milan private-car dataset shape at a
+// reduced scale: many vehicles, sparse sampling, home-to-POI trips.
+func DefaultPrivateCarConfig(seed int64) VehicleConfig {
+	return VehicleConfig{
+		Kind:            PrivateCar,
+		NumVehicles:     60,
+		TripsPerVehicle: 3,
+		Sampling:        40 * time.Second,
+		NoiseStd:        12,
+		StopDuration:    45 * time.Minute,
+		Start:           time.Date(2010, 3, 15, 8, 0, 0, 0, time.UTC),
+		Seed:            seed,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c VehicleConfig) Validate() error {
+	if c.NumVehicles <= 0 || c.TripsPerVehicle <= 0 {
+		return errors.New("workload: NumVehicles and TripsPerVehicle must be positive")
+	}
+	if c.Sampling <= 0 {
+		return errors.New("workload: Sampling must be positive")
+	}
+	if c.NoiseStd < 0 {
+		return errors.New("workload: NoiseStd must be non-negative")
+	}
+	return nil
+}
+
+// GenerateVehicles produces a vehicle dataset over the given city.
+//
+// Taxis chain trips between random street crossings, pausing briefly at each
+// destination; private cars start from a home crossing, drive to a POI
+// destination, park there (a long stop whose true category is recorded in
+// the ground truth) and eventually return home. The true road segment
+// travelled is recorded for every moving record.
+func GenerateVehicles(city *City, cfg VehicleConfig) (*Dataset, error) {
+	if city == nil {
+		return nil, errors.New("workload: nil city")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ds := &Dataset{
+		Name:      fmt.Sprintf("%s-fleet", cfg.Kind),
+		City:      city,
+		PerObject: map[string][]gps.Record{},
+		Truth:     map[string]*Truth{},
+	}
+	driveAllowed := func(c roadnet.Class) bool { return c != roadnet.MetroRail && c != roadnet.Footpath }
+	for v := 0; v < cfg.NumVehicles; v++ {
+		object := fmt.Sprintf("%s-%03d", cfg.Kind, v)
+		truth := &Truth{}
+		var recs []gps.Record
+		now := cfg.Start.Add(time.Duration(rng.Intn(3600)) * time.Second)
+		// Starting crossing; private cars treat it as home.
+		homeNode := rng.Intn(city.Roads.NumNodes())
+		current := homeNode
+		for trip := 0; trip < cfg.TripsPerVehicle; trip++ {
+			var destNode int
+			var stopPos geo.Point
+			var stopCat poi.Category
+			haveStopPOI := false
+			if city.POIs.Len() > 0 {
+				// Destination: a POI (passengers and parked cars both go
+				// where the POIs are, which concentrates vehicle movement in
+				// the urban core as in the original datasets); park or drop
+				// off at the nearest crossing. Private cars favour shopping
+				// and leisure destinations (DestinationWeights).
+				var p *poi.POI
+				if cfg.Kind == PrivateCar {
+					p = pickPOIByCategory(rng, city.POIs, DestinationWeights)
+				}
+				if p == nil {
+					p = city.POIs.All()[rng.Intn(city.POIs.Len())]
+				}
+				node, ok := city.Roads.NearestNode(p.Position)
+				if !ok {
+					continue
+				}
+				destNode = node
+				stopPos = p.Position
+				if cfg.Kind == PrivateCar {
+					stopCat = p.Category
+					haveStopPOI = true
+				}
+			} else {
+				destNode = rng.Intn(city.Roads.NumNodes())
+				pos, err := city.Roads.Node(destNode)
+				if err != nil {
+					continue
+				}
+				stopPos = pos
+			}
+			if destNode == current {
+				continue
+			}
+			route, err := city.Roads.ShortestPath(current, destNode, driveAllowed)
+			if err != nil {
+				continue
+			}
+			speed := 10 + rng.Float64()*5 // 10-15 m/s urban driving
+			now = travelRoute(rng, city, &recs, truth, object, route, speed, cfg.Sampling, cfg.NoiseStd, "car", now)
+			// Stop at the destination.
+			stopDur := time.Duration(float64(cfg.StopDuration) * (0.5 + rng.Float64()))
+			now = stay(rng, &recs, truth, object, stopPos, stopDur, cfg.Sampling, 0, now)
+			if haveStopPOI {
+				truth.StopCategories = append(truth.StopCategories, stopCat)
+				truth.StopCenters = append(truth.StopCenters, stopPos)
+			}
+			current = destNode
+			// Private cars return home after the last trip.
+			if cfg.Kind == PrivateCar && trip == cfg.TripsPerVehicle-1 && current != homeNode {
+				if route, err := city.Roads.ShortestPath(current, homeNode, driveAllowed); err == nil {
+					now = travelRoute(rng, city, &recs, truth, object, route, 12, cfg.Sampling, cfg.NoiseStd, "car", now)
+					now = stay(rng, &recs, truth, object, mustNode(city, homeNode), 2*cfg.StopDuration, cfg.Sampling, 0, now)
+				}
+			}
+		}
+		if len(recs) == 0 {
+			continue
+		}
+		ds.Objects = append(ds.Objects, object)
+		ds.PerObject[object] = recs
+		ds.Truth[object] = truth
+	}
+	if len(ds.Objects) == 0 {
+		return nil, errors.New("workload: vehicle generation produced no records")
+	}
+	return ds, nil
+}
+
+// pickPOIByCategory draws a destination POI with category probabilities given
+// by weights (indexed by poi.Category); it returns nil when the drawn
+// category has no POIs so the caller can fall back to a uniform draw.
+func pickPOIByCategory(rng *rand.Rand, set *poi.Set, weights []float64) *poi.POI {
+	if len(weights) != poi.NumCategories || set.Len() == 0 {
+		return nil
+	}
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return nil
+	}
+	r := rng.Float64() * total
+	var acc float64
+	cat := poi.Unknown
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		acc += w
+		if r <= acc {
+			cat = poi.Category(i)
+			break
+		}
+	}
+	candidates := set.ByCategory(cat)
+	if len(candidates) == 0 {
+		return nil
+	}
+	return candidates[rng.Intn(len(candidates))]
+}
+
+func mustNode(city *City, id int) geo.Point {
+	p, err := city.Roads.Node(id)
+	if err != nil {
+		return geo.Point{}
+	}
+	return p
+}

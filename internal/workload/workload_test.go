@@ -1,0 +1,373 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"semitri/internal/episode"
+	"semitri/internal/geo"
+	"semitri/internal/gps"
+	"semitri/internal/poi"
+)
+
+// testCity builds a small city shared by the workload tests. It is built
+// once because network + land-use + POI generation dominates test time.
+func testCity(t *testing.T) *City {
+	t.Helper()
+	cityOnce.Do(func() {
+		cfg := DefaultCityConfig(7, 2000)
+		cfg.Extent = geo.NewRect(geo.Pt(0, 0), geo.Pt(6000, 6000))
+		var err error
+		sharedCity, sharedCityErr = NewCity(cfg)
+		_ = err
+	})
+	if sharedCityErr != nil {
+		t.Fatal(sharedCityErr)
+	}
+	return sharedCity
+}
+
+var (
+	cityOnce      = onceHelper{}
+	sharedCity    *City
+	sharedCityErr error
+)
+
+type onceHelper struct{ done bool }
+
+func (o *onceHelper) Do(f func()) {
+	if !o.done {
+		o.done = true
+		f()
+	}
+}
+
+func TestNewCity(t *testing.T) {
+	city := testCity(t)
+	if city.Landuse == nil || city.Roads == nil || city.POIs == nil {
+		t.Fatal("city components missing")
+	}
+	if city.POIs.Len() != 2000 {
+		t.Fatalf("POI count = %d", city.POIs.Len())
+	}
+	if city.Roads.NumSegments() == 0 || city.Landuse.NumCells() == 0 {
+		t.Fatal("city sources empty")
+	}
+	if _, err := NewCity(CityConfig{Extent: geo.EmptyRect()}); err == nil {
+		t.Fatal("empty extent should error")
+	}
+	bad := DefaultCityConfig(1, 100)
+	bad.LanduseCellSize = 0
+	if _, err := NewCity(bad); err == nil {
+		t.Fatal("invalid landuse cell size should error")
+	}
+	bad = DefaultCityConfig(1, 100)
+	bad.BlockSize = 0
+	if _, err := NewCity(bad); err == nil {
+		t.Fatal("invalid block size should error")
+	}
+	bad = DefaultCityConfig(1, 0)
+	if _, err := NewCity(bad); err == nil {
+		t.Fatal("zero POI count should error")
+	}
+}
+
+func TestVehicleConfigValidate(t *testing.T) {
+	if err := DefaultTaxiConfig(1).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := DefaultPrivateCarConfig(1).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if DefaultTaxiConfig(1).Kind.String() != "taxi" || DefaultPrivateCarConfig(1).Kind.String() != "private-car" {
+		t.Fatal("kind strings wrong")
+	}
+	bad := DefaultTaxiConfig(1)
+	bad.NumVehicles = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero vehicles should be invalid")
+	}
+	bad = DefaultTaxiConfig(1)
+	bad.Sampling = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero sampling should be invalid")
+	}
+	bad = DefaultTaxiConfig(1)
+	bad.NoiseStd = -1
+	if bad.Validate() == nil {
+		t.Fatal("negative noise should be invalid")
+	}
+}
+
+func TestGenerateTaxis(t *testing.T) {
+	city := testCity(t)
+	cfg := DefaultTaxiConfig(3)
+	cfg.TripsPerVehicle = 4
+	ds, err := GenerateVehicles(city, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Objects) != cfg.NumVehicles {
+		t.Fatalf("objects = %d", len(ds.Objects))
+	}
+	if ds.RecordCount() < 1000 {
+		t.Fatalf("record count = %d, expected a few thousand for 1-2s sampling", ds.RecordCount())
+	}
+	if len(ds.Records()) != ds.RecordCount() {
+		t.Fatal("Records() and RecordCount() disagree")
+	}
+	for _, obj := range ds.Objects {
+		recs := ds.PerObject[obj]
+		truth := ds.Truth[obj]
+		if len(truth.SegmentIDs) != len(recs) || len(truth.Modes) != len(recs) {
+			t.Fatalf("%s ground truth misaligned: %d/%d/%d", obj, len(recs), len(truth.SegmentIDs), len(truth.Modes))
+		}
+		// Timestamps strictly increasing.
+		for i := 1; i < len(recs); i++ {
+			if !recs[i].Time.After(recs[i-1].Time) {
+				t.Fatalf("%s record %d timestamp not increasing", obj, i)
+			}
+		}
+		// Moving records carry segment ids and the car mode; stationary ones -1.
+		var moving, stationary int
+		for i := range recs {
+			if truth.SegmentIDs[i] >= 0 {
+				moving++
+				if truth.Modes[i] != "car" {
+					t.Fatalf("%s moving record %d mode = %q", obj, i, truth.Modes[i])
+				}
+			} else {
+				stationary++
+				if truth.Modes[i] != "" {
+					t.Fatalf("%s stationary record %d mode = %q", obj, i, truth.Modes[i])
+				}
+			}
+		}
+		if moving == 0 || stationary == 0 {
+			t.Fatalf("%s should have both moving and stationary records (%d/%d)", obj, moving, stationary)
+		}
+	}
+	// Determinism.
+	ds2, err := GenerateVehicles(city, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds2.RecordCount() != ds.RecordCount() {
+		t.Fatal("generation not deterministic")
+	}
+}
+
+func TestGeneratePrivateCarsStopTruth(t *testing.T) {
+	city := testCity(t)
+	cfg := DefaultPrivateCarConfig(5)
+	cfg.NumVehicles = 10
+	cfg.TripsPerVehicle = 3
+	ds, err := GenerateVehicles(city, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stops int
+	for _, obj := range ds.Objects {
+		truth := ds.Truth[obj]
+		if len(truth.StopCategories) != len(truth.StopCenters) {
+			t.Fatalf("%s stop truth misaligned", obj)
+		}
+		stops += len(truth.StopCategories)
+		for _, c := range truth.StopCategories {
+			if !c.Valid() {
+				t.Fatalf("%s has invalid stop category %v", obj, c)
+			}
+		}
+		for _, p := range truth.StopCenters {
+			if !city.Extent.ContainsPoint(p) {
+				t.Fatalf("%s stop centre %v outside the city", obj, p)
+			}
+		}
+	}
+	if stops == 0 {
+		t.Fatal("private cars should produce POI stops")
+	}
+}
+
+func TestGenerateVehiclesErrors(t *testing.T) {
+	city := testCity(t)
+	if _, err := GenerateVehicles(nil, DefaultTaxiConfig(1)); err == nil {
+		t.Fatal("nil city should error")
+	}
+	bad := DefaultTaxiConfig(1)
+	bad.NumVehicles = 0
+	if _, err := GenerateVehicles(city, bad); err == nil {
+		t.Fatal("invalid config should error")
+	}
+}
+
+func TestGeneratePeople(t *testing.T) {
+	city := testCity(t)
+	cfg := DefaultPeopleConfig(4, 2, 11)
+	ds, err := GeneratePeople(city, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Objects) != 4 {
+		t.Fatalf("objects = %d", len(ds.Objects))
+	}
+	sawMode := map[string]bool{}
+	for _, obj := range ds.Objects {
+		recs := ds.PerObject[obj]
+		truth := ds.Truth[obj]
+		if len(recs) < 100 {
+			t.Fatalf("%s has only %d records", obj, len(recs))
+		}
+		if len(truth.SegmentIDs) != len(recs) {
+			t.Fatalf("%s ground truth misaligned", obj)
+		}
+		for i := 1; i < len(recs); i++ {
+			if recs[i].Time.Before(recs[i-1].Time) {
+				t.Fatalf("%s timestamps go backwards at %d", obj, i)
+			}
+		}
+		for _, m := range truth.Modes {
+			if m != "" {
+				sawMode[m] = true
+			}
+		}
+	}
+	// The four users use walk, bicycle, bus and metro respectively; at least
+	// walking and one motorised/assisted mode must appear in the truth.
+	if !sawMode["walk"] {
+		t.Fatalf("no walking records in people workload: %v", sawMode)
+	}
+	if len(sawMode) < 2 {
+		t.Fatalf("expected multiple transport modes, got %v", sawMode)
+	}
+	// Errors.
+	if _, err := GeneratePeople(nil, cfg); err == nil {
+		t.Fatal("nil city should error")
+	}
+	bad := cfg
+	bad.NumUsers = 0
+	if _, err := GeneratePeople(city, bad); err == nil {
+		t.Fatal("invalid config should error")
+	}
+	bad = cfg
+	bad.SignalLossProb = 2
+	if _, err := GeneratePeople(city, bad); err == nil {
+		t.Fatal("invalid signal loss should error")
+	}
+	bad = cfg
+	bad.Sampling = 0
+	if _, err := GeneratePeople(city, bad); err == nil {
+		t.Fatal("invalid sampling should error")
+	}
+}
+
+func TestPeopleWorkFlowsIntoEpisodes(t *testing.T) {
+	// End-to-end sanity: the people workload produces trajectories in which
+	// the episode detector finds both stops and moves.
+	city := testCity(t)
+	cfg := DefaultPeopleConfig(1, 1, 21)
+	cfg.SignalLossProb = 0 // keep all stays visible for this check
+	ds, err := GeneratePeople(city, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := ds.Objects[0]
+	records := ds.PerObject[obj]
+	cleaned := gps.Clean(records, gps.DefaultCleaningConfig())
+	trajs := gps.IdentifyTrajectories(cleaned, gps.SegmentationConfig{MaxTimeGap: 2 * time.Hour, MinRecords: 20})
+	if len(trajs) == 0 {
+		t.Fatal("no trajectories identified from people workload")
+	}
+	var stops, moves int
+	for _, tr := range trajs {
+		eps, err := episode.Detect(tr, episode.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		stops += len(episode.Stops(eps))
+		moves += len(episode.Moves(eps))
+	}
+	if stops == 0 || moves == 0 {
+		t.Fatalf("expected both stops and moves, got %d stops %d moves", stops, moves)
+	}
+}
+
+func TestGenerateDrive(t *testing.T) {
+	city := testCity(t)
+	cfg := DefaultDriveConfig(9)
+	ds, err := GenerateDrive(city, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Objects) != 1 || ds.Objects[0] != "drive-001" {
+		t.Fatalf("objects = %v", ds.Objects)
+	}
+	recs := ds.PerObject["drive-001"]
+	truth := ds.Truth["drive-001"]
+	if len(recs) < 500 {
+		t.Fatalf("drive has only %d records", len(recs))
+	}
+	if len(truth.SegmentIDs) != len(recs) {
+		t.Fatal("drive ground truth misaligned")
+	}
+	// Every record of a drive is on the network.
+	for i, id := range truth.SegmentIDs {
+		if id < 0 {
+			t.Fatalf("drive record %d has no ground-truth segment", i)
+		}
+		seg, err := city.Roads.Segment(id)
+		if err != nil {
+			t.Fatalf("drive record %d references unknown segment %d", i, id)
+		}
+		// The noiseless position should be near the true segment; with noise
+		// the distance stays within a few sigmas.
+		if d := seg.Geom.DistanceToPoint(recs[i].Position); d > cfg.NoiseStd*6+1 {
+			t.Fatalf("drive record %d is %v m from its true segment", i, d)
+		}
+	}
+	// Errors.
+	if _, err := GenerateDrive(nil, cfg); err == nil {
+		t.Fatal("nil city should error")
+	}
+	bad := cfg
+	bad.Legs = 0
+	if _, err := GenerateDrive(city, bad); err == nil {
+		t.Fatal("invalid config should error")
+	}
+	bad = cfg
+	bad.Sampling = 0
+	if _, err := GenerateDrive(city, bad); err == nil {
+		t.Fatal("invalid sampling should error")
+	}
+	bad = cfg
+	bad.NoiseStd = -2
+	if _, err := GenerateDrive(city, bad); err == nil {
+		t.Fatal("negative noise should error")
+	}
+}
+
+func TestStopCategoriesMatchMilanShape(t *testing.T) {
+	// Private-car stop categories are drawn from the city's POI set, which is
+	// Milan-like: item sale and person life should dominate.
+	city := testCity(t)
+	cfg := DefaultPrivateCarConfig(13)
+	cfg.NumVehicles = 40
+	ds, err := GenerateVehicles(city, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[poi.Category]int{}
+	total := 0
+	for _, obj := range ds.Objects {
+		for _, c := range ds.Truth[obj].StopCategories {
+			counts[c]++
+			total++
+		}
+	}
+	if total < 50 {
+		t.Fatalf("too few stops to check the distribution: %d", total)
+	}
+	if counts[poi.ItemSale]+counts[poi.PersonLife] <= counts[poi.Services]+counts[poi.Unknown] {
+		t.Fatalf("stop category distribution does not match the Milan shape: %v", counts)
+	}
+}

@@ -1,0 +1,430 @@
+// Package semitri is a Go implementation of SeMiTri (Yan et al., EDBT 2011):
+// a middleware that progressively turns raw GPS streams into structured
+// semantic trajectories by annotating stop/move episodes with semantic
+// regions (land-use), semantic lines (road segments + transportation modes)
+// and semantic points (POI categories inferred with a hidden Markov model).
+//
+// The package exposes the end-to-end Pipeline used by the command-line
+// tools, the examples and the benchmark harness. The individual layers live
+// in internal packages: internal/region, internal/line and internal/point
+// implement Algorithms 1-3 of the paper, internal/episode the stop/move
+// computation, internal/store the semantic trajectory store and
+// internal/workload the synthetic stand-ins for the paper's datasets.
+//
+// A minimal use looks like:
+//
+//	city, _ := workload.NewCity(workload.DefaultCityConfig(1, 5000))
+//	pipeline, _ := semitri.New(semitri.Sources{
+//	    Landuse: city.Landuse, Roads: city.Roads, POIs: city.POIs,
+//	}, semitri.DefaultConfig())
+//	result, _ := pipeline.ProcessRecords(records)
+//	st, _ := pipeline.Store().Structured(result.TrajectoryIDs[0], semitri.InterpretationMerged)
+//	fmt.Println(st)
+package semitri
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"semitri/internal/core"
+	"semitri/internal/episode"
+	"semitri/internal/gps"
+	"semitri/internal/landuse"
+	"semitri/internal/line"
+	"semitri/internal/point"
+	"semitri/internal/poi"
+	"semitri/internal/region"
+	"semitri/internal/roadnet"
+	"semitri/internal/stats"
+	"semitri/internal/store"
+)
+
+// Interpretation names under which the pipeline stores structured semantic
+// trajectories in the semantic trajectory store.
+const (
+	// InterpretationRegion is the record-level region annotation (Alg. 1),
+	// with consecutive same-category tuples merged.
+	InterpretationRegion = "region"
+	// InterpretationRegionEpisodes is the episode-level region annotation.
+	InterpretationRegionEpisodes = "region-episodes"
+	// InterpretationLine is the per-segment line annotation of move episodes
+	// (Alg. 2) with transportation modes.
+	InterpretationLine = "line"
+	// InterpretationPoint is the stop annotation with POI categories (Alg. 3).
+	InterpretationPoint = "point"
+	// InterpretationMerged is the episode-level combination of all layers:
+	// one tuple per stop/move episode carrying region, line and point
+	// annotations (the semantic trajectory of §1.1).
+	InterpretationMerged = "merged"
+)
+
+// Pipeline latency stage names (the x axis of Fig. 17).
+const (
+	StageComputeEpisode = "compute episode"
+	StageStoreEpisode   = "store episode"
+	StageMapMatch       = "map match"
+	StageStoreMatch     = "store match result"
+	StageLanduseJoin    = "landuse (join)"
+	StagePointAnnotate  = "poi annotation"
+)
+
+// Sources bundles the 3rd-party geographic data the annotation layers use.
+// Each source is optional: a missing source simply disables the
+// corresponding layer (SeMiTri produces partial annotations, §5.1).
+type Sources struct {
+	Landuse *landuse.Map
+	Roads   *roadnet.Network
+	POIs    *poi.Set
+}
+
+// Config controls the full pipeline.
+type Config struct {
+	// Cleaning configures outlier removal and smoothing.
+	Cleaning gps.CleaningConfig
+	// Segmentation configures raw-trajectory identification.
+	Segmentation gps.SegmentationConfig
+	// DailySplit additionally splits trajectories at UTC day boundaries
+	// (the "daily trajectory" unit of the paper's people experiments).
+	DailySplit bool
+	// Episode configures stop/move detection.
+	Episode episode.Config
+	// Line configures the global map-matching layer.
+	Line line.Config
+	// Point configures the HMM POI-category layer.
+	Point point.Config
+	// Workers bounds the number of trajectories annotated concurrently
+	// (values below 1 mean sequential processing).
+	Workers int
+}
+
+// DefaultConfig returns the configuration used throughout the experiments.
+func DefaultConfig() Config {
+	return Config{
+		Cleaning:     gps.DefaultCleaningConfig(),
+		Segmentation: gps.DefaultSegmentationConfig(),
+		DailySplit:   true,
+		Episode:      episode.DefaultConfig(),
+		Line:         line.DefaultConfig(),
+		Point:        point.DefaultConfig(),
+		Workers:      4,
+	}
+}
+
+// VehicleConfig returns a configuration tuned for car/taxi trajectories:
+// vehicle episode thresholds and the trivial "car" transportation mode.
+func VehicleConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Episode = episode.VehicleConfig()
+	cfg.Line.VehicleMode = line.ModeCar
+	return cfg
+}
+
+// Pipeline wires preprocessing, episode computation, the three annotation
+// layers and the semantic trajectory store (Fig. 2). A Pipeline is safe for
+// concurrent use.
+type Pipeline struct {
+	cfg     Config
+	sources Sources
+
+	regionAnnotator *region.Annotator
+	lineAnnotator   *line.Annotator
+	pointAnnotator  *point.Annotator
+
+	st *store.Store
+
+	mu      sync.Mutex
+	latency *stats.LatencyBreakdown
+}
+
+// New builds a pipeline over the given sources. At least one source must be
+// provided.
+func New(sources Sources, cfg Config) (*Pipeline, error) {
+	if sources.Landuse == nil && sources.Roads == nil && sources.POIs == nil {
+		return nil, errors.New("semitri: at least one 3rd-party source is required")
+	}
+	if err := cfg.Episode.Validate(); err != nil {
+		return nil, fmt.Errorf("semitri: %w", err)
+	}
+	p := &Pipeline{
+		cfg:     cfg,
+		sources: sources,
+		st:      store.New(),
+		latency: stats.NewLatencyBreakdown(),
+	}
+	var err error
+	if sources.Landuse != nil {
+		if p.regionAnnotator, err = region.NewAnnotator(sources.Landuse); err != nil {
+			return nil, fmt.Errorf("semitri: region layer: %w", err)
+		}
+	}
+	if sources.Roads != nil {
+		if p.lineAnnotator, err = line.NewAnnotator(sources.Roads, cfg.Line); err != nil {
+			return nil, fmt.Errorf("semitri: line layer: %w", err)
+		}
+	}
+	if sources.POIs != nil {
+		if p.pointAnnotator, err = point.NewAnnotator(sources.POIs, cfg.Point); err != nil {
+			return nil, fmt.Errorf("semitri: point layer: %w", err)
+		}
+	}
+	return p, nil
+}
+
+// Store returns the semantic trajectory store populated by the pipeline.
+func (p *Pipeline) Store() *store.Store { return p.st }
+
+// Latency returns the accumulated per-stage latency breakdown (Fig. 17).
+func (p *Pipeline) Latency() *stats.LatencyBreakdown {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	merged := stats.NewLatencyBreakdown()
+	merged.Merge(p.latency)
+	return merged
+}
+
+// Result summarises a ProcessRecords run.
+type Result struct {
+	// TrajectoryIDs lists the identified raw trajectories in processing order.
+	TrajectoryIDs []string
+	// Records is the number of records after cleaning.
+	Records int
+	// Stops and Moves count the detected episodes.
+	Stops int
+	Moves int
+}
+
+// ProcessRecords runs the whole pipeline on a raw GPS stream: cleaning,
+// trajectory identification, stop/move computation, the three annotation
+// layers and storage. Trajectories are annotated concurrently (bounded by
+// Config.Workers) and every artefact ends up in the pipeline's store.
+func (p *Pipeline) ProcessRecords(records []gps.Record) (*Result, error) {
+	if len(records) == 0 {
+		return nil, errors.New("semitri: no records")
+	}
+	sorted := append([]gps.Record(nil), records...)
+	gps.SortRecords(sorted)
+	cleaned := gps.Clean(sorted, p.cfg.Cleaning)
+	p.st.PutRecords(cleaned)
+	var trajectories []*gps.RawTrajectory
+	if p.cfg.DailySplit {
+		trajectories = gps.SplitDaily(cleaned, p.cfg.Segmentation)
+	} else {
+		trajectories = gps.IdentifyTrajectories(cleaned, p.cfg.Segmentation)
+	}
+	if len(trajectories) == 0 {
+		return nil, errors.New("semitri: no trajectories identified (check segmentation config)")
+	}
+	result := &Result{Records: len(cleaned)}
+	workers := p.cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	type trajOutcome struct {
+		id    string
+		stops int
+		moves int
+		err   error
+	}
+	outcomes := make([]trajOutcome, len(trajectories))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, t := range trajectories {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, t *gps.RawTrajectory) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			stops, moves, err := p.processTrajectory(t)
+			outcomes[i] = trajOutcome{id: t.ID, stops: stops, moves: moves, err: err}
+		}(i, t)
+	}
+	wg.Wait()
+	for _, o := range outcomes {
+		if o.err != nil {
+			return nil, fmt.Errorf("semitri: trajectory %s: %w", o.id, o.err)
+		}
+		result.TrajectoryIDs = append(result.TrajectoryIDs, o.id)
+		result.Stops += o.stops
+		result.Moves += o.moves
+	}
+	return result, nil
+}
+
+// ProcessTrajectory runs episode computation and the annotation layers on a
+// single, already identified raw trajectory and stores the results.
+func (p *Pipeline) ProcessTrajectory(t *gps.RawTrajectory) error {
+	if t == nil || len(t.Records) == 0 {
+		return errors.New("semitri: empty trajectory")
+	}
+	_, _, err := p.processTrajectory(t)
+	return err
+}
+
+func (p *Pipeline) processTrajectory(t *gps.RawTrajectory) (stops, moves int, err error) {
+	local := stats.NewLatencyBreakdown()
+	defer func() {
+		p.mu.Lock()
+		p.latency.Merge(local)
+		p.mu.Unlock()
+	}()
+	if err := p.st.PutTrajectory(t); err != nil {
+		return 0, 0, err
+	}
+	// Stop/move computation.
+	start := time.Now()
+	eps, err := episode.Detect(t, p.cfg.Episode)
+	if err != nil {
+		return 0, 0, err
+	}
+	local.Record(StageComputeEpisode, time.Since(start))
+	start = time.Now()
+	if err := p.st.PutEpisodes(t.ID, eps); err != nil {
+		return 0, 0, err
+	}
+	local.Record(StageStoreEpisode, time.Since(start))
+	stopEps := episode.Stops(eps)
+	moveEps := episode.Moves(eps)
+
+	merged := &core.StructuredTrajectory{ID: t.ID, ObjectID: t.ObjectID, Interpretation: InterpretationMerged}
+	episodeTuples := map[*episode.Episode]*core.EpisodeTuple{}
+	for _, ep := range eps {
+		tp := &core.EpisodeTuple{Kind: ep.Kind, TimeIn: ep.Start, TimeOut: ep.End, Episode: ep}
+		episodeTuples[ep] = tp
+		merged.Tuples = append(merged.Tuples, tp)
+	}
+
+	// Region layer: record-level Tregion plus episode-level annotations.
+	if p.regionAnnotator != nil {
+		start = time.Now()
+		recordLevel, err := p.regionAnnotator.AnnotateTrajectory(t)
+		if err != nil {
+			return 0, 0, err
+		}
+		regionMerged := recordLevel.MergeConsecutive(core.AnnLanduse)
+		epTuples, err := p.regionAnnotator.AnnotateEpisodes(eps)
+		if err != nil {
+			return 0, 0, err
+		}
+		local.Record(StageLanduseJoin, time.Since(start))
+		for i, ep := range eps {
+			if tp := episodeTuples[ep]; tp != nil {
+				tp.Annotations.Merge(&epTuples[i].Annotations)
+				if tp.Place == nil {
+					tp.Place = epTuples[i].Place
+				}
+			}
+		}
+		if err := p.st.PutStructured(regionMerged); err != nil {
+			return 0, 0, err
+		}
+		epInterp := &core.StructuredTrajectory{
+			ID: t.ID, ObjectID: t.ObjectID, Interpretation: InterpretationRegionEpisodes, Tuples: epTuples,
+		}
+		if err := p.st.PutStructured(epInterp); err != nil {
+			return 0, 0, err
+		}
+	}
+
+	// Line layer: map matching + transportation mode for every move episode.
+	if p.lineAnnotator != nil && len(moveEps) > 0 {
+		lineTraj := &core.StructuredTrajectory{ID: t.ID, ObjectID: t.ObjectID, Interpretation: InterpretationLine}
+		start = time.Now()
+		for _, ep := range moveEps {
+			tuples, runs, err := p.lineAnnotator.AnnotateMove(t, ep)
+			if err != nil {
+				return 0, 0, err
+			}
+			lineTraj.Tuples = append(lineTraj.Tuples, tuples...)
+			// Episode-level summary: dominant mode and road of the move.
+			if tp := episodeTuples[ep]; tp != nil && len(runs) > 0 {
+				dominant := dominantMode(runs)
+				tp.Annotations.Add(core.Annotation{
+					Key: core.AnnTransportMode, Value: string(dominant), Confidence: 0.9, Source: "line"})
+				if tp.Place == nil {
+					seg := longestRunPlace(runs, tuples)
+					if seg != nil {
+						tp.Place = seg
+					}
+				}
+			}
+		}
+		local.Record(StageMapMatch, time.Since(start))
+		start = time.Now()
+		if err := p.st.PutStructured(lineTraj); err != nil {
+			return 0, 0, err
+		}
+		local.Record(StageStoreMatch, time.Since(start))
+	}
+
+	// Point layer: POI category inference over the trajectory's stop sequence.
+	if p.pointAnnotator != nil && len(stopEps) > 0 {
+		start = time.Now()
+		tuples, _, err := p.pointAnnotator.AnnotateStops(stopEps)
+		if err != nil {
+			return 0, 0, err
+		}
+		local.Record(StagePointAnnotate, time.Since(start))
+		pointTraj := &core.StructuredTrajectory{
+			ID: t.ID, ObjectID: t.ObjectID, Interpretation: InterpretationPoint, Tuples: tuples,
+		}
+		if err := p.st.PutStructured(pointTraj); err != nil {
+			return 0, 0, err
+		}
+		for i, ep := range stopEps {
+			if tp := episodeTuples[ep]; tp != nil {
+				tp.Annotations.Merge(&tuples[i].Annotations)
+				if tuples[i].Place != nil {
+					tp.Place = tuples[i].Place
+				}
+			}
+		}
+	}
+
+	if err := p.st.PutStructured(merged); err != nil {
+		return 0, 0, err
+	}
+	return len(stopEps), len(moveEps), nil
+}
+
+// dominantMode returns the transportation mode covering the most records
+// across the runs of one move episode.
+func dominantMode(runs []line.SegmentRun) line.Mode {
+	weights := map[line.Mode]int{}
+	for _, r := range runs {
+		weights[r.Mode] += r.EndIdx - r.StartIdx + 1
+	}
+	modes := make([]line.Mode, 0, len(weights))
+	for m := range weights {
+		modes = append(modes, m)
+	}
+	sort.Slice(modes, func(i, j int) bool {
+		if weights[modes[i]] != weights[modes[j]] {
+			return weights[modes[i]] > weights[modes[j]]
+		}
+		return modes[i] < modes[j]
+	})
+	if len(modes) == 0 {
+		return ""
+	}
+	return modes[0]
+}
+
+// longestRunPlace returns the place of the tuple whose run covers the most
+// records, used as the representative road of a move episode.
+func longestRunPlace(runs []line.SegmentRun, tuples []*core.EpisodeTuple) *core.Place {
+	best := -1
+	bestLen := -1
+	for i, r := range runs {
+		if l := r.EndIdx - r.StartIdx; l > bestLen {
+			bestLen = l
+			best = i
+		}
+	}
+	if best < 0 || best >= len(tuples) {
+		return nil
+	}
+	return tuples[best].Place
+}
