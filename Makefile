@@ -1,0 +1,31 @@
+# Mirrors .github/workflows/ci.yml so contributors can run CI locally:
+# `make ci` runs exactly what the workflow runs.
+
+GO ?= go
+
+.PHONY: build test bench lint ci fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# Full benchmark run (the paper's tables/figures print under -v).
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# Formatting + vet; fails when any file needs gofmt.
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
+	fi
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+# What CI runs: build, lint, tests, and a one-iteration bench smoke pass.
+ci: build lint test
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .

@@ -119,6 +119,44 @@ func BenchmarkPipelinePeopleDay(b *testing.B) {
 	}
 }
 
+// BenchmarkStreamPeopleDay measures the streaming ingestion path on one
+// person-day of data fed record by record, reporting amortised per-record
+// latency (ns/record) — the figure that matters for online serving.
+func BenchmarkStreamPeopleDay(b *testing.B) {
+	env := benchEnv(b)
+	ds, err := workload.GeneratePeople(env.City, workload.DefaultPeopleConfig(1, 1, 99))
+	if err != nil {
+		b.Fatal(err)
+	}
+	records := ds.Records()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Pipeline construction (spatial index building) is not part of the
+		// per-record serving cost; keep it off the clock.
+		b.StopTimer()
+		p, err := semitri.New(semitri.Sources{
+			Landuse: env.City.Landuse, Roads: env.City.Roads, POIs: env.City.POIs,
+		}, semitri.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sp := p.NewStream()
+		b.StartTimer()
+		for _, r := range records {
+			if _, err := sp.Add(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := sp.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	perRecord := float64(b.Elapsed().Nanoseconds()) / float64(b.N*len(records))
+	b.ReportMetric(perRecord, "ns/record")
+}
+
 // BenchmarkPipelineTaxiTrip measures the end-to-end pipeline cost for a
 // single taxi's day of trips with the vehicle configuration.
 func BenchmarkPipelineTaxiTrip(b *testing.B) {

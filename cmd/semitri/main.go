@@ -8,14 +8,26 @@
 //
 //	semitri -in people.csv [-profile people|vehicle] [-seed 1] [-pois 8000]
 //	        [-store out/store.json] [-max-trajectories 10] [-summary]
+//	        [-stream] [-progress 5000]
 //
 // With -in omitted the command generates a small demonstration dataset on
 // the fly so it can be run with no arguments.
+//
+// With -stream the input is ingested through the online pipeline instead of
+// the batch one: the CSV is read line by line (never fully in memory), each
+// record goes through semitri.StreamProcessor.Add, episodes are annotated
+// as they close, and ingestion progress is reported every -progress records.
+// For input whose records are time-ordered per object (what semitri-gen
+// writes, and what a live feed delivers) the resulting store is identical to
+// a batch run on the same input; records arriving out of order are dropped
+// by the streaming cleaner, where batch mode would sort them first.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -36,30 +48,13 @@ func main() {
 	geojsonPath := flag.String("geojson", "", "write the merged semantic trajectories as a GeoJSON FeatureCollection to this path")
 	maxTrajectories := flag.Int("max-trajectories", 5, "maximum number of trajectories to print (0 = all)")
 	summary := flag.Bool("summary", false, "print aggregate analytics instead of per-trajectory output")
+	stream := flag.Bool("stream", false, "ingest through the online streaming pipeline instead of the batch one")
+	progress := flag.Int("progress", 5000, "with -stream, report ingestion progress every N records")
 	flag.Parse()
 
 	city, err := workload.NewCity(workload.DefaultCityConfig(*seed, *pois))
 	if err != nil {
 		fail(err)
-	}
-	var records []gps.Record
-	if *in == "" {
-		fmt.Fprintln(os.Stderr, "no -in file given; generating a small demonstration people dataset")
-		ds, err := workload.GeneratePeople(city, workload.DefaultPeopleConfig(2, 2, *seed+1))
-		if err != nil {
-			fail(err)
-		}
-		records = ds.Records()
-	} else {
-		f, err := os.Open(*in)
-		if err != nil {
-			fail(err)
-		}
-		records, err = gps.ReadCSV(f)
-		f.Close()
-		if err != nil {
-			fail(err)
-		}
 	}
 
 	cfg := semitri.DefaultConfig()
@@ -73,10 +68,30 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+
 	start := time.Now()
-	result, err := pipeline.ProcessRecords(records)
-	if err != nil {
-		fail(err)
+	var result *semitri.Result
+	if *stream {
+		result = runStream(pipeline, *in, city, *seed, *progress)
+	} else {
+		var records []gps.Record
+		if *in == "" {
+			records = demoRecords(city, *seed)
+		} else {
+			f, err := os.Open(*in)
+			if err != nil {
+				fail(err)
+			}
+			records, err = gps.ReadCSV(f)
+			f.Close()
+			if err != nil {
+				fail(err)
+			}
+		}
+		result, err = pipeline.ProcessRecords(records)
+		if err != nil {
+			fail(err)
+		}
 	}
 	fmt.Printf("processed %d records into %d trajectories (%d stops, %d moves) in %v\n\n",
 		result.Records, len(result.TrajectoryIDs), result.Stops, result.Moves,
@@ -141,6 +156,80 @@ func main() {
 		fmt.Printf("  %-22s %8.3f ms over %d trajectories\n",
 			stage, float64(lat.Average(stage).Microseconds())/1000.0, lat.Count(stage))
 	}
+}
+
+// runStream ingests the input through the online pipeline, reading the CSV
+// line by line, and reports progress (records, episodes, trajectories and
+// per-record throughput) every `every` records.
+func runStream(pipeline *semitri.Pipeline, in string, city *workload.City, seed int64, every int) *semitri.Result {
+	sp := pipeline.NewStream()
+	ingested := 0
+	episodes := 0
+	trajectories := 0
+	startedAt := time.Now()
+	report := func() {
+		elapsed := time.Since(startedAt)
+		rate := float64(ingested) / elapsed.Seconds()
+		fmt.Fprintf(os.Stderr, "ingested %d records (%d episodes, %d trajectories closed, %.0f rec/s)\n",
+			ingested, episodes, trajectories, rate)
+	}
+	feed := func(r gps.Record) {
+		events, err := sp.Add(r)
+		if err != nil {
+			fail(err)
+		}
+		for _, ev := range events {
+			if ev.Episode != nil {
+				episodes++
+			}
+			if ev.TrajectoryClosed {
+				trajectories++
+			}
+		}
+		ingested++
+		if every > 0 && ingested%every == 0 {
+			report()
+		}
+	}
+	if in == "" {
+		for _, r := range demoRecords(city, seed) {
+			feed(r)
+		}
+	} else {
+		f, err := os.Open(in)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		cr := gps.NewCSVReader(bufio.NewReader(f))
+		for {
+			r, err := cr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				fail(err)
+			}
+			feed(r)
+		}
+	}
+	result, err := sp.Close()
+	if err != nil {
+		fail(err)
+	}
+	report()
+	return result
+}
+
+// demoRecords generates the small demonstration people dataset used when no
+// -in file is given, for both the batch and the streaming mode.
+func demoRecords(city *workload.City, seed int64) []gps.Record {
+	fmt.Fprintln(os.Stderr, "no -in file given; generating a small demonstration people dataset")
+	ds, err := workload.GeneratePeople(city, workload.DefaultPeopleConfig(2, 2, seed+1))
+	if err != nil {
+		fail(err)
+	}
+	return ds.Records()
 }
 
 func fail(err error) {

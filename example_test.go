@@ -1,0 +1,53 @@
+package semitri_test
+
+import (
+	"fmt"
+	"log"
+
+	"semitri"
+	"semitri/internal/workload"
+)
+
+// Example_streaming shows the online ingestion path: records are fed one at
+// a time and each episode is annotated the moment it becomes final, instead
+// of waiting for the whole stream as ProcessRecords does. (No fixed output:
+// the synthetic workload is seed-dependent.)
+func Example_streaming() {
+	city, err := workload.NewCity(workload.DefaultCityConfig(1, 4000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	pipeline, err := semitri.New(semitri.Sources{
+		Landuse: city.Landuse, Roads: city.Roads, POIs: city.POIs,
+	}, semitri.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	stream := pipeline.NewStream()
+
+	day, err := workload.GeneratePeople(city, workload.DefaultPeopleConfig(1, 1, 7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, record := range day.Records() {
+		events, err := stream.Add(record) // one GPS fix at a time
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, ev := range events {
+			if ev.Episode != nil {
+				fmt.Printf("%s: %s episode closed, annotations: %s\n",
+					ev.ObjectID, ev.Episode.Kind, ev.Tuple.Annotations.String())
+			}
+			if ev.TrajectoryClosed {
+				fmt.Printf("%s: trajectory %s fully annotated\n", ev.ObjectID, ev.TrajectoryID)
+			}
+		}
+	}
+	result, err := stream.Close() // flush tails; same Result as ProcessRecords
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, _ := pipeline.Store().Structured(result.TrajectoryIDs[0], semitri.InterpretationMerged)
+	fmt.Println(st)
+}

@@ -1,0 +1,93 @@
+// Streaming: annotate a GPS feed online, episode by episode.
+//
+// Where examples/quickstart processes a finished day of records in one
+// batch, this example plays the same day back as a live feed: records enter
+// the pipeline one at a time through a semitri.StreamProcessor, and the
+// program prints each stop/move episode the moment the pipeline decides it
+// is final — with its land-use and road/transport-mode annotations already
+// attached — rather than waiting for the day to end. The POI-category
+// annotations (the HMM decodes a trajectory's whole stop sequence jointly)
+// arrive when the trajectory closes; the example prints the fully annotated
+// trajectory at that point.
+//
+// Run with:
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"semitri"
+	"semitri/internal/workload"
+)
+
+func main() {
+	// 1. Build the 3rd-party sources and one user-day of raw GPS records.
+	city, err := workload.NewCity(workload.DefaultCityConfig(42, 4000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	day, err := workload.GeneratePeople(city, workload.DefaultPeopleConfig(1, 1, 7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	records := day.Records()
+	fmt.Printf("replaying %d GPS records for %s as a live feed\n\n", len(records), day.Objects[0])
+
+	// 2. Build the pipeline and open a stream over it.
+	pipeline, err := semitri.New(semitri.Sources{
+		Landuse: city.Landuse,
+		Roads:   city.Roads,
+		POIs:    city.POIs,
+	}, semitri.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	stream := pipeline.NewStream()
+
+	// 3. Feed the records one at a time. Each event is an episode that just
+	//    became final (annotated online) or a trajectory that just closed.
+	for _, record := range records {
+		events, err := stream.Add(record)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, ev := range events {
+			switch {
+			case ev.Episode != nil:
+				fmt.Printf("  [%s] %-4s %s -> %s  %s\n",
+					record.Time.Format("15:04"), ev.Episode.Kind,
+					ev.Episode.Start.Format("15:04"), ev.Episode.End.Format("15:04"),
+					ev.Tuple.Annotations.String())
+			case ev.TrajectoryClosed:
+				printClosed(pipeline, ev.TrajectoryID)
+			}
+		}
+	}
+
+	// 4. Close the stream: open trajectories are flushed and annotated.
+	result, err := stream.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, id := range result.TrajectoryIDs {
+		printClosed(pipeline, id)
+	}
+	fmt.Printf("\ningested %d records into %d trajectories (%d stops, %d moves)\n",
+		result.Records, len(result.TrajectoryIDs), result.Stops, result.Moves)
+}
+
+var printed = map[string]bool{}
+
+// printClosed prints a trajectory's final semantic form once.
+func printClosed(pipeline *semitri.Pipeline, id string) {
+	if printed[id] {
+		return
+	}
+	printed[id] = true
+	if merged, ok := pipeline.Store().Structured(id, semitri.InterpretationMerged); ok {
+		fmt.Printf("\nclosed trajectory %s\n  %s\n\n", id, merged.String())
+	}
+}

@@ -1,0 +1,3 @@
+module semitri
+
+go 1.24

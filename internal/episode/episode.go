@@ -224,9 +224,14 @@ func Detect(t *gps.RawTrajectory, cfg Config) ([]*Episode, error) {
 }
 
 func runRadius(t *gps.RawTrajectory, from, to int) float64 {
+	return recordsRadius(t.Records, from, to)
+}
+
+// recordsRadius is runRadius over a bare record slice (global indices).
+func recordsRadius(records []gps.Record, from, to int) float64 {
 	pts := make([]geo.Point, 0, to-from+1)
 	for i := from; i <= to; i++ {
-		pts = append(pts, t.Records[i].Position)
+		pts = append(pts, records[i].Position)
 	}
 	c := geo.Centroid(pts)
 	var max float64
@@ -239,7 +244,13 @@ func runRadius(t *gps.RawTrajectory, from, to int) float64 {
 }
 
 func buildEpisode(t *gps.RawTrajectory, kind Kind, from, to int) *Episode {
-	recs := t.Records[from : to+1]
+	return buildEpisodeRecords(t.ID, t.ObjectID, t.Records, kind, from, to)
+}
+
+// buildEpisodeRecords builds an episode over records[from:to+1] of the
+// trajectory's full record slice; from/to are kept as global indices.
+func buildEpisodeRecords(trajectoryID, objectID string, records []gps.Record, kind Kind, from, to int) *Episode {
+	recs := records[from : to+1]
 	pts := make([]geo.Point, len(recs))
 	for i, r := range recs {
 		pts[i] = r.Position
@@ -261,8 +272,8 @@ func buildEpisode(t *gps.RawTrajectory, kind Kind, from, to int) *Episode {
 		avg = dist / dur
 	}
 	return &Episode{
-		TrajectoryID: t.ID,
-		ObjectID:     t.ObjectID,
+		TrajectoryID: trajectoryID,
+		ObjectID:     objectID,
 		Kind:         kind,
 		StartIdx:     from,
 		EndIdx:       to,

@@ -136,6 +136,19 @@ func (s *Store) PutEpisodes(trajectoryID string, eps []*episode.Episode) error {
 	return nil
 }
 
+// AppendEpisodes appends episodes to a trajectory's stored sequence without
+// replacing what is already there — the streaming pipeline's write path,
+// where episodes of one trajectory arrive one at a time.
+func (s *Store) AppendEpisodes(trajectoryID string, eps ...*episode.Episode) error {
+	if trajectoryID == "" {
+		return errors.New("store: empty trajectory id")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.episodes[trajectoryID] = append(s.episodes[trajectoryID], eps...)
+	return nil
+}
+
 // Episodes returns the episodes stored for a trajectory.
 func (s *Store) Episodes(trajectoryID string) []*episode.Episode {
 	s.mu.RLock()
@@ -176,6 +189,34 @@ func (s *Store) PutStructured(st *core.StructuredTrajectory) error {
 		s.structured[st.ID] = byInterp
 	}
 	byInterp[st.Interpretation] = st
+	return nil
+}
+
+// AppendStructuredTuples appends tuples to the structured trajectory stored
+// under (trajectoryID, interpretation), creating it when absent. It is the
+// incremental counterpart of PutStructured: the streaming pipeline appends
+// each episode's tuples as the episode closes, and concurrent appends to
+// different trajectories are safe.
+func (s *Store) AppendStructuredTuples(trajectoryID, objectID, interpretation string, tuples ...*core.EpisodeTuple) error {
+	if trajectoryID == "" {
+		return errors.New("store: structured trajectory must have an id")
+	}
+	if interpretation == "" {
+		return errors.New("store: structured trajectory must name its interpretation")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	byInterp, ok := s.structured[trajectoryID]
+	if !ok {
+		byInterp = structuredByInterp{}
+		s.structured[trajectoryID] = byInterp
+	}
+	st, ok := byInterp[interpretation]
+	if !ok {
+		st = &core.StructuredTrajectory{ID: trajectoryID, ObjectID: objectID, Interpretation: interpretation}
+		byInterp[interpretation] = st
+	}
+	st.Tuples = append(st.Tuples, tuples...)
 	return nil
 }
 

@@ -11,7 +11,7 @@
 // computation, internal/store the semantic trajectory store and
 // internal/workload the synthetic stand-ins for the paper's datasets.
 //
-// A minimal use looks like:
+// A minimal batch use looks like:
 //
 //	city, _ := workload.NewCity(workload.DefaultCityConfig(1, 5000))
 //	pipeline, _ := semitri.New(semitri.Sources{
@@ -20,6 +20,23 @@
 //	result, _ := pipeline.ProcessRecords(records)
 //	st, _ := pipeline.Store().Structured(result.TrajectoryIDs[0], semitri.InterpretationMerged)
 //	fmt.Println(st)
+//
+// For online ingestion — the middleware setting of the paper — use a
+// StreamProcessor instead of ProcessRecords. It accepts records one at a
+// time, emits every stop/move episode as soon as it is final (with its
+// region and line annotations already attached), and produces exactly the
+// same stored trajectories as the batch path:
+//
+//	stream := pipeline.NewStream()
+//	for record := range source {             // e.g. a GPS feed
+//	    events, _ := stream.Add(record)
+//	    for _, ev := range events {
+//	        if ev.Episode != nil {
+//	            fmt.Println("episode closed:", ev.Episode.Kind, ev.Tuple.Annotations)
+//	        }
+//	    }
+//	}
+//	result, _ := stream.Close()              // flush open trajectories
 package semitri
 
 import (
@@ -34,8 +51,8 @@ import (
 	"semitri/internal/gps"
 	"semitri/internal/landuse"
 	"semitri/internal/line"
-	"semitri/internal/point"
 	"semitri/internal/poi"
+	"semitri/internal/point"
 	"semitri/internal/region"
 	"semitri/internal/roadnet"
 	"semitri/internal/stats"
@@ -288,15 +305,27 @@ func (p *Pipeline) processTrajectory(t *gps.RawTrajectory) (stops, moves int, er
 	stopEps := episode.Stops(eps)
 	moveEps := episode.Moves(eps)
 
+	// Region + line layers, episode by episode. The streaming path runs the
+	// same annotateEpisode on each episode the moment it closes.
 	merged := &core.StructuredTrajectory{ID: t.ID, ObjectID: t.ObjectID, Interpretation: InterpretationMerged}
-	episodeTuples := map[*episode.Episode]*core.EpisodeTuple{}
+	var regionTuples, lineTuples []*core.EpisodeTuple
+	var mergedStops []*core.EpisodeTuple
 	for _, ep := range eps {
-		tp := &core.EpisodeTuple{Kind: ep.Kind, TimeIn: ep.Start, TimeOut: ep.End, Episode: ep}
-		episodeTuples[ep] = tp
-		merged.Tuples = append(merged.Tuples, tp)
+		ann, err := p.annotateEpisode(t, ep, local)
+		if err != nil {
+			return 0, 0, err
+		}
+		merged.Tuples = append(merged.Tuples, ann.merged)
+		if ep.Kind == episode.Stop {
+			mergedStops = append(mergedStops, ann.merged)
+		}
+		if ann.region != nil {
+			regionTuples = append(regionTuples, ann.region)
+		}
+		lineTuples = append(lineTuples, ann.line...)
 	}
 
-	// Region layer: record-level Tregion plus episode-level annotations.
+	// Region layer, record level: Tregion with consecutive tuples merged.
 	if p.regionAnnotator != nil {
 		start = time.Now()
 		recordLevel, err := p.regionAnnotator.AnnotateTrajectory(t)
@@ -304,54 +333,22 @@ func (p *Pipeline) processTrajectory(t *gps.RawTrajectory) (stops, moves int, er
 			return 0, 0, err
 		}
 		regionMerged := recordLevel.MergeConsecutive(core.AnnLanduse)
-		epTuples, err := p.regionAnnotator.AnnotateEpisodes(eps)
-		if err != nil {
-			return 0, 0, err
-		}
 		local.Record(StageLanduseJoin, time.Since(start))
-		for i, ep := range eps {
-			if tp := episodeTuples[ep]; tp != nil {
-				tp.Annotations.Merge(&epTuples[i].Annotations)
-				if tp.Place == nil {
-					tp.Place = epTuples[i].Place
-				}
-			}
-		}
 		if err := p.st.PutStructured(regionMerged); err != nil {
 			return 0, 0, err
 		}
 		epInterp := &core.StructuredTrajectory{
-			ID: t.ID, ObjectID: t.ObjectID, Interpretation: InterpretationRegionEpisodes, Tuples: epTuples,
+			ID: t.ID, ObjectID: t.ObjectID, Interpretation: InterpretationRegionEpisodes, Tuples: regionTuples,
 		}
 		if err := p.st.PutStructured(epInterp); err != nil {
 			return 0, 0, err
 		}
 	}
 
-	// Line layer: map matching + transportation mode for every move episode.
 	if p.lineAnnotator != nil && len(moveEps) > 0 {
-		lineTraj := &core.StructuredTrajectory{ID: t.ID, ObjectID: t.ObjectID, Interpretation: InterpretationLine}
-		start = time.Now()
-		for _, ep := range moveEps {
-			tuples, runs, err := p.lineAnnotator.AnnotateMove(t, ep)
-			if err != nil {
-				return 0, 0, err
-			}
-			lineTraj.Tuples = append(lineTraj.Tuples, tuples...)
-			// Episode-level summary: dominant mode and road of the move.
-			if tp := episodeTuples[ep]; tp != nil && len(runs) > 0 {
-				dominant := dominantMode(runs)
-				tp.Annotations.Add(core.Annotation{
-					Key: core.AnnTransportMode, Value: string(dominant), Confidence: 0.9, Source: "line"})
-				if tp.Place == nil {
-					seg := longestRunPlace(runs, tuples)
-					if seg != nil {
-						tp.Place = seg
-					}
-				}
-			}
+		lineTraj := &core.StructuredTrajectory{
+			ID: t.ID, ObjectID: t.ObjectID, Interpretation: InterpretationLine, Tuples: lineTuples,
 		}
-		local.Record(StageMapMatch, time.Since(start))
 		start = time.Now()
 		if err := p.st.PutStructured(lineTraj); err != nil {
 			return 0, 0, err
@@ -360,33 +357,97 @@ func (p *Pipeline) processTrajectory(t *gps.RawTrajectory) (stops, moves int, er
 	}
 
 	// Point layer: POI category inference over the trajectory's stop sequence.
-	if p.pointAnnotator != nil && len(stopEps) > 0 {
-		start = time.Now()
-		tuples, _, err := p.pointAnnotator.AnnotateStops(stopEps)
-		if err != nil {
-			return 0, 0, err
-		}
-		local.Record(StagePointAnnotate, time.Since(start))
-		pointTraj := &core.StructuredTrajectory{
-			ID: t.ID, ObjectID: t.ObjectID, Interpretation: InterpretationPoint, Tuples: tuples,
-		}
-		if err := p.st.PutStructured(pointTraj); err != nil {
-			return 0, 0, err
-		}
-		for i, ep := range stopEps {
-			if tp := episodeTuples[ep]; tp != nil {
-				tp.Annotations.Merge(&tuples[i].Annotations)
-				if tuples[i].Place != nil {
-					tp.Place = tuples[i].Place
-				}
-			}
-		}
+	if err := p.annotateStopSequence(t.ID, t.ObjectID, stopEps, mergedStops, local); err != nil {
+		return 0, 0, err
 	}
 
 	if err := p.st.PutStructured(merged); err != nil {
 		return 0, 0, err
 	}
 	return len(stopEps), len(moveEps), nil
+}
+
+// episodeAnnotation bundles the artefacts the region and line layers produce
+// for one episode: the episode's tuple in the merged interpretation (with
+// layer annotations already merged in), its region-episodes tuple and its
+// line tuples (one per matched segment run; moves only).
+type episodeAnnotation struct {
+	merged *core.EpisodeTuple
+	region *core.EpisodeTuple
+	line   []*core.EpisodeTuple
+}
+
+// annotateEpisode runs the region and line layers on one episode. t may be a
+// still-open trajectory as long as its records cover the episode's index
+// range (the streaming path calls it with the records seen so far).
+func (p *Pipeline) annotateEpisode(t *gps.RawTrajectory, ep *episode.Episode, local *stats.LatencyBreakdown) (episodeAnnotation, error) {
+	out := episodeAnnotation{
+		merged: &core.EpisodeTuple{Kind: ep.Kind, TimeIn: ep.Start, TimeOut: ep.End, Episode: ep},
+	}
+	if p.regionAnnotator != nil {
+		start := time.Now()
+		epTuples, err := p.regionAnnotator.AnnotateEpisodes([]*episode.Episode{ep})
+		if err != nil {
+			return out, err
+		}
+		local.Record(StageLanduseJoin, time.Since(start))
+		out.region = epTuples[0]
+		out.merged.Annotations.Merge(&out.region.Annotations)
+		if out.merged.Place == nil {
+			out.merged.Place = out.region.Place
+		}
+	}
+	if p.lineAnnotator != nil && ep.Kind == episode.Move {
+		start := time.Now()
+		tuples, runs, err := p.lineAnnotator.AnnotateMove(t, ep)
+		if err != nil {
+			return out, err
+		}
+		local.Record(StageMapMatch, time.Since(start))
+		out.line = tuples
+		// Episode-level summary: dominant mode and road of the move.
+		if len(runs) > 0 {
+			out.merged.Annotations.Add(core.Annotation{
+				Key: core.AnnTransportMode, Value: string(dominantMode(runs)), Confidence: 0.9, Source: "line"})
+			if out.merged.Place == nil {
+				if seg := longestRunPlace(runs, tuples); seg != nil {
+					out.merged.Place = seg
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// annotateStopSequence runs the point layer (HMM over the trajectory's whole
+// stop sequence), stores the point interpretation and merges the inferred
+// categories into the stops' merged tuples. mergedStops must parallel
+// stopEps. The HMM decodes the full sequence jointly, which is why both the
+// batch and the streaming path run it once per trajectory rather than per
+// episode.
+func (p *Pipeline) annotateStopSequence(id, objectID string, stopEps []*episode.Episode, mergedStops []*core.EpisodeTuple, local *stats.LatencyBreakdown) error {
+	if p.pointAnnotator == nil || len(stopEps) == 0 {
+		return nil
+	}
+	start := time.Now()
+	tuples, _, err := p.pointAnnotator.AnnotateStops(stopEps)
+	if err != nil {
+		return err
+	}
+	local.Record(StagePointAnnotate, time.Since(start))
+	pointTraj := &core.StructuredTrajectory{
+		ID: id, ObjectID: objectID, Interpretation: InterpretationPoint, Tuples: tuples,
+	}
+	if err := p.st.PutStructured(pointTraj); err != nil {
+		return err
+	}
+	for i := range stopEps {
+		mergedStops[i].Annotations.Merge(&tuples[i].Annotations)
+		if tuples[i].Place != nil {
+			mergedStops[i].Place = tuples[i].Place
+		}
+	}
+	return nil
 }
 
 // dominantMode returns the transportation mode covering the most records

@@ -1,0 +1,82 @@
+package semitri_test
+
+import (
+	"testing"
+
+	"semitri"
+	"semitri/internal/core"
+	"semitri/internal/workload"
+)
+
+// TestQuickstartSmoke runs the examples/quickstart flow as a test so CI
+// exercises the documented end-to-end path: build a city, generate a
+// user-day, process it and read the structured trajectory back.
+func TestQuickstartSmoke(t *testing.T) {
+	city := newTestCity(t, 42, 4000)
+	day, err := workload.GeneratePeople(city, workload.DefaultPeopleConfig(1, 1, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := day.Records()
+	if len(records) == 0 {
+		t.Fatal("no records generated")
+	}
+	pipeline := newTestPipeline(t, city, semitri.DefaultConfig())
+	result, err := pipeline.ProcessRecords(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(result.TrajectoryIDs) == 0 || result.Stops == 0 {
+		t.Fatalf("quickstart produced no structured output: %+v", result)
+	}
+	store := pipeline.Store()
+	for _, id := range result.TrajectoryIDs {
+		merged, ok := store.Structured(id, semitri.InterpretationMerged)
+		if !ok {
+			t.Fatalf("trajectory %s has no merged interpretation", id)
+		}
+		if err := merged.Validate(); err != nil {
+			t.Fatalf("trajectory %s: %v", id, err)
+		}
+		if len(merged.Tuples) == 0 {
+			t.Fatalf("trajectory %s has no tuples", id)
+		}
+	}
+	// The quickstart prints the trajectory category; make sure at least one
+	// trajectory yields one.
+	found := false
+	for _, id := range result.TrajectoryIDs {
+		if merged, ok := store.Structured(id, semitri.InterpretationMerged); ok {
+			if _, ok := merged.Category(core.AnnPOICategory); ok {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no trajectory category inferred (point layer produced nothing)")
+	}
+}
+
+// TestStreamQuickstartSmoke is the streaming twin: same dataset, fed one
+// record at a time.
+func TestStreamQuickstartSmoke(t *testing.T) {
+	city := newTestCity(t, 42, 4000)
+	day, err := workload.GeneratePeople(city, workload.DefaultPeopleConfig(1, 1, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipeline := newTestPipeline(t, city, semitri.DefaultConfig())
+	sp := pipeline.NewStream()
+	for _, r := range day.Records() {
+		if _, err := sp.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	result, err := sp.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(result.TrajectoryIDs) == 0 || result.Stops == 0 {
+		t.Fatalf("streaming quickstart produced no structured output: %+v", result)
+	}
+}

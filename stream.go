@@ -1,0 +1,469 @@
+package semitri
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"semitri/internal/core"
+	"semitri/internal/episode"
+	"semitri/internal/gps"
+	"semitri/internal/stats"
+)
+
+// StreamProcessor is the online entry point of the pipeline: it accepts raw
+// GPS records one at a time (or in micro-batches) per moving object and runs
+// the same chain as ProcessRecords — cleaning, trajectory identification,
+// stop/move computation and the three annotation layers — incrementally.
+// Episodes are emitted (and their region/line annotations computed and
+// appended to the store) as soon as they are final; the point layer, whose
+// HMM decodes a trajectory's whole stop sequence jointly, runs when the
+// trajectory closes, as does the record-level region interpretation.
+//
+// Parity guarantee: feeding a record stream through Add and then calling
+// Close leaves the store with exactly the same trajectories, episodes and
+// structured interpretations as one ProcessRecords call on the same records
+// (assuming each object's records arrive in time order; late records are
+// dropped, as batch sorting would have moved them anyway).
+//
+// A StreamProcessor is safe for concurrent use; records of different objects
+// may be interleaved freely. Use one StreamProcessor (or one ProcessRecords
+// run) per Pipeline store lifetime to keep trajectory ids unique.
+type StreamProcessor struct {
+	p *Pipeline
+
+	mu        sync.Mutex
+	cleaner   *gps.StreamCleaner
+	segmenter *gps.StreamSegmenter
+	objects   map[string]*objectStream
+	result    Result
+	closed    bool
+}
+
+// objectStream is the per-object streaming state: the episode tracker of the
+// open trajectory and the artefacts staged until the trajectory is committed
+// (guaranteed to be kept).
+type objectStream struct {
+	objectID string
+	tracker  *episode.Tracker
+	id       string // trajectory id, "" until committed
+
+	// Closed episodes of the open trajectory and their merged tuples
+	// (parallel slices), kept for the point layer at close time.
+	episodes []*episode.Episode
+	merged   []*core.EpisodeTuple
+
+	// Artefacts staged while the trajectory may still be dropped: the
+	// closed episodes with their annotations (replayed through the normal
+	// store-append path at commit time) and the held-back events.
+	staged       []stagedEpisode
+	stagedEvents []StreamEvent
+
+	latency *stats.LatencyBreakdown
+}
+
+type stagedEpisode struct {
+	ep  *episode.Episode
+	ann episodeAnnotation
+}
+
+// StreamEvent reports something that became final inside Add, Flush or
+// Close: an episode closing and/or a trajectory closing.
+type StreamEvent struct {
+	ObjectID string
+	// TrajectoryID is the id of the trajectory the event belongs to.
+	// Episode events are only delivered once their trajectory is committed
+	// (guaranteed to be kept), so the id is always set; episodes of
+	// segments that end up dropped as too short produce no events at all.
+	TrajectoryID string
+	// Episode is the episode that just became final (nil for
+	// trajectory-close events).
+	Episode *episode.Episode
+	// Tuple is the episode's merged-interpretation tuple carrying the
+	// region/line annotations computed so far (the point layer adds its
+	// annotations when the trajectory closes).
+	Tuple *core.EpisodeTuple
+	// TrajectoryClosed reports that the trajectory TrajectoryID closed and
+	// every interpretation (point layer included) is now stored.
+	TrajectoryClosed bool
+}
+
+// NewStream returns a streaming processor over the pipeline's sources,
+// configuration and store.
+func (p *Pipeline) NewStream() *StreamProcessor {
+	return &StreamProcessor{
+		p:         p,
+		cleaner:   gps.NewStreamCleaner(p.cfg.Cleaning),
+		segmenter: gps.NewStreamSegmenter(p.cfg.Segmentation, p.cfg.DailySplit),
+		objects:   map[string]*objectStream{},
+	}
+}
+
+// Add ingests one raw GPS record and returns the events it triggered. The
+// cleaning window delays a record's effects by SmoothingWindow records of
+// its object.
+func (sp *StreamProcessor) Add(r gps.Record) ([]StreamEvent, error) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.closed {
+		return nil, errors.New("semitri: stream already closed")
+	}
+	var events []StreamEvent
+	for _, cr := range sp.cleaner.Add(r) {
+		evs, err := sp.ingestCleaned(cr)
+		events = append(events, evs...)
+		if err != nil {
+			return events, err
+		}
+	}
+	return events, nil
+}
+
+// AddBatch ingests a micro-batch of records in order.
+func (sp *StreamProcessor) AddBatch(records []gps.Record) ([]StreamEvent, error) {
+	var events []StreamEvent
+	for _, r := range records {
+		evs, err := sp.Add(r)
+		events = append(events, evs...)
+		if err != nil {
+			return events, err
+		}
+	}
+	return events, nil
+}
+
+// ingestCleaned routes one finalised cleaned record through segmentation,
+// episode tracking and annotation. Caller holds sp.mu.
+func (sp *StreamProcessor) ingestCleaned(cr gps.Record) ([]StreamEvent, error) {
+	sp.p.st.PutRecords([]gps.Record{cr})
+	sp.result.Records++
+	ev := sp.segmenter.Add(cr)
+	os := sp.objects[cr.ObjectID]
+	if os == nil {
+		os = &objectStream{objectID: cr.ObjectID, latency: stats.NewLatencyBreakdown()}
+		sp.objects[cr.ObjectID] = os
+	}
+	var events []StreamEvent
+	if ev.Closed != nil {
+		evs, err := sp.closeTrajectory(os, ev.Closed)
+		events = append(events, evs...)
+		if err != nil {
+			return events, err
+		}
+	} else if ev.ClosedDropped {
+		os.reset()
+	}
+	if ev.Opened {
+		tk, err := episode.NewTracker("", cr.ObjectID, sp.p.cfg.Episode)
+		if err != nil {
+			return events, fmt.Errorf("semitri: %w", err)
+		}
+		os.tracker = tk
+	}
+	start := time.Now()
+	eps, err := os.tracker.Add(cr)
+	if err != nil {
+		return events, fmt.Errorf("semitri: %w", err)
+	}
+	os.latency.Record(StageComputeEpisode, time.Since(start))
+	openRecords, _, _ := sp.segmenter.OpenRecords(cr.ObjectID)
+	for _, closedEp := range eps {
+		e, err := sp.closeEpisodeRecords(os, closedEp, openRecords)
+		if err != nil {
+			return events, err
+		}
+		if os.id == "" {
+			// Uncommitted: the segment may still be dropped, in which case
+			// this episode must never have been announced. Hold the event
+			// back until commit.
+			os.stagedEvents = append(os.stagedEvents, e)
+		} else {
+			events = append(events, e)
+		}
+	}
+	if ev.Committed {
+		flushed, err := sp.commit(os, ev.SegmentID)
+		events = append(events, flushed...)
+		if err != nil {
+			return events, err
+		}
+	}
+	return events, nil
+}
+
+// closeEpisodeRecords annotates a final episode with the region and line
+// layers and appends the results to the store (or stages them when the
+// trajectory is not yet committed). records must cover the episode's index
+// range: the open segment's records so far, or the full trajectory at close
+// time. Caller holds sp.mu.
+func (sp *StreamProcessor) closeEpisodeRecords(os *objectStream, ep *episode.Episode, records []gps.Record) (StreamEvent, error) {
+	view := &gps.RawTrajectory{ID: os.id, ObjectID: os.objectID, Records: records}
+	ann, err := sp.p.annotateEpisode(view, ep, os.latency)
+	if err != nil {
+		return StreamEvent{}, fmt.Errorf("semitri: %w", err)
+	}
+	os.episodes = append(os.episodes, ep)
+	os.merged = append(os.merged, ann.merged)
+	if os.id == "" {
+		// Not committed yet: stage until the trajectory is guaranteed kept.
+		os.staged = append(os.staged, stagedEpisode{ep: ep, ann: ann})
+	} else {
+		if err := sp.appendEpisodeArtifacts(os, ep, ann); err != nil {
+			return StreamEvent{}, err
+		}
+	}
+	return StreamEvent{ObjectID: os.objectID, TrajectoryID: os.id, Episode: ep, Tuple: ann.merged}, nil
+}
+
+// appendEpisodeArtifacts writes one closed episode's artefacts to the store.
+func (sp *StreamProcessor) appendEpisodeArtifacts(os *objectStream, ep *episode.Episode, ann episodeAnnotation) error {
+	start := time.Now()
+	if err := sp.p.st.AppendEpisodes(os.id, ep); err != nil {
+		return err
+	}
+	os.latency.Record(StageStoreEpisode, time.Since(start))
+	if err := sp.p.st.AppendStructuredTuples(os.id, os.objectID, InterpretationMerged, ann.merged); err != nil {
+		return err
+	}
+	if ann.region != nil {
+		if err := sp.p.st.AppendStructuredTuples(os.id, os.objectID, InterpretationRegionEpisodes, ann.region); err != nil {
+			return err
+		}
+	}
+	if ep.Kind == episode.Move && sp.p.lineAnnotator != nil {
+		// Appending zero tuples still creates the interpretation, matching
+		// the batch path which stores it whenever move episodes exist.
+		start = time.Now()
+		if err := sp.p.st.AppendStructuredTuples(os.id, os.objectID, InterpretationLine, ann.line...); err != nil {
+			return err
+		}
+		os.latency.Record(StageStoreMatch, time.Since(start))
+	}
+	return nil
+}
+
+// commit fires when the open trajectory reaches MinRecords: the trajectory
+// id is now final, the staged artefacts catch up into the store and the
+// held-back episode events are released (with the id filled in). Caller
+// holds sp.mu.
+func (sp *StreamProcessor) commit(os *objectStream, id string) ([]StreamEvent, error) {
+	os.id = id
+	os.tracker.SetIDs(id, os.objectID)
+	released := os.stagedEvents
+	os.stagedEvents = nil
+	for i := range released {
+		released[i].TrajectoryID = id
+	}
+	records, _, _ := sp.segmenter.OpenRecords(os.objectID)
+	partial := &gps.RawTrajectory{
+		ID: id, ObjectID: os.objectID, Records: append([]gps.Record(nil), records...),
+	}
+	if err := sp.p.st.PutTrajectory(partial); err != nil {
+		return released, err
+	}
+	// Replay the staged episodes through the normal append path, so the
+	// pre-commit and post-commit writes stay a single code path.
+	for _, s := range os.staged {
+		s.ep.TrajectoryID = id
+		if err := sp.appendEpisodeArtifacts(os, s.ep, s.ann); err != nil {
+			return released, err
+		}
+	}
+	os.staged = nil
+	return released, nil
+}
+
+// closeTrajectory finishes a kept trajectory: drains the tracker's tail
+// episodes, runs the record-level region interpretation and the point layer,
+// and finalises the stored trajectory. Caller holds sp.mu.
+func (sp *StreamProcessor) closeTrajectory(os *objectStream, t *gps.RawTrajectory) ([]StreamEvent, error) {
+	defer func() {
+		sp.p.mu.Lock()
+		sp.p.latency.Merge(os.latency)
+		sp.p.mu.Unlock()
+		os.reset()
+	}()
+	if os.tracker == nil {
+		return nil, fmt.Errorf("semitri: trajectory %s closed without a tracker", t.ID)
+	}
+	os.id = t.ID // committed by construction: the segmenter kept it
+	start := time.Now()
+	tail, err := os.tracker.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("semitri: %w", err)
+	}
+	os.latency.Record(StageComputeEpisode, time.Since(start))
+	var events []StreamEvent
+	for _, ep := range tail {
+		ep.TrajectoryID = t.ID
+		e, err := sp.closeEpisodeRecords(os, ep, t.Records)
+		if err != nil {
+			return events, err
+		}
+		events = append(events, e)
+	}
+	// The segmenter commits any kept trajectory before closing it, so the
+	// staged buffers were flushed in commit(); episodes closed after that
+	// were appended directly.
+	if len(os.staged) > 0 {
+		return events, fmt.Errorf("semitri: trajectory %s closed with staged episodes", t.ID)
+	}
+	// Record-level region interpretation over the full trajectory.
+	if sp.p.regionAnnotator != nil {
+		start = time.Now()
+		recordLevel, err := sp.p.regionAnnotator.AnnotateTrajectory(t)
+		if err != nil {
+			return events, fmt.Errorf("semitri: %w", err)
+		}
+		regionMerged := recordLevel.MergeConsecutive(core.AnnLanduse)
+		os.latency.Record(StageLanduseJoin, time.Since(start))
+		if err := sp.p.st.PutStructured(regionMerged); err != nil {
+			return events, err
+		}
+	}
+	// Point layer over the trajectory's whole stop sequence.
+	var stopEps []*episode.Episode
+	var mergedStops []*core.EpisodeTuple
+	for i, ep := range os.episodes {
+		if ep.Kind == episode.Stop {
+			stopEps = append(stopEps, ep)
+			mergedStops = append(mergedStops, os.merged[i])
+		}
+	}
+	if err := sp.p.annotateStopSequence(t.ID, t.ObjectID, stopEps, mergedStops, os.latency); err != nil {
+		return events, fmt.Errorf("semitri: %w", err)
+	}
+	// Replace the partial trajectory stored at commit time with the final one.
+	if err := sp.p.st.PutTrajectory(t); err != nil {
+		return events, err
+	}
+	// Stops/moves count only kept trajectories, as the batch Result does.
+	for _, ep := range os.episodes {
+		if ep.Kind == episode.Stop {
+			sp.result.Stops++
+		} else {
+			sp.result.Moves++
+		}
+	}
+	sp.result.TrajectoryIDs = append(sp.result.TrajectoryIDs, t.ID)
+	events = append(events, StreamEvent{ObjectID: t.ObjectID, TrajectoryID: t.ID, TrajectoryClosed: true})
+	return events, nil
+}
+
+// reset clears the per-trajectory state after a close or drop.
+func (os *objectStream) reset() {
+	*os = objectStream{objectID: os.objectID, latency: stats.NewLatencyBreakdown()}
+}
+
+// Tail returns a provisional view of the object's open trajectory: the
+// episodes that would close if its stream ended now. The returned episodes
+// may still change (and records inside the cleaner's smoothing window are
+// not part of them yet).
+func (sp *StreamProcessor) Tail(objectID string) []*episode.Episode {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	os := sp.objects[objectID]
+	if os == nil || os.tracker == nil {
+		return nil
+	}
+	return os.tracker.Tail()
+}
+
+// Flush force-closes the object's open trajectory (drains the cleaner's
+// smoothing window first). Use it when an object's session ends mid-stream;
+// note that flushing resets the object's smoothing history, so batch/stream
+// parity holds for streams flushed only by Close.
+func (sp *StreamProcessor) Flush(objectID string) ([]StreamEvent, error) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.closed {
+		return nil, errors.New("semitri: stream already closed")
+	}
+	return sp.flushObject(objectID)
+}
+
+// flushObject drains and closes one object. Caller holds sp.mu.
+func (sp *StreamProcessor) flushObject(objectID string) ([]StreamEvent, error) {
+	var events []StreamEvent
+	for _, cr := range sp.cleaner.Flush(objectID) {
+		evs, err := sp.ingestCleaned(cr)
+		events = append(events, evs...)
+		if err != nil {
+			return events, err
+		}
+	}
+	os := sp.objects[objectID]
+	if t := sp.segmenter.Flush(objectID); t != nil && os != nil {
+		evs, err := sp.closeTrajectory(os, t)
+		events = append(events, evs...)
+		if err != nil {
+			return events, err
+		}
+	} else if os != nil {
+		os.reset() // open segment dropped (too short) or absent
+	}
+	return events, nil
+}
+
+// Close ends the stream: every object's pending records are drained, every
+// open trajectory is closed and annotated, and the accumulated Result — the
+// same summary ProcessRecords returns — is produced. The processor accepts
+// no further records.
+func (sp *StreamProcessor) Close() (*Result, error) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.closed {
+		return nil, errors.New("semitri: stream already closed")
+	}
+	ids := make([]string, 0, len(sp.objects))
+	for id := range sp.objects {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if _, err := sp.flushObject(id); err != nil {
+			return nil, err
+		}
+	}
+	// Objects whose records never produced a cleaned record still need their
+	// cleaner state dropped; FlushAll also covers objects never seen by the
+	// segmenter.
+	for _, cr := range sp.cleaner.FlushAll() {
+		if _, err := sp.ingestCleaned(cr); err != nil {
+			return nil, err
+		}
+	}
+	for _, t := range sp.segmenter.FlushAll() {
+		os := sp.objects[t.ObjectID]
+		if os == nil {
+			return nil, fmt.Errorf("semitri: trajectory %s closed for unknown object", t.ID)
+		}
+		if _, err := sp.closeTrajectory(os, t); err != nil {
+			return nil, err
+		}
+	}
+	sp.closed = true
+	// Mirror the batch path's errors so callers porting from ProcessRecords
+	// keep their misconfiguration detection.
+	if sp.result.Records == 0 {
+		return nil, errors.New("semitri: no records")
+	}
+	if len(sp.result.TrajectoryIDs) == 0 {
+		return nil, errors.New("semitri: no trajectories identified (check segmentation config)")
+	}
+	result := sp.result
+	result.TrajectoryIDs = append([]string(nil), sp.result.TrajectoryIDs...)
+	return &result, nil
+}
+
+// Result returns a snapshot of the running totals (records cleaned, episodes
+// and trajectories closed so far).
+func (sp *StreamProcessor) Result() Result {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	out := sp.result
+	out.TrajectoryIDs = append([]string(nil), sp.result.TrajectoryIDs...)
+	return out
+}

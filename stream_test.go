@@ -1,0 +1,289 @@
+package semitri_test
+
+import (
+	"reflect"
+	"testing"
+
+	"semitri"
+	"semitri/internal/core"
+	"semitri/internal/episode"
+	"semitri/internal/gps"
+	"semitri/internal/workload"
+)
+
+func newTestCity(t testing.TB, seed int64, pois int) *workload.City {
+	t.Helper()
+	city, err := workload.NewCity(workload.DefaultCityConfig(seed, pois))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return city
+}
+
+func newTestPipeline(t testing.TB, city *workload.City, cfg semitri.Config) *semitri.Pipeline {
+	t.Helper()
+	p, err := semitri.New(semitri.Sources{
+		Landuse: city.Landuse, Roads: city.Roads, POIs: city.POIs,
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func peopleRecords(t testing.TB, city *workload.City, users, days int, seed int64) []gps.Record {
+	t.Helper()
+	ds, err := workload.GeneratePeople(city, workload.DefaultPeopleConfig(users, days, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds.Records()
+}
+
+// annotationsEqual compares tuple slices field by field (pointer identities
+// naturally differ between the two pipelines).
+func tuplesEqual(t *testing.T, label string, batch, stream []*core.EpisodeTuple) {
+	t.Helper()
+	if len(batch) != len(stream) {
+		t.Fatalf("%s: tuple count: batch %d, stream %d", label, len(batch), len(stream))
+	}
+	for i := range batch {
+		b, s := batch[i], stream[i]
+		if b.Kind != s.Kind || !b.TimeIn.Equal(s.TimeIn) || !b.TimeOut.Equal(s.TimeOut) {
+			t.Fatalf("%s tuple %d: kind/time differ:\n batch  %v %v-%v\n stream %v %v-%v",
+				label, i, b.Kind, b.TimeIn, b.TimeOut, s.Kind, s.TimeIn, s.TimeOut)
+		}
+		if !reflect.DeepEqual(b.Place, s.Place) {
+			t.Fatalf("%s tuple %d: place differs:\n batch  %+v\n stream %+v", label, i, b.Place, s.Place)
+		}
+		if !reflect.DeepEqual(b.Annotations.All(), s.Annotations.All()) {
+			t.Fatalf("%s tuple %d: annotations differ:\n batch  %s\n stream %s",
+				label, i, b.Annotations.String(), s.Annotations.String())
+		}
+	}
+}
+
+// TestBatchStreamParity feeds the same person-days of records through
+// ProcessRecords and through a StreamProcessor record by record, and asserts
+// that both leave identical structured trajectories in their stores: same
+// trajectory ids, same episode sequences, same tuples under every
+// interpretation.
+func TestBatchStreamParity(t *testing.T) {
+	city := newTestCity(t, 1, 3000)
+	records := peopleRecords(t, city, 2, 2, 5)
+
+	batch := newTestPipeline(t, city, semitri.DefaultConfig())
+	batchResult, err := batch.ProcessRecords(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stream := newTestPipeline(t, city, semitri.DefaultConfig())
+	sp := stream.NewStream()
+	var episodeEvents, trajectoryEvents int
+	for _, r := range records {
+		events, err := sp.Add(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range events {
+			if ev.Episode != nil {
+				episodeEvents++
+				if ev.Tuple == nil {
+					t.Fatal("episode event without merged tuple")
+				}
+			}
+			if ev.TrajectoryClosed {
+				trajectoryEvents++
+			}
+		}
+	}
+	streamResult, err := sp.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if episodeEvents == 0 {
+		t.Fatal("stream never emitted an episode event")
+	}
+
+	// Result summaries must agree (trajectory sets: order may differ between
+	// interleaved objects).
+	if batchResult.Records != streamResult.Records {
+		t.Fatalf("cleaned records: batch %d, stream %d", batchResult.Records, streamResult.Records)
+	}
+	if batchResult.Stops != streamResult.Stops || batchResult.Moves != streamResult.Moves {
+		t.Fatalf("episode counts: batch %d/%d, stream %d/%d",
+			batchResult.Stops, batchResult.Moves, streamResult.Stops, streamResult.Moves)
+	}
+	if len(batchResult.TrajectoryIDs) != len(streamResult.TrajectoryIDs) {
+		t.Fatalf("trajectory count: batch %d, stream %d",
+			len(batchResult.TrajectoryIDs), len(streamResult.TrajectoryIDs))
+	}
+	_ = trajectoryEvents // day-boundary closes may or may not fire mid-stream
+
+	bst, sst := batch.Store(), stream.Store()
+	if bst.RecordCount() != sst.RecordCount() {
+		t.Fatalf("stored records: batch %d, stream %d", bst.RecordCount(), sst.RecordCount())
+	}
+	for _, id := range batchResult.TrajectoryIDs {
+		// Raw trajectories.
+		bt, ok := bst.Trajectory(id)
+		if !ok {
+			t.Fatalf("batch store missing %s", id)
+		}
+		st, ok := sst.Trajectory(id)
+		if !ok {
+			t.Fatalf("stream store missing trajectory %s", id)
+		}
+		if !reflect.DeepEqual(bt.Records, st.Records) {
+			t.Fatalf("trajectory %s records differ", id)
+		}
+		// Episodes.
+		beps, seps := bst.Episodes(id), sst.Episodes(id)
+		if len(beps) != len(seps) {
+			t.Fatalf("trajectory %s: %d batch episodes, %d stream episodes", id, len(beps), len(seps))
+		}
+		for i := range beps {
+			if !reflect.DeepEqual(*beps[i], *seps[i]) {
+				t.Fatalf("trajectory %s episode %d differs:\n batch  %+v\n stream %+v",
+					id, i, *beps[i], *seps[i])
+			}
+		}
+		// Every stored interpretation.
+		binterps := bst.Interpretations(id)
+		if !reflect.DeepEqual(binterps, sst.Interpretations(id)) {
+			t.Fatalf("trajectory %s interpretations: batch %v, stream %v",
+				id, binterps, sst.Interpretations(id))
+		}
+		for _, interp := range binterps {
+			b, _ := bst.Structured(id, interp)
+			s, _ := sst.Structured(id, interp)
+			if b.ObjectID != s.ObjectID {
+				t.Fatalf("trajectory %s/%s: object id differs", id, interp)
+			}
+			tuplesEqual(t, id+"/"+interp, b.Tuples, s.Tuples)
+		}
+	}
+}
+
+// TestBatchStreamParityVehicle runs the parity check under the vehicle
+// profile (no daily split, vehicle episode thresholds, forced car mode).
+func TestBatchStreamParityVehicle(t *testing.T) {
+	city := newTestCity(t, 3, 2000)
+	cfg := workload.DefaultTaxiConfig(11)
+	cfg.NumVehicles = 2
+	cfg.TripsPerVehicle = 3
+	ds, err := workload.GenerateVehicles(city, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := ds.Records()
+
+	pipelineCfg := semitri.VehicleConfig()
+	pipelineCfg.DailySplit = false
+
+	batch := newTestPipeline(t, city, pipelineCfg)
+	batchResult, err := batch.ProcessRecords(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stream := newTestPipeline(t, city, pipelineCfg)
+	sp := stream.NewStream()
+	if _, err := sp.AddBatch(records); err != nil {
+		t.Fatal(err)
+	}
+	streamResult, err := sp.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batchResult.Stops != streamResult.Stops || batchResult.Moves != streamResult.Moves ||
+		len(batchResult.TrajectoryIDs) != len(streamResult.TrajectoryIDs) {
+		t.Fatalf("vehicle parity: batch %d/%d over %d trajectories, stream %d/%d over %d",
+			batchResult.Stops, batchResult.Moves, len(batchResult.TrajectoryIDs),
+			streamResult.Stops, streamResult.Moves, len(streamResult.TrajectoryIDs))
+	}
+	bst, sst := batch.Store(), stream.Store()
+	for _, id := range batchResult.TrajectoryIDs {
+		for _, interp := range bst.Interpretations(id) {
+			b, _ := bst.Structured(id, interp)
+			s, ok := sst.Structured(id, interp)
+			if !ok {
+				t.Fatalf("stream store missing %s/%s", id, interp)
+			}
+			tuplesEqual(t, id+"/"+interp, b.Tuples, s.Tuples)
+		}
+	}
+}
+
+// TestStreamTailAndFlush exercises the open-tail view and per-object flush.
+func TestStreamTailAndFlush(t *testing.T) {
+	city := newTestCity(t, 2, 2000)
+	records := peopleRecords(t, city, 1, 1, 9)
+	p := newTestPipeline(t, city, semitri.DefaultConfig())
+	sp := p.NewStream()
+
+	half := len(records) / 2
+	if _, err := sp.AddBatch(records[:half]); err != nil {
+		t.Fatal(err)
+	}
+	object := records[0].ObjectID
+	tail := sp.Tail(object)
+	if len(tail) == 0 {
+		t.Fatal("expected a provisional tail for the open trajectory")
+	}
+	for _, ep := range tail {
+		if ep.Kind != episode.Stop && ep.Kind != episode.Move {
+			t.Fatalf("tail episode with invalid kind %v", ep.Kind)
+		}
+	}
+	events, err := sp.Flush(object)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := false
+	for _, ev := range events {
+		if ev.TrajectoryClosed {
+			closed = true
+		}
+	}
+	if !closed {
+		t.Fatal("flush did not close the open trajectory")
+	}
+	if tail = sp.Tail(object); tail != nil {
+		t.Fatalf("tail should be empty after flush, got %d episodes", len(tail))
+	}
+	if _, err := sp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.Add(records[0]); err == nil {
+		t.Fatal("Add after Close should fail")
+	}
+}
+
+// TestStreamCloseErrorsMirrorBatch asserts that Close fails the way
+// ProcessRecords does on degenerate input, instead of returning an empty
+// Result.
+func TestStreamCloseErrorsMirrorBatch(t *testing.T) {
+	city := newTestCity(t, 2, 1000)
+	p := newTestPipeline(t, city, semitri.DefaultConfig())
+	sp := p.NewStream()
+	if _, err := sp.Close(); err == nil {
+		t.Fatal("Close with no records should fail like ProcessRecords(nil)")
+	}
+
+	// A handful of records too short for any trajectory: batch fails with
+	// "no trajectories identified"; stream must too.
+	p2 := newTestPipeline(t, city, semitri.DefaultConfig())
+	records := peopleRecords(t, city, 1, 1, 9)[:5]
+	if _, err := p2.ProcessRecords(records); err == nil {
+		t.Fatal("batch should fail on 5 records with MinRecords=10")
+	}
+	sp2 := p2.NewStream()
+	if _, err := sp2.AddBatch(records); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp2.Close(); err == nil {
+		t.Fatal("stream Close should fail on 5 records with MinRecords=10")
+	}
+}
