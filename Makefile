@@ -3,13 +3,20 @@
 
 GO ?= go
 
-.PHONY: build test bench lint ci fmt
+.PHONY: build test race bench lint ci fmt
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test -race ./...
+
+# Race-detector pass focused on the concurrency surface: the batch/stream
+# parity suite (sequential + concurrent-interleaving variants), the fan-in
+# driver and the lock-striped store.
+race:
+	$(GO) test -race -count=1 -run 'TestBatchStreamParity|TestAddBatchConcurrent|TestConcurrent|TestStream' .
+	$(GO) test -race -count=1 ./internal/store/
 
 # Full benchmark run (the paper's tables/figures print under -v).
 bench:

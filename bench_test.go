@@ -7,11 +7,14 @@
 package semitri_test
 
 import (
+	"fmt"
+	"sort"
 	"sync"
 	"testing"
 
 	"semitri"
 	"semitri/internal/experiments"
+	"semitri/internal/gps"
 	"semitri/internal/workload"
 )
 
@@ -155,6 +158,75 @@ func BenchmarkStreamPeopleDay(b *testing.B) {
 	b.StopTimer()
 	perRecord := float64(b.Elapsed().Nanoseconds()) / float64(b.N*len(records))
 	b.ReportMetric(perRecord, "ns/record")
+}
+
+// BenchmarkStreamConcurrentObjects measures multi-object streaming
+// ingestion: 8 objects' day-long feeds are pushed through one
+// StreamProcessor from a varying number of goroutines (objects distributed
+// round-robin, so per-object order is preserved). With the per-object
+// streaming engine and the lock-striped store, ns/record should drop as
+// goroutines are added instead of flatlining on a global lock.
+func BenchmarkStreamConcurrentObjects(b *testing.B) {
+	env := benchEnv(b)
+	const objects = 8
+	ds, err := workload.GeneratePeople(env.City, workload.DefaultPeopleConfig(objects, 1, 123))
+	if err != nil {
+		b.Fatal(err)
+	}
+	records := ds.Records()
+	perObject := map[string][]gps.Record{}
+	for _, r := range records {
+		perObject[r.ObjectID] = append(perObject[r.ObjectID], r)
+	}
+	feeds := make([][]gps.Record, 0, len(perObject))
+	ids := make([]string, 0, len(perObject))
+	for id := range perObject {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		feeds = append(feeds, perObject[id])
+	}
+	for _, goroutines := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("goroutines=%d", goroutines), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				p, err := semitri.New(semitri.Sources{
+					Landuse: env.City.Landuse, Roads: env.City.Roads, POIs: env.City.POIs,
+				}, semitri.DefaultConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				sp := p.NewStream()
+				b.StartTimer()
+				var wg sync.WaitGroup
+				for w := 0; w < goroutines; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						// Round-robin: worker w feeds objects w, w+G, ...
+						for f := w; f < len(feeds); f += goroutines {
+							for _, r := range feeds[f] {
+								if _, err := sp.Add(r); err != nil {
+									b.Error(err)
+									return
+								}
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+				if _, err := sp.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			perRecord := float64(b.Elapsed().Nanoseconds()) / float64(b.N*len(records))
+			b.ReportMetric(perRecord, "ns/record")
+		})
+	}
 }
 
 // BenchmarkPipelineTaxiTrip measures the end-to-end pipeline cost for a

@@ -8,7 +8,7 @@
 //
 //	semitri -in people.csv [-profile people|vehicle] [-seed 1] [-pois 8000]
 //	        [-store out/store.json] [-max-trajectories 10] [-summary]
-//	        [-stream] [-progress 5000]
+//	        [-workers 4] [-stream] [-stream-workers 4] [-progress 5000]
 //
 // With -in omitted the command generates a small demonstration dataset on
 // the fly so it can be run with no arguments.
@@ -21,6 +21,11 @@
 // writes, and what a live feed delivers) the resulting store is identical to
 // a batch run on the same input; records arriving out of order are dropped
 // by the streaming cleaner, where batch mode would sort them first.
+//
+// -workers bounds the trajectories annotated concurrently in batch mode;
+// -stream-workers fans the streaming feed across that many concurrent
+// ingestion goroutines, sharded by object id so each object's records keep
+// their order while different objects are annotated in parallel.
 package main
 
 import (
@@ -29,6 +34,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"semitri"
@@ -48,7 +54,9 @@ func main() {
 	geojsonPath := flag.String("geojson", "", "write the merged semantic trajectories as a GeoJSON FeatureCollection to this path")
 	maxTrajectories := flag.Int("max-trajectories", 5, "maximum number of trajectories to print (0 = all)")
 	summary := flag.Bool("summary", false, "print aggregate analytics instead of per-trajectory output")
+	workers := flag.Int("workers", 0, "trajectories annotated concurrently in batch mode (0 = profile default)")
 	stream := flag.Bool("stream", false, "ingest through the online streaming pipeline instead of the batch one")
+	streamWorkers := flag.Int("stream-workers", 1, "with -stream, concurrent ingestion goroutines (records sharded by object)")
 	progress := flag.Int("progress", 5000, "with -stream, report ingestion progress every N records")
 	flag.Parse()
 
@@ -62,6 +70,9 @@ func main() {
 		cfg = semitri.VehicleConfig()
 		cfg.DailySplit = false
 	}
+	if *workers > 0 {
+		cfg.Workers = *workers
+	}
 	pipeline, err := semitri.New(semitri.Sources{
 		Landuse: city.Landuse, Roads: city.Roads, POIs: city.POIs,
 	}, cfg)
@@ -72,7 +83,7 @@ func main() {
 	start := time.Now()
 	var result *semitri.Result
 	if *stream {
-		result = runStream(pipeline, *in, city, *seed, *progress)
+		result = runStream(pipeline, *in, city, *seed, *progress, *streamWorkers)
 	} else {
 		var records []gps.Record
 		if *in == "" {
@@ -160,40 +171,55 @@ func main() {
 
 // runStream ingests the input through the online pipeline, reading the CSV
 // line by line, and reports progress (records, episodes, trajectories and
-// per-record throughput) every `every` records.
-func runStream(pipeline *semitri.Pipeline, in string, city *workload.City, seed int64, every int) *semitri.Result {
+// per-record throughput) every `every` records. With workers > 1 the feed is
+// fanned across that many concurrent ingestion goroutines, sharded by object
+// id (per-object record order is preserved).
+func runStream(pipeline *semitri.Pipeline, in string, city *workload.City, seed int64, every, workers int) *semitri.Result {
 	sp := pipeline.NewStream()
-	ingested := 0
-	episodes := 0
-	trajectories := 0
+	var ingested, episodes, trajectories atomic.Int64
 	startedAt := time.Now()
 	report := func() {
 		elapsed := time.Since(startedAt)
-		rate := float64(ingested) / elapsed.Seconds()
+		rate := float64(ingested.Load()) / elapsed.Seconds()
 		fmt.Fprintf(os.Stderr, "ingested %d records (%d episodes, %d trajectories closed, %.0f rec/s)\n",
-			ingested, episodes, trajectories, rate)
+			ingested.Load(), episodes.Load(), trajectories.Load(), rate)
 	}
-	feed := func(r gps.Record) {
-		events, err := sp.Add(r)
-		if err != nil {
-			fail(err)
-		}
+	onEvents := func(events []semitri.StreamEvent) {
 		for _, ev := range events {
 			if ev.Episode != nil {
-				episodes++
+				episodes.Add(1)
 			}
 			if ev.TrajectoryClosed {
-				trajectories++
+				trajectories.Add(1)
 			}
 		}
-		ingested++
-		if every > 0 && ingested%every == 0 {
+	}
+	feed := make(chan gps.Record, 256)
+	done := make(chan struct{})
+	var fanErr error
+	go func() {
+		fanErr = sp.FanIn(feed, workers, onEvents)
+		close(done)
+	}()
+	// offer reports false when ingestion failed: FanIn returns early on the
+	// first Add error, so the producer stops reading the input instead of
+	// pumping (and progress-reporting) records nobody will process.
+	offer := func(r gps.Record) bool {
+		select {
+		case feed <- r:
+		case <-done:
+			return false
+		}
+		if n := ingested.Add(1); every > 0 && n%int64(every) == 0 {
 			report()
 		}
+		return true
 	}
 	if in == "" {
 		for _, r := range demoRecords(city, seed) {
-			feed(r)
+			if !offer(r) {
+				break
+			}
 		}
 	} else {
 		f, err := os.Open(in)
@@ -210,8 +236,15 @@ func runStream(pipeline *semitri.Pipeline, in string, city *workload.City, seed 
 			if err != nil {
 				fail(err)
 			}
-			feed(r)
+			if !offer(r) {
+				break
+			}
 		}
+	}
+	close(feed)
+	<-done
+	if fanErr != nil {
+		fail(fanErr)
 	}
 	result, err := sp.Close()
 	if err != nil {

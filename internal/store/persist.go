@@ -1,0 +1,141 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"semitri/internal/core"
+	"semitri/internal/episode"
+	"semitri/internal/geo"
+	"semitri/internal/gps"
+)
+
+// snapshot is the JSON persistence format of the store. It is shard-layout
+// independent: Save merges every stripe into one document (sorted where map
+// iteration would leak ordering), and Load re-routes rows through the public
+// Put API, so a snapshot written with one shard count loads into a store
+// with any other.
+type snapshot struct {
+	Records      map[string][]jsonRecord          `json:"records"`
+	Trajectories []jsonTrajectory                 `json:"trajectories"`
+	Episodes     map[string][]*episode.Episode    `json:"episodes"`
+	Structured   map[string]map[string]jsonStruct `json:"structured"`
+}
+
+type jsonRecord struct {
+	Object string    `json:"object"`
+	X      float64   `json:"x"`
+	Y      float64   `json:"y"`
+	Time   time.Time `json:"time"`
+}
+
+type jsonTrajectory struct {
+	ID       string       `json:"id"`
+	ObjectID string       `json:"object_id"`
+	Records  []jsonRecord `json:"records"`
+}
+
+type jsonStruct struct {
+	ID             string      `json:"id"`
+	ObjectID       string      `json:"object_id"`
+	Interpretation string      `json:"interpretation"`
+	Tuples         []jsonTuple `json:"tuples"`
+}
+
+type jsonTuple struct {
+	Kind        string            `json:"kind"`
+	Place       *core.Place       `json:"place,omitempty"`
+	TimeIn      time.Time         `json:"time_in"`
+	TimeOut     time.Time         `json:"time_out"`
+	Annotations []core.Annotation `json:"annotations,omitempty"`
+}
+
+// Save writes the store contents as JSON to the given path, creating parent
+// directories as needed. Each stripe is serialised into snapshot rows while
+// its lock is held (AppendStructuredTuples mutates stored tuple slices in
+// place, so reading them outside the stripe lock would race); writers
+// running concurrently with Save land entirely in or entirely out of the
+// file per row, never half-serialised.
+func (s *Store) Save(path string) error {
+	snap := snapshot{
+		Records:    map[string][]jsonRecord{},
+		Episodes:   map[string][]*episode.Episode{},
+		Structured: map[string]map[string]jsonStruct{},
+	}
+	for _, sh := range s.shards {
+		sh.snapshotInto(&snap)
+	}
+
+	sort.Slice(snap.Trajectories, func(i, j int) bool { return snap.Trajectories[i].ID < snap.Trajectories[j].ID })
+	data, err := json.MarshalIndent(&snap, "", " ")
+	if err != nil {
+		return fmt.Errorf("store: marshal: %w", err)
+	}
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("store: mkdir: %w", err)
+		}
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("store: write: %w", err)
+	}
+	return nil
+}
+
+// Load reads a snapshot produced by Save into a fresh store.
+func Load(path string) (*Store, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: read: %w", err)
+	}
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("store: unmarshal: %w", err)
+	}
+	s := New()
+	for _, rows := range snap.Records {
+		recs := make([]gps.Record, len(rows))
+		for i, r := range rows {
+			recs[i] = gps.Record{ObjectID: r.Object, Position: geo.Pt(r.X, r.Y), Time: r.Time}
+		}
+		s.PutRecords(recs)
+	}
+	for _, jt := range snap.Trajectories {
+		recs := make([]gps.Record, len(jt.Records))
+		for i, r := range jt.Records {
+			recs[i] = gps.Record{ObjectID: r.Object, Position: geo.Pt(r.X, r.Y), Time: r.Time}
+		}
+		if err := s.PutTrajectory(&gps.RawTrajectory{ID: jt.ID, ObjectID: jt.ObjectID, Records: recs}); err != nil {
+			return nil, err
+		}
+	}
+	for id, eps := range snap.Episodes {
+		if err := s.PutEpisodes(id, eps); err != nil {
+			return nil, err
+		}
+	}
+	for _, byInterp := range snap.Structured {
+		for _, js := range byInterp {
+			st := &core.StructuredTrajectory{ID: js.ID, ObjectID: js.ObjectID, Interpretation: js.Interpretation}
+			for _, jtp := range js.Tuples {
+				kind := episode.Move
+				if jtp.Kind == "stop" {
+					kind = episode.Stop
+				}
+				tp := &core.EpisodeTuple{Kind: kind, Place: jtp.Place, TimeIn: jtp.TimeIn, TimeOut: jtp.TimeOut}
+				for _, a := range jtp.Annotations {
+					tp.Annotations.Add(a)
+				}
+				st.Tuples = append(st.Tuples, tp)
+			}
+			if err := s.PutStructured(st); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,106 @@
+package store
+
+import (
+	"sync"
+
+	"semitri/internal/episode"
+	"semitri/internal/gps"
+)
+
+// shard is one lock stripe of the store: a full copy of the table set
+// guarded by its own mutex, plus the stripe's share of the running totals.
+// Which stripe holds a row is decided by Store.shardFor on the table's key
+// (object id for records/trajByObject, trajectory id for the rest).
+type shard struct {
+	mu sync.RWMutex
+	// tables
+	records      map[string][]gps.Record       // object id -> raw records
+	trajectories map[string]*gps.RawTrajectory // trajectory id -> raw trajectory
+	episodes     map[string][]*episode.Episode // trajectory id -> episodes
+	structured   map[string]structuredByInterp // trajectory id -> interpretation -> SST
+	trajByObject map[string][]string           // object id -> trajectory ids
+
+	// running totals, so aggregate queries are O(shards) instead of
+	// full-table scans. Guarded by mu like the tables they mirror.
+	recordCount int
+	stopCount   int
+	moveCount   int
+	structCount int // (trajectory, interpretation) pairs stored
+}
+
+func newShard() *shard {
+	return &shard{
+		records:      map[string][]gps.Record{},
+		trajectories: map[string]*gps.RawTrajectory{},
+		episodes:     map[string][]*episode.Episode{},
+		structured:   map[string]structuredByInterp{},
+		trajByObject: map[string][]string{},
+	}
+}
+
+// countEpisodes adds eps to the stripe's stop/move totals. Caller holds mu.
+func (sh *shard) countEpisodes(eps []*episode.Episode) {
+	for _, e := range eps {
+		if e.Kind == episode.Stop {
+			sh.stopCount++
+		} else {
+			sh.moveCount++
+		}
+	}
+}
+
+// uncountEpisodes removes eps from the stripe's stop/move totals (used when
+// PutEpisodes replaces a trajectory's episodes). Caller holds mu.
+func (sh *shard) uncountEpisodes(eps []*episode.Episode) {
+	for _, e := range eps {
+		if e.Kind == episode.Stop {
+			sh.stopCount--
+		} else {
+			sh.moveCount--
+		}
+	}
+}
+
+// snapshotInto serialises one stripe's tables into snapshot rows while the
+// stripe lock is held. Converting to the JSON row types under the lock is
+// what makes Save safe against concurrent writers: stored tuple slices are
+// appended to in place by AppendStructuredTuples, so they must not be read
+// after the lock is released.
+func (sh *shard) snapshotInto(snap *snapshot) {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	for obj, recs := range sh.records {
+		rows := make([]jsonRecord, len(recs))
+		for i, r := range recs {
+			rows[i] = jsonRecord{Object: r.ObjectID, X: r.Position.X, Y: r.Position.Y, Time: r.Time}
+		}
+		snap.Records[obj] = rows
+	}
+	for _, t := range sh.trajectories {
+		rows := make([]jsonRecord, len(t.Records))
+		for i, r := range t.Records {
+			rows[i] = jsonRecord{Object: r.ObjectID, X: r.Position.X, Y: r.Position.Y, Time: r.Time}
+		}
+		snap.Trajectories = append(snap.Trajectories, jsonTrajectory{ID: t.ID, ObjectID: t.ObjectID, Records: rows})
+	}
+	for id, eps := range sh.episodes {
+		snap.Episodes[id] = append([]*episode.Episode(nil), eps...)
+	}
+	for id, byInterp := range sh.structured {
+		m := map[string]jsonStruct{}
+		for interp, st := range byInterp {
+			js := jsonStruct{ID: st.ID, ObjectID: st.ObjectID, Interpretation: st.Interpretation}
+			for _, tp := range st.Tuples {
+				js.Tuples = append(js.Tuples, jsonTuple{
+					Kind:        tp.Kind.String(),
+					Place:       tp.Place,
+					TimeIn:      tp.TimeIn,
+					TimeOut:     tp.TimeOut,
+					Annotations: tp.Annotations.All(),
+				})
+			}
+			m[interp] = js
+		}
+		snap.Structured[id] = m
+	}
+}

@@ -3,78 +3,151 @@
 // structured semantic trajectories produced by the annotation layers, and
 // that the analytics layer and applications query (Fig. 2).
 //
-// The paper uses PostgreSQL/PostGIS; this implementation is an embedded,
-// mutex-guarded in-memory store with optional JSON persistence, which keeps
-// the repository dependency-free while preserving the behaviour that matters
-// to the experiments: dedicated tables per artefact kind, query-by-object /
+// The paper uses PostgreSQL/PostGIS; this implementation is an embedded
+// in-memory store with optional JSON persistence, which keeps the repository
+// dependency-free while preserving the behaviour that matters to the
+// experiments: dedicated tables per artefact kind, query-by-object /
 // time-window / annotation interfaces, and the fact that storing results is
 // the slowest pipeline stage (it serialises and writes everything, Fig. 17).
+//
+// # Concurrency
+//
+// The store is lock-striped: its tables are hash-partitioned into shards,
+// each guarded by its own RWMutex, so writes for unrelated moving objects
+// proceed in parallel instead of serialising on one global lock (the paper's
+// middleware annotates many objects' feeds concurrently). Object-keyed
+// tables (raw records, the object→trajectory index) live in the shard of the
+// object id; trajectory-keyed tables (raw trajectories, episodes, structured
+// interpretations) live in the shard of the trajectory id, so even one
+// object's trajectories spread across stripes. Aggregate counts are
+// maintained as per-shard running totals, making RecordCount, EpisodeCounts,
+// StructuredCount and TrajectoryCount O(shards) rather than full-table
+// scans. Cross-shard queries (TrajectoryIDs, StructuredIDs, annotation
+// queries, Save) merge per-shard snapshots and sort for deterministic
+// output.
+//
+// Operations touching two stripes (PutTrajectory inserts the trajectory in
+// one shard and indexes it under its object in another) lock them
+// sequentially, never nested, so the store cannot deadlock; the only
+// atomicity given up is that a trajectory may momentarily be visible via
+// Trajectory before TrajectoryIDs lists it.
 package store
 
 import (
-	"encoding/json"
 	"errors"
-	"fmt"
-	"os"
-	"path/filepath"
 	"sort"
-	"sync"
 	"time"
 
 	"semitri/internal/core"
 	"semitri/internal/episode"
-	"semitri/internal/geo"
 	"semitri/internal/gps"
 )
 
+// DefaultShards is the number of lock stripes New uses. It comfortably
+// exceeds the core counts the experiments run on, keeping the probability of
+// two hot objects sharing a stripe low without bloating the struct.
+const DefaultShards = 32
+
 // Store is the semantic trajectory store. The zero value is not usable; use
-// New. All methods are safe for concurrent use.
+// New or NewSharded. All methods are safe for concurrent use.
 type Store struct {
-	mu sync.RWMutex
-	// tables
-	records      map[string][]gps.Record       // object id -> raw records
-	trajectories map[string]*gps.RawTrajectory // trajectory id -> raw trajectory
-	episodes     map[string][]*episode.Episode // trajectory id -> episodes
-	structured   map[string]structuredByInterp // trajectory id -> interpretation -> SST
-	trajByObject map[string][]string           // object id -> trajectory ids
+	shards []*shard
 }
 
 type structuredByInterp map[string]*core.StructuredTrajectory
 
-// New returns an empty store.
-func New() *Store {
-	return &Store{
-		records:      map[string][]gps.Record{},
-		trajectories: map[string]*gps.RawTrajectory{},
-		episodes:     map[string][]*episode.Episode{},
-		structured:   map[string]structuredByInterp{},
-		trajByObject: map[string][]string{},
+// New returns an empty store with DefaultShards lock stripes.
+func New() *Store { return NewSharded(DefaultShards) }
+
+// NewSharded returns an empty store with n lock stripes (values below 1 mean
+// DefaultShards). One stripe degenerates to the historical single-mutex
+// store, which is occasionally useful to pin down striping bugs in tests.
+func NewSharded(n int) *Store {
+	if n < 1 {
+		n = DefaultShards
 	}
+	s := &Store{shards: make([]*shard, n)}
+	for i := range s.shards {
+		s.shards[i] = newShard()
+	}
+	return s
 }
 
-// PutRecords appends raw GPS records to the record table.
+// ShardCount reports the number of lock stripes.
+func (s *Store) ShardCount() int { return len(s.shards) }
+
+// KeyHash is the hash the store stripes its keys with: FNV-1a over the
+// string, inlined so the per-record hot path allocates nothing. It is
+// exported so callers partitioning work by the same keys (the streaming
+// fan-in shards objects across workers) agree with the store's routing.
+func KeyHash(key string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return h
+}
+
+// shardFor routes a key (an object id or a trajectory id, depending on the
+// table) to its stripe.
+func (s *Store) shardFor(key string) *shard {
+	if len(s.shards) == 1 {
+		return s.shards[0]
+	}
+	return s.shards[KeyHash(key)%uint32(len(s.shards))]
+}
+
+// PutRecords appends raw GPS records to the record table. Records are
+// grouped by stripe first so a batch locks each stripe once.
 func (s *Store) PutRecords(records []gps.Record) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	if len(records) == 0 {
+		return
+	}
+	if len(records) == 1 { // the streaming path's per-record hot path
+		r := records[0]
+		sh := s.shardFor(r.ObjectID)
+		sh.mu.Lock()
+		sh.records[r.ObjectID] = append(sh.records[r.ObjectID], r)
+		sh.recordCount++
+		sh.mu.Unlock()
+		return
+	}
+	byShard := map[*shard][]gps.Record{}
 	for _, r := range records {
-		s.records[r.ObjectID] = append(s.records[r.ObjectID], r)
+		sh := s.shardFor(r.ObjectID)
+		byShard[sh] = append(byShard[sh], r)
+	}
+	for sh, recs := range byShard {
+		sh.mu.Lock()
+		for _, r := range recs {
+			sh.records[r.ObjectID] = append(sh.records[r.ObjectID], r)
+		}
+		sh.recordCount += len(recs)
+		sh.mu.Unlock()
 	}
 }
 
 // Records returns the raw records of an object (a copy).
 func (s *Store) Records(objectID string) []gps.Record {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return append([]gps.Record(nil), s.records[objectID]...)
+	sh := s.shardFor(objectID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return append([]gps.Record(nil), sh.records[objectID]...)
 }
 
-// RecordCount returns the total number of stored GPS records.
+// RecordCount returns the total number of stored GPS records. The count is
+// a running total per stripe, so the query is O(shards).
 func (s *Store) RecordCount() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	n := 0
-	for _, rs := range s.records {
-		n += len(rs)
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += sh.recordCount
+		sh.mu.RUnlock()
 	}
 	return n
 }
@@ -84,34 +157,50 @@ func (s *Store) PutTrajectory(t *gps.RawTrajectory) error {
 	if t == nil || t.ID == "" {
 		return errors.New("store: trajectory must have an id")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, exists := s.trajectories[t.ID]; !exists {
-		s.trajByObject[t.ObjectID] = append(s.trajByObject[t.ObjectID], t.ID)
+	ts := s.shardFor(t.ID)
+	ts.mu.Lock()
+	_, exists := ts.trajectories[t.ID]
+	ts.trajectories[t.ID] = t
+	ts.mu.Unlock()
+	if !exists {
+		// The object index lives in the object's stripe; lock it after the
+		// trajectory stripe is released (sequential, never nested). The
+		// existence check above is what keeps concurrent re-puts of the same
+		// id from double-indexing it.
+		os := s.shardFor(t.ObjectID)
+		os.mu.Lock()
+		os.trajByObject[t.ObjectID] = append(os.trajByObject[t.ObjectID], t.ID)
+		os.mu.Unlock()
 	}
-	s.trajectories[t.ID] = t
 	return nil
 }
 
 // Trajectory returns a stored raw trajectory by id.
 func (s *Store) Trajectory(id string) (*gps.RawTrajectory, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	t, ok := s.trajectories[id]
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	t, ok := sh.trajectories[id]
 	return t, ok
 }
 
 // TrajectoryIDs returns the ids of the stored trajectories of an object,
-// in insertion order. With an empty objectID it returns all trajectory ids.
+// in insertion order. With an empty objectID it returns all trajectory ids
+// across every stripe, sorted lexicographically.
 func (s *Store) TrajectoryIDs(objectID string) []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	if objectID != "" {
-		return append([]string(nil), s.trajByObject[objectID]...)
+		sh := s.shardFor(objectID)
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		return append([]string(nil), sh.trajByObject[objectID]...)
 	}
-	out := make([]string, 0, len(s.trajectories))
-	for id := range s.trajectories {
-		out = append(out, id)
+	var out []string
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for id := range sh.trajectories {
+			out = append(out, id)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out
@@ -119,9 +208,13 @@ func (s *Store) TrajectoryIDs(objectID string) []string {
 
 // TrajectoryCount returns the number of stored raw trajectories.
 func (s *Store) TrajectoryCount() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.trajectories)
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += len(sh.trajectories)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // PutEpisodes stores the stop/move episodes of a trajectory (replacing any
@@ -130,9 +223,12 @@ func (s *Store) PutEpisodes(trajectoryID string, eps []*episode.Episode) error {
 	if trajectoryID == "" {
 		return errors.New("store: empty trajectory id")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.episodes[trajectoryID] = append([]*episode.Episode(nil), eps...)
+	sh := s.shardFor(trajectoryID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.uncountEpisodes(sh.episodes[trajectoryID])
+	sh.episodes[trajectoryID] = append([]*episode.Episode(nil), eps...)
+	sh.countEpisodes(eps)
 	return nil
 }
 
@@ -143,31 +239,30 @@ func (s *Store) AppendEpisodes(trajectoryID string, eps ...*episode.Episode) err
 	if trajectoryID == "" {
 		return errors.New("store: empty trajectory id")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.episodes[trajectoryID] = append(s.episodes[trajectoryID], eps...)
+	sh := s.shardFor(trajectoryID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.episodes[trajectoryID] = append(sh.episodes[trajectoryID], eps...)
+	sh.countEpisodes(eps)
 	return nil
 }
 
 // Episodes returns the episodes stored for a trajectory.
 func (s *Store) Episodes(trajectoryID string) []*episode.Episode {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return append([]*episode.Episode(nil), s.episodes[trajectoryID]...)
+	sh := s.shardFor(trajectoryID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return append([]*episode.Episode(nil), sh.episodes[trajectoryID]...)
 }
 
 // EpisodeCounts returns the total number of stop and move episodes stored.
+// Like RecordCount it reads per-stripe running totals, O(shards).
 func (s *Store) EpisodeCounts() (stops, moves int) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	for _, eps := range s.episodes {
-		for _, e := range eps {
-			if e.Kind == episode.Stop {
-				stops++
-			} else {
-				moves++
-			}
-		}
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		stops += sh.stopCount
+		moves += sh.moveCount
+		sh.mu.RUnlock()
 	}
 	return stops, moves
 }
@@ -181,12 +276,16 @@ func (s *Store) PutStructured(st *core.StructuredTrajectory) error {
 	if st.Interpretation == "" {
 		return errors.New("store: structured trajectory must name its interpretation")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	byInterp, ok := s.structured[st.ID]
+	sh := s.shardFor(st.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	byInterp, ok := sh.structured[st.ID]
 	if !ok {
 		byInterp = structuredByInterp{}
-		s.structured[st.ID] = byInterp
+		sh.structured[st.ID] = byInterp
+	}
+	if _, exists := byInterp[st.Interpretation]; !exists {
+		sh.structCount++
 	}
 	byInterp[st.Interpretation] = st
 	return nil
@@ -204,17 +303,19 @@ func (s *Store) AppendStructuredTuples(trajectoryID, objectID, interpretation st
 	if interpretation == "" {
 		return errors.New("store: structured trajectory must name its interpretation")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	byInterp, ok := s.structured[trajectoryID]
+	sh := s.shardFor(trajectoryID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	byInterp, ok := sh.structured[trajectoryID]
 	if !ok {
 		byInterp = structuredByInterp{}
-		s.structured[trajectoryID] = byInterp
+		sh.structured[trajectoryID] = byInterp
 	}
 	st, ok := byInterp[interpretation]
 	if !ok {
 		st = &core.StructuredTrajectory{ID: trajectoryID, ObjectID: objectID, Interpretation: interpretation}
 		byInterp[interpretation] = st
+		sh.structCount++
 	}
 	st.Tuples = append(st.Tuples, tuples...)
 	return nil
@@ -223,9 +324,10 @@ func (s *Store) AppendStructuredTuples(trajectoryID, objectID, interpretation st
 // Structured returns the stored structured trajectory for a trajectory id
 // and interpretation.
 func (s *Store) Structured(trajectoryID, interpretation string) (*core.StructuredTrajectory, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	byInterp, ok := s.structured[trajectoryID]
+	sh := s.shardFor(trajectoryID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	byInterp, ok := sh.structured[trajectoryID]
 	if !ok {
 		return nil, false
 	}
@@ -235,9 +337,10 @@ func (s *Store) Structured(trajectoryID, interpretation string) (*core.Structure
 
 // Interpretations lists the interpretations stored for a trajectory.
 func (s *Store) Interpretations(trajectoryID string) []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	byInterp := s.structured[trajectoryID]
+	sh := s.shardFor(trajectoryID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	byInterp := sh.structured[trajectoryID]
 	out := make([]string, 0, len(byInterp))
 	for k := range byInterp {
 		out = append(out, k)
@@ -249,24 +352,26 @@ func (s *Store) Interpretations(trajectoryID string) []string {
 // StructuredIDs returns the ids of all trajectories that have at least one
 // stored structured interpretation, sorted lexicographically.
 func (s *Store) StructuredIDs() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.structured))
-	for id := range s.structured {
-		out = append(out, id)
+	var out []string
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for id := range sh.structured {
+			out = append(out, id)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out
 }
 
 // StructuredCount returns the number of stored structured trajectories
-// across all interpretations.
+// across all interpretations (an O(shards) running total).
 func (s *Store) StructuredCount() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	n := 0
-	for _, byInterp := range s.structured {
-		n += len(byInterp)
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += sh.structCount
+		sh.mu.RUnlock()
 	}
 	return n
 }
@@ -274,25 +379,36 @@ func (s *Store) StructuredCount() int {
 // QueryStopsByAnnotation returns, across all stored structured trajectories
 // of the given interpretation, the stop tuples whose annotation `key` equals
 // `value` (e.g. all stops annotated with the "item sale" POI category).
+// Results are ordered by trajectory id for determinism across shard layouts.
 func (s *Store) QueryStopsByAnnotation(interpretation, key, value string) []*core.EpisodeTuple {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var out []*core.EpisodeTuple
-	ids := make([]string, 0, len(s.structured))
-	for id := range s.structured {
-		ids = append(ids, id)
+	type hit struct {
+		id     string
+		tuples []*core.EpisodeTuple
 	}
-	sort.Strings(ids)
-	for _, id := range ids {
-		st, ok := s.structured[id][interpretation]
-		if !ok {
-			continue
-		}
-		for _, tp := range st.Tuples {
-			if tp.Kind == episode.Stop && tp.Annotations.Value(key) == value {
-				out = append(out, tp)
+	var hits []hit
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for id, byInterp := range sh.structured {
+			st, ok := byInterp[interpretation]
+			if !ok {
+				continue
+			}
+			var tuples []*core.EpisodeTuple
+			for _, tp := range st.Tuples {
+				if tp.Kind == episode.Stop && tp.Annotations.Value(key) == value {
+					tuples = append(tuples, tp)
+				}
+			}
+			if len(tuples) > 0 {
+				hits = append(hits, hit{id: id, tuples: tuples})
 			}
 		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].id < hits[j].id })
+	var out []*core.EpisodeTuple
+	for _, h := range hits {
+		out = append(out, h.tuples...)
 	}
 	return out
 }
@@ -312,155 +428,4 @@ func (s *Store) QueryTuplesInWindow(trajectoryID, interpretation string, from, t
 		out = append(out, tp)
 	}
 	return out
-}
-
-// snapshot is the JSON persistence format of the store.
-type snapshot struct {
-	Records      map[string][]jsonRecord          `json:"records"`
-	Trajectories []jsonTrajectory                 `json:"trajectories"`
-	Episodes     map[string][]*episode.Episode    `json:"episodes"`
-	Structured   map[string]map[string]jsonStruct `json:"structured"`
-}
-
-type jsonRecord struct {
-	Object string    `json:"object"`
-	X      float64   `json:"x"`
-	Y      float64   `json:"y"`
-	Time   time.Time `json:"time"`
-}
-
-type jsonTrajectory struct {
-	ID       string       `json:"id"`
-	ObjectID string       `json:"object_id"`
-	Records  []jsonRecord `json:"records"`
-}
-
-type jsonStruct struct {
-	ID             string      `json:"id"`
-	ObjectID       string      `json:"object_id"`
-	Interpretation string      `json:"interpretation"`
-	Tuples         []jsonTuple `json:"tuples"`
-}
-
-type jsonTuple struct {
-	Kind        string            `json:"kind"`
-	Place       *core.Place       `json:"place,omitempty"`
-	TimeIn      time.Time         `json:"time_in"`
-	TimeOut     time.Time         `json:"time_out"`
-	Annotations []core.Annotation `json:"annotations,omitempty"`
-}
-
-// Save writes the store contents as JSON to the given path, creating parent
-// directories as needed.
-func (s *Store) Save(path string) error {
-	s.mu.RLock()
-	snap := snapshot{
-		Records:    map[string][]jsonRecord{},
-		Episodes:   map[string][]*episode.Episode{},
-		Structured: map[string]map[string]jsonStruct{},
-	}
-	for obj, recs := range s.records {
-		rows := make([]jsonRecord, len(recs))
-		for i, r := range recs {
-			rows[i] = jsonRecord{Object: r.ObjectID, X: r.Position.X, Y: r.Position.Y, Time: r.Time}
-		}
-		snap.Records[obj] = rows
-	}
-	for _, t := range s.trajectories {
-		rows := make([]jsonRecord, len(t.Records))
-		for i, r := range t.Records {
-			rows[i] = jsonRecord{Object: r.ObjectID, X: r.Position.X, Y: r.Position.Y, Time: r.Time}
-		}
-		snap.Trajectories = append(snap.Trajectories, jsonTrajectory{ID: t.ID, ObjectID: t.ObjectID, Records: rows})
-	}
-	for id, eps := range s.episodes {
-		snap.Episodes[id] = eps
-	}
-	for id, byInterp := range s.structured {
-		m := map[string]jsonStruct{}
-		for interp, st := range byInterp {
-			js := jsonStruct{ID: st.ID, ObjectID: st.ObjectID, Interpretation: st.Interpretation}
-			for _, tp := range st.Tuples {
-				js.Tuples = append(js.Tuples, jsonTuple{
-					Kind:        tp.Kind.String(),
-					Place:       tp.Place,
-					TimeIn:      tp.TimeIn,
-					TimeOut:     tp.TimeOut,
-					Annotations: tp.Annotations.All(),
-				})
-			}
-			m[interp] = js
-		}
-		snap.Structured[id] = m
-	}
-	s.mu.RUnlock()
-
-	sort.Slice(snap.Trajectories, func(i, j int) bool { return snap.Trajectories[i].ID < snap.Trajectories[j].ID })
-	data, err := json.MarshalIndent(&snap, "", " ")
-	if err != nil {
-		return fmt.Errorf("store: marshal: %w", err)
-	}
-	if dir := filepath.Dir(path); dir != "." && dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return fmt.Errorf("store: mkdir: %w", err)
-		}
-	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
-		return fmt.Errorf("store: write: %w", err)
-	}
-	return nil
-}
-
-// Load reads a snapshot produced by Save into a fresh store.
-func Load(path string) (*Store, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, fmt.Errorf("store: read: %w", err)
-	}
-	var snap snapshot
-	if err := json.Unmarshal(data, &snap); err != nil {
-		return nil, fmt.Errorf("store: unmarshal: %w", err)
-	}
-	s := New()
-	for _, rows := range snap.Records {
-		recs := make([]gps.Record, len(rows))
-		for i, r := range rows {
-			recs[i] = gps.Record{ObjectID: r.Object, Position: geo.Pt(r.X, r.Y), Time: r.Time}
-		}
-		s.PutRecords(recs)
-	}
-	for _, jt := range snap.Trajectories {
-		recs := make([]gps.Record, len(jt.Records))
-		for i, r := range jt.Records {
-			recs[i] = gps.Record{ObjectID: r.Object, Position: geo.Pt(r.X, r.Y), Time: r.Time}
-		}
-		if err := s.PutTrajectory(&gps.RawTrajectory{ID: jt.ID, ObjectID: jt.ObjectID, Records: recs}); err != nil {
-			return nil, err
-		}
-	}
-	for id, eps := range snap.Episodes {
-		if err := s.PutEpisodes(id, eps); err != nil {
-			return nil, err
-		}
-	}
-	for _, byInterp := range snap.Structured {
-		for _, js := range byInterp {
-			st := &core.StructuredTrajectory{ID: js.ID, ObjectID: js.ObjectID, Interpretation: js.Interpretation}
-			for _, jtp := range js.Tuples {
-				kind := episode.Move
-				if jtp.Kind == "stop" {
-					kind = episode.Stop
-				}
-				tp := &core.EpisodeTuple{Kind: kind, Place: jtp.Place, TimeIn: jtp.TimeIn, TimeOut: jtp.TimeOut}
-				for _, a := range jtp.Annotations {
-					tp.Annotations.Add(a)
-				}
-				st.Tuples = append(st.Tuples, tp)
-			}
-			if err := s.PutStructured(st); err != nil {
-				return nil, err
-			}
-		}
-	}
-	return s, nil
 }

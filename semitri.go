@@ -115,6 +115,11 @@ type Config struct {
 	// Workers bounds the number of trajectories annotated concurrently
 	// (values below 1 mean sequential processing).
 	Workers int
+	// StoreShards is the number of lock stripes of the semantic trajectory
+	// store (values below 1 mean store.DefaultShards). More stripes lower
+	// contention between concurrently ingested objects; one stripe
+	// degenerates to a single global store lock.
+	StoreShards int
 }
 
 // DefaultConfig returns the configuration used throughout the experiments.
@@ -168,7 +173,7 @@ func New(sources Sources, cfg Config) (*Pipeline, error) {
 	p := &Pipeline{
 		cfg:     cfg,
 		sources: sources,
-		st:      store.New(),
+		st:      store.NewSharded(cfg.StoreShards),
 		latency: stats.NewLatencyBreakdown(),
 	}
 	var err error

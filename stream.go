@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"semitri/internal/core"
@@ -28,27 +29,53 @@ import (
 // (assuming each object's records arrive in time order; late records are
 // dropped, as batch sorting would have moved them anyway).
 //
-// A StreamProcessor is safe for concurrent use; records of different objects
-// may be interleaved freely. Use one StreamProcessor (or one ProcessRecords
-// run) per Pipeline store lifetime to keep trajectory ids unique.
+// # Concurrency
+//
+// A StreamProcessor is safe for concurrent use and is internally sharded by
+// object: every moving object owns its full streaming state (cleaner,
+// segmenter, episode tracker, staged artefacts) behind its own lock, and the
+// processor-wide lock only guards the object registry and the running
+// Result. Add calls for different objects therefore run concurrently
+// end-to-end — clean → segment → episode → annotate → append — contending
+// only on the store's lock stripes. Calls for the same object serialise on
+// that object's lock; feed one object's records from a single goroutine (or
+// use AddBatchConcurrent / FanIn, which shard by object) to keep their order
+// deterministic. Use one StreamProcessor (or one ProcessRecords run) per
+// Pipeline store lifetime to keep trajectory ids unique.
 type StreamProcessor struct {
 	p *Pipeline
 
-	mu        sync.Mutex
-	cleaner   *gps.StreamCleaner
-	segmenter *gps.StreamSegmenter
-	objects   map[string]*objectStream
-	result    Result
-	closed    bool
+	// reg guards the object registry and the closed flag; per-object state
+	// is guarded by each objectStream's own mutex.
+	reg     sync.RWMutex
+	objects map[string]*objectStream
+	closed  bool
+
+	// Running totals shared by all objects. The counters are atomics so the
+	// per-record hot path never takes a processor-wide lock; only the
+	// trajectory-close path (rare) takes resMu for the id list.
+	records atomic.Int64
+	stops   atomic.Int64
+	moves   atomic.Int64
+	resMu   sync.Mutex // guards trajectoryIDs
+	trajIDs []string
 }
 
-// objectStream is the per-object streaming state: the episode tracker of the
-// open trajectory and the artefacts staged until the trajectory is committed
-// (guaranteed to be kept).
+// objectStream is the per-object streaming state: the object's own cleaning
+// window and segmenter, the episode tracker of the open trajectory and the
+// artefacts staged until the trajectory is committed (guaranteed to be
+// kept). All fields are guarded by mu; the cleaner and segmenter see exactly
+// one object each, so their ids and split points match the processor-wide
+// instances the previous single-lock implementation used.
 type objectStream struct {
-	objectID string
-	tracker  *episode.Tracker
-	id       string // trajectory id, "" until committed
+	mu sync.Mutex
+
+	objectID  string
+	cleaner   *gps.StreamCleaner
+	segmenter *gps.StreamSegmenter
+	tracker   *episode.Tracker
+	id        string // trajectory id, "" until committed
+	closed    bool   // set by Close: the object accepts no further records
 
 	// Closed episodes of the open trajectory and their merged tuples
 	// (parallel slices), kept for the point layer at close time.
@@ -90,29 +117,64 @@ type StreamEvent struct {
 	TrajectoryClosed bool
 }
 
+var errStreamClosed = errors.New("semitri: stream already closed")
+
 // NewStream returns a streaming processor over the pipeline's sources,
 // configuration and store.
 func (p *Pipeline) NewStream() *StreamProcessor {
 	return &StreamProcessor{
-		p:         p,
-		cleaner:   gps.NewStreamCleaner(p.cfg.Cleaning),
-		segmenter: gps.NewStreamSegmenter(p.cfg.Segmentation, p.cfg.DailySplit),
-		objects:   map[string]*objectStream{},
+		p:       p,
+		objects: map[string]*objectStream{},
 	}
+}
+
+// object returns the stream state for objectID, creating it on first use.
+// The fast path holds only a read lock on the registry.
+func (sp *StreamProcessor) object(objectID string) (*objectStream, error) {
+	sp.reg.RLock()
+	if sp.closed {
+		sp.reg.RUnlock()
+		return nil, errStreamClosed
+	}
+	os := sp.objects[objectID]
+	sp.reg.RUnlock()
+	if os != nil {
+		return os, nil
+	}
+	sp.reg.Lock()
+	defer sp.reg.Unlock()
+	if sp.closed {
+		return nil, errStreamClosed
+	}
+	if os = sp.objects[objectID]; os == nil {
+		os = &objectStream{
+			objectID:  objectID,
+			cleaner:   gps.NewStreamCleaner(sp.p.cfg.Cleaning),
+			segmenter: gps.NewStreamSegmenter(sp.p.cfg.Segmentation, sp.p.cfg.DailySplit),
+			latency:   stats.NewLatencyBreakdown(),
+		}
+		sp.objects[objectID] = os
+	}
+	return os, nil
 }
 
 // Add ingests one raw GPS record and returns the events it triggered. The
 // cleaning window delays a record's effects by SmoothingWindow records of
-// its object.
+// its object. Adds for different objects run concurrently; adds for the same
+// object serialise on the object's lock.
 func (sp *StreamProcessor) Add(r gps.Record) ([]StreamEvent, error) {
-	sp.mu.Lock()
-	defer sp.mu.Unlock()
-	if sp.closed {
-		return nil, errors.New("semitri: stream already closed")
+	os, err := sp.object(r.ObjectID)
+	if err != nil {
+		return nil, err
+	}
+	os.mu.Lock()
+	defer os.mu.Unlock()
+	if os.closed {
+		return nil, errStreamClosed
 	}
 	var events []StreamEvent
-	for _, cr := range sp.cleaner.Add(r) {
-		evs, err := sp.ingestCleaned(cr)
+	for _, cr := range os.cleaner.Add(r) {
+		evs, err := sp.ingestCleaned(os, cr)
 		events = append(events, evs...)
 		if err != nil {
 			return events, err
@@ -135,16 +197,11 @@ func (sp *StreamProcessor) AddBatch(records []gps.Record) ([]StreamEvent, error)
 }
 
 // ingestCleaned routes one finalised cleaned record through segmentation,
-// episode tracking and annotation. Caller holds sp.mu.
-func (sp *StreamProcessor) ingestCleaned(cr gps.Record) ([]StreamEvent, error) {
+// episode tracking and annotation. Caller holds os.mu.
+func (sp *StreamProcessor) ingestCleaned(os *objectStream, cr gps.Record) ([]StreamEvent, error) {
 	sp.p.st.PutRecords([]gps.Record{cr})
-	sp.result.Records++
-	ev := sp.segmenter.Add(cr)
-	os := sp.objects[cr.ObjectID]
-	if os == nil {
-		os = &objectStream{objectID: cr.ObjectID, latency: stats.NewLatencyBreakdown()}
-		sp.objects[cr.ObjectID] = os
-	}
+	sp.records.Add(1)
+	ev := os.segmenter.Add(cr)
 	var events []StreamEvent
 	if ev.Closed != nil {
 		evs, err := sp.closeTrajectory(os, ev.Closed)
@@ -156,7 +213,7 @@ func (sp *StreamProcessor) ingestCleaned(cr gps.Record) ([]StreamEvent, error) {
 		os.reset()
 	}
 	if ev.Opened {
-		tk, err := episode.NewTracker("", cr.ObjectID, sp.p.cfg.Episode)
+		tk, err := episode.NewTracker("", os.objectID, sp.p.cfg.Episode)
 		if err != nil {
 			return events, fmt.Errorf("semitri: %w", err)
 		}
@@ -168,7 +225,7 @@ func (sp *StreamProcessor) ingestCleaned(cr gps.Record) ([]StreamEvent, error) {
 		return events, fmt.Errorf("semitri: %w", err)
 	}
 	os.latency.Record(StageComputeEpisode, time.Since(start))
-	openRecords, _, _ := sp.segmenter.OpenRecords(cr.ObjectID)
+	openRecords, _, _ := os.segmenter.OpenRecords(os.objectID)
 	for _, closedEp := range eps {
 		e, err := sp.closeEpisodeRecords(os, closedEp, openRecords)
 		if err != nil {
@@ -197,7 +254,7 @@ func (sp *StreamProcessor) ingestCleaned(cr gps.Record) ([]StreamEvent, error) {
 // layers and appends the results to the store (or stages them when the
 // trajectory is not yet committed). records must cover the episode's index
 // range: the open segment's records so far, or the full trajectory at close
-// time. Caller holds sp.mu.
+// time. Caller holds os.mu.
 func (sp *StreamProcessor) closeEpisodeRecords(os *objectStream, ep *episode.Episode, records []gps.Record) (StreamEvent, error) {
 	view := &gps.RawTrajectory{ID: os.id, ObjectID: os.objectID, Records: records}
 	ann, err := sp.p.annotateEpisode(view, ep, os.latency)
@@ -247,7 +304,7 @@ func (sp *StreamProcessor) appendEpisodeArtifacts(os *objectStream, ep *episode.
 // commit fires when the open trajectory reaches MinRecords: the trajectory
 // id is now final, the staged artefacts catch up into the store and the
 // held-back episode events are released (with the id filled in). Caller
-// holds sp.mu.
+// holds os.mu.
 func (sp *StreamProcessor) commit(os *objectStream, id string) ([]StreamEvent, error) {
 	os.id = id
 	os.tracker.SetIDs(id, os.objectID)
@@ -256,7 +313,7 @@ func (sp *StreamProcessor) commit(os *objectStream, id string) ([]StreamEvent, e
 	for i := range released {
 		released[i].TrajectoryID = id
 	}
-	records, _, _ := sp.segmenter.OpenRecords(os.objectID)
+	records, _, _ := os.segmenter.OpenRecords(os.objectID)
 	partial := &gps.RawTrajectory{
 		ID: id, ObjectID: os.objectID, Records: append([]gps.Record(nil), records...),
 	}
@@ -277,7 +334,7 @@ func (sp *StreamProcessor) commit(os *objectStream, id string) ([]StreamEvent, e
 
 // closeTrajectory finishes a kept trajectory: drains the tracker's tail
 // episodes, runs the record-level region interpretation and the point layer,
-// and finalises the stored trajectory. Caller holds sp.mu.
+// and finalises the stored trajectory. Caller holds os.mu.
 func (sp *StreamProcessor) closeTrajectory(os *objectStream, t *gps.RawTrajectory) ([]StreamEvent, error) {
 	defer func() {
 		sp.p.mu.Lock()
@@ -323,7 +380,9 @@ func (sp *StreamProcessor) closeTrajectory(os *objectStream, t *gps.RawTrajector
 			return events, err
 		}
 	}
-	// Point layer over the trajectory's whole stop sequence.
+	// Point layer over the trajectory's whole stop sequence. This is the one
+	// per-trajectory step that stays monolithic even under concurrent
+	// ingestion: the HMM decodes the full stop sequence jointly.
 	var stopEps []*episode.Episode
 	var mergedStops []*core.EpisodeTuple
 	for i, ep := range os.episodes {
@@ -342,19 +401,37 @@ func (sp *StreamProcessor) closeTrajectory(os *objectStream, t *gps.RawTrajector
 	// Stops/moves count only kept trajectories, as the batch Result does.
 	for _, ep := range os.episodes {
 		if ep.Kind == episode.Stop {
-			sp.result.Stops++
+			sp.stops.Add(1)
 		} else {
-			sp.result.Moves++
+			sp.moves.Add(1)
 		}
 	}
-	sp.result.TrajectoryIDs = append(sp.result.TrajectoryIDs, t.ID)
+	sp.resMu.Lock()
+	sp.trajIDs = append(sp.trajIDs, t.ID)
+	sp.resMu.Unlock()
 	events = append(events, StreamEvent{ObjectID: t.ObjectID, TrajectoryID: t.ID, TrajectoryClosed: true})
 	return events, nil
 }
 
-// reset clears the per-trajectory state after a close or drop.
+// reset clears the per-trajectory state after a close or drop, keeping the
+// object's cleaner/segmenter (their history spans trajectories) and its
+// closed flag.
 func (os *objectStream) reset() {
-	*os = objectStream{objectID: os.objectID, latency: stats.NewLatencyBreakdown()}
+	os.tracker = nil
+	os.id = ""
+	os.episodes = nil
+	os.merged = nil
+	os.staged = nil
+	os.stagedEvents = nil
+	os.latency = stats.NewLatencyBreakdown()
+}
+
+// lookup returns the object's stream state without creating it.
+func (sp *StreamProcessor) lookup(objectID string) (*objectStream, bool) {
+	sp.reg.RLock()
+	defer sp.reg.RUnlock()
+	os, ok := sp.objects[objectID]
+	return os, ok
 }
 
 // Tail returns a provisional view of the object's open trajectory: the
@@ -362,10 +439,13 @@ func (os *objectStream) reset() {
 // may still change (and records inside the cleaner's smoothing window are
 // not part of them yet).
 func (sp *StreamProcessor) Tail(objectID string) []*episode.Episode {
-	sp.mu.Lock()
-	defer sp.mu.Unlock()
-	os := sp.objects[objectID]
-	if os == nil || os.tracker == nil {
+	os, ok := sp.lookup(objectID)
+	if !ok {
+		return nil
+	}
+	os.mu.Lock()
+	defer os.mu.Unlock()
+	if os.tracker == nil {
 		return nil
 	}
 	return os.tracker.Tail()
@@ -376,32 +456,41 @@ func (sp *StreamProcessor) Tail(objectID string) []*episode.Episode {
 // note that flushing resets the object's smoothing history, so batch/stream
 // parity holds for streams flushed only by Close.
 func (sp *StreamProcessor) Flush(objectID string) ([]StreamEvent, error) {
-	sp.mu.Lock()
-	defer sp.mu.Unlock()
-	if sp.closed {
-		return nil, errors.New("semitri: stream already closed")
+	sp.reg.RLock()
+	closed := sp.closed
+	os := sp.objects[objectID]
+	sp.reg.RUnlock()
+	if closed {
+		return nil, errStreamClosed
 	}
-	return sp.flushObject(objectID)
+	if os == nil {
+		return nil, nil
+	}
+	os.mu.Lock()
+	defer os.mu.Unlock()
+	if os.closed {
+		return nil, errStreamClosed
+	}
+	return sp.flushObject(os)
 }
 
-// flushObject drains and closes one object. Caller holds sp.mu.
-func (sp *StreamProcessor) flushObject(objectID string) ([]StreamEvent, error) {
+// flushObject drains and closes one object's open state. Caller holds os.mu.
+func (sp *StreamProcessor) flushObject(os *objectStream) ([]StreamEvent, error) {
 	var events []StreamEvent
-	for _, cr := range sp.cleaner.Flush(objectID) {
-		evs, err := sp.ingestCleaned(cr)
+	for _, cr := range os.cleaner.Flush(os.objectID) {
+		evs, err := sp.ingestCleaned(os, cr)
 		events = append(events, evs...)
 		if err != nil {
 			return events, err
 		}
 	}
-	os := sp.objects[objectID]
-	if t := sp.segmenter.Flush(objectID); t != nil && os != nil {
+	if t := os.segmenter.Flush(os.objectID); t != nil {
 		evs, err := sp.closeTrajectory(os, t)
 		events = append(events, evs...)
 		if err != nil {
 			return events, err
 		}
-	} else if os != nil {
+	} else {
 		os.reset() // open segment dropped (too short) or absent
 	}
 	return events, nil
@@ -410,60 +499,63 @@ func (sp *StreamProcessor) flushObject(objectID string) ([]StreamEvent, error) {
 // Close ends the stream: every object's pending records are drained, every
 // open trajectory is closed and annotated, and the accumulated Result — the
 // same summary ProcessRecords returns — is produced. The processor accepts
-// no further records.
+// no further records. Close waits for in-flight Adds to finish; Adds issued
+// after Close fail.
 func (sp *StreamProcessor) Close() (*Result, error) {
-	sp.mu.Lock()
-	defer sp.mu.Unlock()
+	sp.reg.Lock()
 	if sp.closed {
-		return nil, errors.New("semitri: stream already closed")
+		sp.reg.Unlock()
+		return nil, errStreamClosed
 	}
+	sp.closed = true
 	ids := make([]string, 0, len(sp.objects))
 	for id := range sp.objects {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
-	for _, id := range ids {
-		if _, err := sp.flushObject(id); err != nil {
+	objects := make([]*objectStream, len(ids))
+	for i, id := range ids {
+		objects[i] = sp.objects[id]
+	}
+	sp.reg.Unlock()
+	// Flush object by object in sorted order — the order the single-lock
+	// implementation used. Locking os.mu waits out any Add that was already
+	// past the closed check; once flushed, the object's own closed flag
+	// rejects stragglers.
+	for _, os := range objects {
+		os.mu.Lock()
+		var err error
+		if !os.closed {
+			_, err = sp.flushObject(os)
+			os.closed = true
+		}
+		os.mu.Unlock()
+		if err != nil {
 			return nil, err
 		}
 	}
-	// Objects whose records never produced a cleaned record still need their
-	// cleaner state dropped; FlushAll also covers objects never seen by the
-	// segmenter.
-	for _, cr := range sp.cleaner.FlushAll() {
-		if _, err := sp.ingestCleaned(cr); err != nil {
-			return nil, err
-		}
-	}
-	for _, t := range sp.segmenter.FlushAll() {
-		os := sp.objects[t.ObjectID]
-		if os == nil {
-			return nil, fmt.Errorf("semitri: trajectory %s closed for unknown object", t.ID)
-		}
-		if _, err := sp.closeTrajectory(os, t); err != nil {
-			return nil, err
-		}
-	}
-	sp.closed = true
 	// Mirror the batch path's errors so callers porting from ProcessRecords
 	// keep their misconfiguration detection.
-	if sp.result.Records == 0 {
+	result := sp.Result()
+	if result.Records == 0 {
 		return nil, errors.New("semitri: no records")
 	}
-	if len(sp.result.TrajectoryIDs) == 0 {
+	if len(result.TrajectoryIDs) == 0 {
 		return nil, errors.New("semitri: no trajectories identified (check segmentation config)")
 	}
-	result := sp.result
-	result.TrajectoryIDs = append([]string(nil), sp.result.TrajectoryIDs...)
 	return &result, nil
 }
 
 // Result returns a snapshot of the running totals (records cleaned, episodes
 // and trajectories closed so far).
 func (sp *StreamProcessor) Result() Result {
-	sp.mu.Lock()
-	defer sp.mu.Unlock()
-	out := sp.result
-	out.TrajectoryIDs = append([]string(nil), sp.result.TrajectoryIDs...)
-	return out
+	sp.resMu.Lock()
+	ids := append([]string(nil), sp.trajIDs...)
+	sp.resMu.Unlock()
+	return Result{
+		TrajectoryIDs: ids,
+		Records:       int(sp.records.Load()),
+		Stops:         int(sp.stops.Load()),
+		Moves:         int(sp.moves.Load()),
+	}
 }

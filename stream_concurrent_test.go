@@ -1,0 +1,167 @@
+package semitri_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"semitri"
+	"semitri/internal/gps"
+)
+
+// objectOrder partitions records by object, preserving each object's order.
+func objectOrder(records []gps.Record) map[string][]gps.Record {
+	byObject := map[string][]gps.Record{}
+	for _, r := range records {
+		byObject[r.ObjectID] = append(byObject[r.ObjectID], r)
+	}
+	return byObject
+}
+
+// TestBatchStreamParityConcurrent is the concurrent variant of
+// TestBatchStreamParity: records of 8 objects are interleaved from multiple
+// goroutines (one per object, so per-object order is preserved while objects
+// race freely through clean → segment → episode → annotate → append), and
+// the resulting store must still match the batch pipeline tuple for tuple.
+// Run under -race this is the end-to-end data-race test for the per-object
+// streaming engine and the lock-striped store.
+func TestBatchStreamParityConcurrent(t *testing.T) {
+	city := newTestCity(t, 1, 3000)
+	records := peopleRecords(t, city, 8, 1, 5)
+	byObject := objectOrder(records)
+	if len(byObject) < 8 {
+		t.Fatalf("workload produced %d objects, want >= 8", len(byObject))
+	}
+
+	batch := newTestPipeline(t, city, semitri.DefaultConfig())
+	batchResult, err := batch.ProcessRecords(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stream := newTestPipeline(t, city, semitri.DefaultConfig())
+	sp := stream.NewStream()
+	var episodeEvents atomic.Int64
+	var wg sync.WaitGroup
+	for _, recs := range byObject {
+		wg.Add(1)
+		go func(recs []gps.Record) {
+			defer wg.Done()
+			for _, r := range recs {
+				events, err := sp.Add(r)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for _, ev := range events {
+					if ev.Episode != nil {
+						episodeEvents.Add(1)
+					}
+				}
+			}
+		}(recs)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	streamResult, err := sp.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if episodeEvents.Load() == 0 {
+		t.Fatal("concurrent stream never emitted an episode event")
+	}
+
+	if batchResult.Records != streamResult.Records {
+		t.Fatalf("cleaned records: batch %d, stream %d", batchResult.Records, streamResult.Records)
+	}
+	if batchResult.Stops != streamResult.Stops || batchResult.Moves != streamResult.Moves {
+		t.Fatalf("episode counts: batch %d/%d, stream %d/%d",
+			batchResult.Stops, batchResult.Moves, streamResult.Stops, streamResult.Moves)
+	}
+	if len(batchResult.TrajectoryIDs) != len(streamResult.TrajectoryIDs) {
+		t.Fatalf("trajectory count: batch %d, stream %d",
+			len(batchResult.TrajectoryIDs), len(streamResult.TrajectoryIDs))
+	}
+	assertStoreParity(t, batchResult.TrajectoryIDs, batch.Store(), stream.Store())
+}
+
+// TestAddBatchConcurrentParity drives the same workload through the
+// AddBatchConcurrent fan-in driver (which shards the interleaved feed by
+// object across 4 workers) and checks store parity with the batch pipeline.
+func TestAddBatchConcurrentParity(t *testing.T) {
+	city := newTestCity(t, 4, 3000)
+	records := peopleRecords(t, city, 8, 1, 7)
+
+	batch := newTestPipeline(t, city, semitri.DefaultConfig())
+	batchResult, err := batch.ProcessRecords(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stream := newTestPipeline(t, city, semitri.DefaultConfig())
+	sp := stream.NewStream()
+	events, err := sp.AddBatchConcurrent(records, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	episodeEvents := 0
+	for _, ev := range events {
+		if ev.Episode != nil {
+			episodeEvents++
+			if ev.Tuple == nil {
+				t.Fatal("episode event without merged tuple")
+			}
+		}
+	}
+	if episodeEvents == 0 {
+		t.Fatal("fan-in never emitted an episode event")
+	}
+	streamResult, err := sp.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batchResult.Stops != streamResult.Stops || batchResult.Moves != streamResult.Moves ||
+		len(batchResult.TrajectoryIDs) != len(streamResult.TrajectoryIDs) {
+		t.Fatalf("fan-in parity: batch %d/%d over %d trajectories, stream %d/%d over %d",
+			batchResult.Stops, batchResult.Moves, len(batchResult.TrajectoryIDs),
+			streamResult.Stops, streamResult.Moves, len(streamResult.TrajectoryIDs))
+	}
+	assertStoreParity(t, batchResult.TrajectoryIDs, batch.Store(), stream.Store())
+}
+
+// TestConcurrentAddAfterClose asserts the close handshake: Adds racing with
+// Close either complete fully or fail with the closed error — they must
+// never ingest into a drained object.
+func TestConcurrentAddAfterClose(t *testing.T) {
+	city := newTestCity(t, 2, 2000)
+	records := peopleRecords(t, city, 2, 1, 9)
+	p := newTestPipeline(t, city, semitri.DefaultConfig())
+	sp := p.NewStream()
+	if _, err := sp.AddBatch(records); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var closedErrs atomic.Int64
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := sp.Add(records[0])
+			if err != nil {
+				closedErrs.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := closedErrs.Load(); got != 4 {
+		t.Fatalf("%d of 4 post-Close Adds failed, want all", got)
+	}
+	if _, err := sp.Close(); err == nil {
+		t.Fatal("second Close should fail")
+	}
+}

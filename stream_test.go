@@ -8,6 +8,7 @@ import (
 	"semitri/internal/core"
 	"semitri/internal/episode"
 	"semitri/internal/gps"
+	"semitri/internal/store"
 	"semitri/internal/workload"
 )
 
@@ -121,11 +122,18 @@ func TestBatchStreamParity(t *testing.T) {
 	}
 	_ = trajectoryEvents // day-boundary closes may or may not fire mid-stream
 
-	bst, sst := batch.Store(), stream.Store()
+	assertStoreParity(t, batchResult.TrajectoryIDs, batch.Store(), stream.Store())
+}
+
+// assertStoreParity compares two pipeline stores tuple-for-tuple over the
+// given trajectories: raw records, episode sequences and every stored
+// interpretation must be identical.
+func assertStoreParity(t *testing.T, trajectoryIDs []string, bst, sst *store.Store) {
+	t.Helper()
 	if bst.RecordCount() != sst.RecordCount() {
 		t.Fatalf("stored records: batch %d, stream %d", bst.RecordCount(), sst.RecordCount())
 	}
-	for _, id := range batchResult.TrajectoryIDs {
+	for _, id := range trajectoryIDs {
 		// Raw trajectories.
 		bt, ok := bst.Trajectory(id)
 		if !ok {
