@@ -18,17 +18,26 @@ race:
 	$(GO) test -race -count=1 -run 'TestBatchStreamParity|TestAddBatchConcurrent|TestConcurrent|TestStream' .
 	$(GO) test -race -count=1 ./internal/store/
 
-# Full benchmark run (the paper's tables/figures print under -v).
+# Full benchmark run (the paper's tables/figures print under -v). Includes
+# the spatial-layer lookup micro-benchmarks (BenchmarkRegionLookup,
+# BenchmarkLineCandidates, BenchmarkPointCandidates, BenchmarkLookupBreakdown).
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
-# Formatting + vet; fails when any file needs gofmt.
+# Formatting + vet + staticcheck; fails when any file needs gofmt.
+# staticcheck is skipped with a notice when the binary is not installed
+# (CI installs it, so the lint job always runs the full set).
 lint:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
 	fi
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 fmt:
 	gofmt -w .

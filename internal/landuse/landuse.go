@@ -14,9 +14,11 @@ package landuse
 import (
 	"fmt"
 	"math/rand"
+	"sort"
+	"sync"
 
 	"semitri/internal/geo"
-	"semitri/internal/grid"
+	"semitri/internal/spatial"
 )
 
 // Category is a land-use sub-category code of the Swisstopo ontology
@@ -129,12 +131,21 @@ type Cell struct {
 }
 
 // Map is a land-use map: a grid of classified cells plus optional free-form
-// named regions. It implements the semantic-region source (Pregion).
+// named regions. It implements the semantic-region source (Pregion). The
+// raster is backed by the shared spatial layer: point location is O(1)
+// arithmetic on a spatial.Grid, rectangle joins and nearest queries go
+// through the spatial.Index view returned by CellIndex, and the named
+// regions sit in a bulk-loaded index over their polygon bounding boxes.
 type Map struct {
-	grid     *grid.Grid
+	grid     *spatial.Grid
 	cells    []Category // indexed by dense cell id
 	regions  []NamedRegion
 	cellArea float64
+
+	// regMu guards the lazily bulk-loaded named-region index; AddNamedRegion
+	// invalidates it, the first query after a mutation rebuilds it.
+	regMu  sync.Mutex
+	regIdx spatial.Index // over region polygon bounds; value = int index into regions
 }
 
 // NamedRegion is a free-form semantic region (e.g. "EPFL campus") with a
@@ -148,7 +159,7 @@ type NamedRegion struct {
 // NewMap creates a land-use map covering extent with square cells of the
 // given size; every cell starts as Meadows (the most neutral class).
 func NewMap(extent geo.Rect, cellSize float64) (*Map, error) {
-	g, err := grid.New(extent, cellSize)
+	g, err := spatial.NewGrid(extent, cellSize)
 	if err != nil {
 		return nil, fmt.Errorf("landuse: %w", err)
 	}
@@ -160,7 +171,7 @@ func NewMap(extent geo.Rect, cellSize float64) (*Map, error) {
 }
 
 // Grid exposes the underlying grid geometry.
-func (m *Map) Grid() *grid.Grid { return m.grid }
+func (m *Map) Grid() *spatial.Grid { return m.grid }
 
 // NumCells returns the number of land-use cells.
 func (m *Map) NumCells() int { return len(m.cells) }
@@ -224,32 +235,150 @@ func (m *Map) CellsIntersecting(r geo.Rect) []Cell {
 	return out
 }
 
-// AddNamedRegion registers a free-form region.
-func (m *Map) AddNamedRegion(r NamedRegion) { m.regions = append(m.regions, r) }
+// AddNamedRegion registers a free-form region. Regions are added while the
+// map is being built; mutation is not safe concurrently with queries.
+func (m *Map) AddNamedRegion(r NamedRegion) {
+	m.regions = append(m.regions, r)
+	m.regMu.Lock()
+	m.regIdx = nil // rebuilt by the next query
+	m.regMu.Unlock()
+}
 
 // NamedRegions returns all registered free-form regions.
 func (m *Map) NamedRegions() []NamedRegion { return append([]NamedRegion(nil), m.regions...) }
 
-// NamedRegionsAt returns the free-form regions containing the point.
-func (m *Map) NamedRegionsAt(p geo.Point) []NamedRegion {
-	var out []NamedRegion
-	for _, r := range m.regions {
-		if r.Polygon.ContainsPoint(p) {
-			out = append(out, r)
+// RegionIndex returns the immutable bulk-loaded spatial index over the
+// named-region polygon bounding boxes (item values are indices into
+// NamedRegions order), building it on first use; nil when no regions are
+// registered. Candidates still need the exact polygon test.
+func (m *Map) RegionIndex() spatial.Index {
+	if len(m.regions) == 0 {
+		return nil
+	}
+	m.regMu.Lock()
+	defer m.regMu.Unlock()
+	if m.regIdx == nil {
+		items := make([]spatial.Item, len(m.regions))
+		for i, reg := range m.regions {
+			items[i] = spatial.Item{Rect: reg.Polygon.Bounds(), Value: i}
 		}
+		m.regIdx = spatial.NewIndex(items)
+	}
+	return m.regIdx
+}
+
+// namedRegionsWhere collects, in registration order, the regions among the
+// index candidates produced by query that pass the exact geometric test.
+func (m *Map) namedRegionsWhere(query func(spatial.Index) []spatial.Item, test func(NamedRegion) bool) []NamedRegion {
+	ix := m.RegionIndex()
+	if ix == nil {
+		return nil
+	}
+	idxs := make([]int, 0, 4)
+	for _, it := range query(ix) {
+		if i := it.Value.(int); test(m.regions[i]) {
+			idxs = append(idxs, i)
+		}
+	}
+	// Registration order: annotators attach the first matching region, which
+	// must not depend on index traversal order.
+	sort.Ints(idxs)
+	out := make([]NamedRegion, 0, len(idxs))
+	for _, i := range idxs {
+		out = append(out, m.regions[i])
+	}
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }
 
-// NamedRegionsIntersecting returns the free-form regions intersecting r.
+// NamedRegionsAt returns the free-form regions containing the point, in
+// registration order.
+func (m *Map) NamedRegionsAt(p geo.Point) []NamedRegion {
+	return m.namedRegionsWhere(
+		func(ix spatial.Index) []spatial.Item { return spatial.Covering(ix, p) },
+		func(r NamedRegion) bool { return r.Polygon.ContainsPoint(p) },
+	)
+}
+
+// NamedRegionsIntersecting returns the free-form regions intersecting rect,
+// in registration order.
 func (m *Map) NamedRegionsIntersecting(rect geo.Rect) []NamedRegion {
-	var out []NamedRegion
-	for _, r := range m.regions {
-		if r.Polygon.IntersectsRect(rect) {
-			out = append(out, r)
+	return m.namedRegionsWhere(
+		func(ix spatial.Index) []spatial.Item { return spatial.Within(ix, rect) },
+		func(r NamedRegion) bool { return r.Polygon.IntersectsRect(rect) },
+	)
+}
+
+// CellIndex returns a spatial.Index view over the land-use raster: one item
+// per cell, Rect the cell extent and Value the Cell record. The view is
+// backed directly by grid arithmetic — nothing is materialised — so the
+// region layer can run its spatial joins through the same interface as the
+// line and point layers. Visit reports cells in ascending id order.
+func (m *Map) CellIndex() spatial.Index { return cellIndex{m} }
+
+type cellIndex struct{ m *Map }
+
+func (ci cellIndex) Len() int         { return len(ci.m.cells) }
+func (ci cellIndex) Bounds() geo.Rect { return ci.m.grid.Bounds() }
+
+func (ci cellIndex) item(id int) spatial.Item {
+	return spatial.Item{
+		Rect:  ci.m.grid.CellRectByID(id),
+		Value: Cell{ID: id, Extent: ci.m.grid.CellRectByID(id), Category: ci.m.cells[id]},
+	}
+}
+
+func (ci cellIndex) Visit(r geo.Rect, fn func(spatial.Item) bool) {
+	ci.m.grid.VisitCellsIntersecting(r, func(id int) bool { return fn(ci.item(id)) })
+}
+
+func (ci cellIndex) VisitNearest(p geo.Point, fn func(spatial.Item, float64) bool) {
+	it := ci.m.grid.NearestCells(p)
+	for {
+		id, dist, ok := it.Next()
+		if !ok {
+			return
+		}
+		if !fn(ci.item(id), dist) {
+			return
 		}
 	}
-	return out
+}
+
+// Cursor caches the last cell lookup to exploit GPS locality: consecutive
+// records of one object usually stay in the same 100 m cell, so the lookup
+// degenerates to a rectangle containment test. Not safe for concurrent use;
+// keep one per moving object.
+type Cursor struct {
+	valid        bool
+	cell         Cell
+	hits, misses uint64
+}
+
+// Stats returns how many lookups hit and missed the cached cell.
+func (c *Cursor) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+// CellAtCursor is CellAt with a last-cell cache; c may be nil (uncached).
+// The half-open containment test matches the raster's floor arithmetic, so
+// cached and uncached answers are identical.
+func (m *Map) CellAtCursor(p geo.Point, c *Cursor) (Cell, bool) {
+	if c == nil {
+		return m.CellAt(p)
+	}
+	if c.valid &&
+		p.X >= c.cell.Extent.Min.X && p.X < c.cell.Extent.Max.X &&
+		p.Y >= c.cell.Extent.Min.Y && p.Y < c.cell.Extent.Max.Y {
+		c.hits++
+		return c.cell, true
+	}
+	c.misses++
+	cell, ok := m.CellAt(p)
+	if ok {
+		c.cell, c.valid = cell, true
+	}
+	return cell, ok
 }
 
 // CategoryShares returns the fraction of cells per category (the composition

@@ -21,12 +21,14 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"semitri/internal/core"
 	"semitri/internal/episode"
 	"semitri/internal/geo"
 	"semitri/internal/gps"
 	"semitri/internal/roadnet"
+	"semitri/internal/spatial"
 )
 
 // Mode is an inferred transportation mode.
@@ -78,14 +80,19 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Annotator matches move episodes against a road network. It is safe for
-// concurrent use once constructed (the network is read-only).
+// Annotator matches move episodes against a road network. All spatial
+// queries — candidate-segment selection and the nearest-segment fallback —
+// go through the spatial.Index captured from the network at construction.
+// It is safe for concurrent use once constructed (the network is
+// read-only); Cursors are per-goroutine.
 type Annotator struct {
 	net *roadnet.Network
+	idx spatial.Index
 	cfg Config
 }
 
-// NewAnnotator returns a line annotator over the given network.
+// NewAnnotator returns a line annotator over the given network. The network
+// must not be mutated afterwards (its bulk-loaded index is captured here).
 func NewAnnotator(net *roadnet.Network, cfg Config) (*Annotator, error) {
 	if net == nil {
 		return nil, errors.New("line: nil network")
@@ -93,17 +100,62 @@ func NewAnnotator(net *roadnet.Network, cfg Config) (*Annotator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Annotator{net: net, cfg: cfg}, nil
+	return &Annotator{net: net, idx: net.SpatialIndex(), cfg: cfg}, nil
 }
 
 // Config returns the annotator's configuration.
 func (a *Annotator) Config() Config { return a.cfg }
+
+// Cursor is the per-object locality cache of the line layer: the last
+// candidate-segment query, inflated so nearby GPS records are answered by a
+// slice filter instead of an index descent. Not safe for concurrent use;
+// keep one per moving object (or per trajectory in the batch path).
+type Cursor struct {
+	cand *spatial.Cursor
+}
+
+// NewCursor returns an empty locality cursor for the annotator.
+func (a *Annotator) NewCursor() *Cursor {
+	return &Cursor{cand: spatial.NewCursorSorted(a.idx, func(x, y spatial.Item) bool {
+		return x.Value.(*roadnet.Segment).ID < y.Value.(*roadnet.Segment).ID
+	})}
+}
+
+// Stats returns the candidate-cache hit/miss counters.
+func (c *Cursor) Stats() (hits, misses uint64) { return c.cand.Stats() }
+
+// Candidates returns the segments whose bounding box lies within radius of
+// p, ordered by segment id — candidateSegs(Q) of Alg. 2, answered through
+// the spatial.Index interface and, when cur is non-nil, its locality cache.
+// With a cursor the returned slice is only valid until the next call.
+func (a *Annotator) Candidates(p geo.Point, radius float64, cur *Cursor) []*roadnet.Segment {
+	var items []spatial.Item
+	if cur != nil {
+		items = cur.cand.WithinDistance(p, radius) // already sorted by id
+	} else {
+		items = spatial.WithinDistance(a.idx, p, radius)
+	}
+	out := make([]*roadnet.Segment, 0, len(items))
+	for _, it := range items {
+		out = append(out, it.Value.(*roadnet.Segment))
+	}
+	if cur == nil {
+		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	}
+	return out
+}
 
 // MatchPoints runs the global map-matching algorithm over a sequence of GPS
 // positions and returns, for each point, the id of the matched road segment
 // (-1 when no candidate lies within the candidate radius and no fallback is
 // available). This is steps 1–5 of Algorithm 2.
 func (a *Annotator) MatchPoints(points []geo.Point) []int {
+	return a.MatchPointsCursor(points, nil)
+}
+
+// MatchPointsCursor is MatchPoints with a per-object locality cursor; cur
+// may be nil. Cached and uncached results are identical.
+func (a *Annotator) MatchPointsCursor(points []geo.Point, cur *Cursor) []int {
 	n := len(points)
 	matched := make([]int, n)
 	if n == 0 {
@@ -112,11 +164,13 @@ func (a *Annotator) MatchPoints(points []geo.Point) []int {
 	// Candidate sets and local scores per point.
 	candidates := make([][]candidate, n)
 	for i, p := range points {
-		segs := a.net.CandidateSegments(p, a.cfg.CandidateRadius)
+		segs := a.Candidates(p, a.cfg.CandidateRadius, cur)
 		if len(segs) == 0 {
-			// Fallback: nearest segment in the whole network keeps the
-			// annotation total even for sparse data (heterogeneous quality).
-			if s, _, ok := a.net.NearestSegment(p); ok {
+			// When no candidate lies within the radius, the exact nearest
+			// segment keeps the annotation total even for sparse data
+			// (heterogeneous quality); the bulk-loaded index answers it with
+			// no scan fallback.
+			if s, _, ok := roadnet.NearestSegmentIn(a.idx, p); ok {
 				segs = []*roadnet.Segment{s}
 			}
 		}
@@ -225,7 +279,7 @@ func localScoreFor(cs []candidate, segID int) float64 {
 func (a *Annotator) MatchPointsNearest(points []geo.Point) []int {
 	out := make([]int, len(points))
 	for i, p := range points {
-		if s, _, ok := a.net.NearestSegment(p); ok {
+		if s, _, ok := roadnet.NearestSegmentIn(a.idx, p); ok {
 			out[i] = s.ID
 		} else {
 			out[i] = -1
@@ -272,6 +326,12 @@ type SegmentRun struct {
 // Tline and (b) the underlying segment runs for diagnostics. Records that
 // could not be matched are skipped (they produce no tuple).
 func (a *Annotator) AnnotateMove(t *gps.RawTrajectory, ep *episode.Episode) ([]*core.EpisodeTuple, []SegmentRun, error) {
+	return a.AnnotateMoveCursor(t, ep, nil)
+}
+
+// AnnotateMoveCursor is AnnotateMove with a per-object locality cursor; cur
+// may be nil. Cached and uncached results are identical.
+func (a *Annotator) AnnotateMoveCursor(t *gps.RawTrajectory, ep *episode.Episode, cur *Cursor) ([]*core.EpisodeTuple, []SegmentRun, error) {
 	if t == nil || ep == nil {
 		return nil, nil, errors.New("line: nil trajectory or episode")
 	}
@@ -283,7 +343,7 @@ func (a *Annotator) AnnotateMove(t *gps.RawTrajectory, ep *episode.Episode) ([]*
 	for i, r := range recs {
 		points[i] = r.Position
 	}
-	matched := a.MatchPoints(points)
+	matched := a.MatchPointsCursor(points, cur)
 	// Group consecutive records matched to the same segment.
 	var runs []SegmentRun
 	i := 0

@@ -1,9 +1,18 @@
 // Package poi models the semantic-point data source of SeMiTri: points of
 // interest with the five top-level categories of the Milan dataset used in
 // §4.3/§5.2 (services, feedings, item sale, person life, unknown), a
-// grid-backed spatial index for neighbourhood queries and a synthetic urban
-// POI generator that reproduces the category frequencies and the dense-core
-// / sparse-periphery density profile of the original (proprietary) dataset.
+// spatial index for neighbourhood queries and a synthetic urban POI
+// generator that reproduces the category frequencies and the dense-core /
+// sparse-periphery density profile of the original (proprietary) dataset.
+//
+// The index comes from the shared spatial layer: Add only buffers, and the
+// first query bulk-loads an immutable index over the POI positions, with
+// the structure chosen by spatial.NewIndex's density heuristic (a dense
+// urban point cloud lands on the uniform grid; tiny sets on the STR tree).
+// Separately from the index, the set keeps a fixed-geometry spatial.Grid
+// used by the point annotation layer to discretize its emission
+// probabilities (Figs. 7/8) — discretization resolution and index bucket
+// size are independent concerns.
 package poi
 
 import (
@@ -11,9 +20,10 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"semitri/internal/geo"
-	"semitri/internal/grid"
+	"semitri/internal/spatial"
 )
 
 // Category is one of the five Milan top-level POI categories.
@@ -91,36 +101,63 @@ type POI struct {
 	Position geo.Point
 }
 
-// Set is a collection of POIs with a grid-backed spatial index.
+// Set is a collection of POIs with a bulk-loaded spatial index.
 type Set struct {
 	pois  []*POI
-	index *grid.Index
 	byCat map[Category][]*POI
+	grid  *spatial.Grid // emission-discretization geometry (point layer)
+
+	// mu guards the lazily bulk-loaded index; Add invalidates it, the first
+	// query after a mutation rebuilds it.
+	mu  sync.Mutex
+	idx spatial.Index
 }
 
 // NewSet creates an empty POI set covering the given extent; cellSize
-// controls the resolution of the spatial index buckets.
+// controls the resolution of the emission-discretization grid.
 func NewSet(extent geo.Rect, cellSize float64) (*Set, error) {
-	g, err := grid.New(extent, cellSize)
+	g, err := spatial.NewGrid(extent, cellSize)
 	if err != nil {
 		return nil, fmt.Errorf("poi: %w", err)
 	}
-	return &Set{index: grid.NewIndex(g), byCat: map[Category][]*POI{}}, nil
+	return &Set{grid: g, byCat: map[Category][]*POI{}}, nil
 }
 
 // Add inserts a POI; it returns an error when the category is invalid or
-// the position is outside the set's extent.
+// the position is outside the set's extent. The set may be mutated while it
+// is being built; once annotators are constructed over it, it must be
+// treated as read-only.
 func (s *Set) Add(name string, cat Category, pos geo.Point) (*POI, error) {
 	if !cat.Valid() {
 		return nil, fmt.Errorf("poi: invalid category %d", int(cat))
 	}
-	p := &POI{ID: len(s.pois), Name: name, Category: cat, Position: pos}
-	if !s.index.Insert(pos, p) {
+	if !s.grid.Bounds().ContainsPoint(pos) {
 		return nil, errors.New("poi: position outside the set extent")
 	}
+	p := &POI{ID: len(s.pois), Name: name, Category: cat, Position: pos}
 	s.pois = append(s.pois, p)
 	s.byCat[cat] = append(s.byCat[cat], p)
+	s.mu.Lock()
+	s.idx = nil // rebuilt by the next query
+	s.mu.Unlock()
 	return p, nil
+}
+
+// Index returns the immutable bulk-loaded spatial index over the POI
+// positions (items carry *POI values), building it on first use. The point
+// annotation layer captures it once and issues its HMM candidate queries
+// through the spatial.Index interface.
+func (s *Set) Index() spatial.Index {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.idx == nil {
+		items := make([]spatial.Item, len(s.pois))
+		for i, p := range s.pois {
+			items[i] = spatial.Item{Rect: geo.Rect{Min: p.Position, Max: p.Position}, Value: p}
+		}
+		s.idx = spatial.NewIndex(items)
+	}
+	return s.idx
 }
 
 // Len returns the number of POIs in the set.
@@ -157,27 +194,25 @@ func (s *Set) CategoryShares() []float64 {
 	return out
 }
 
-// Grid exposes the underlying index grid (used by the point annotation layer
-// for its emission discretization).
-func (s *Set) Grid() *grid.Grid { return s.index.Grid() }
+// Grid exposes the emission-discretization grid geometry used by the point
+// annotation layer (Figs. 7/8).
+func (s *Set) Grid() *spatial.Grid { return s.grid }
 
 // WithinDistance returns the POIs within dist of p, ordered by id.
 func (s *Set) WithinDistance(p geo.Point, dist float64) []*POI {
-	vals := s.index.WithinDistance(p, dist)
-	out := make([]*POI, 0, len(vals))
-	for _, v := range vals {
-		out = append(out, v.(*POI))
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	return poisOf(spatial.WithinDistance(s.Index(), p, dist))
 }
 
 // WithinRect returns the POIs inside r, ordered by id.
 func (s *Set) WithinRect(r geo.Rect) []*POI {
-	vals := s.index.WithinRect(r)
-	out := make([]*POI, 0, len(vals))
-	for _, v := range vals {
-		out = append(out, v.(*POI))
+	return poisOf(spatial.Within(s.Index(), r))
+}
+
+// poisOf unwraps index items into POIs sorted by id.
+func poisOf(items []spatial.Item) []*POI {
+	out := make([]*POI, 0, len(items))
+	for _, it := range items {
+		out = append(out, it.Value.(*POI))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
@@ -185,11 +220,11 @@ func (s *Set) WithinRect(r geo.Rect) []*POI {
 
 // Nearest returns the POI closest to p; ok is false for an empty set.
 func (s *Set) Nearest(p geo.Point) (*POI, float64, bool) {
-	v, d, ok := s.index.Nearest(p)
+	it, d, ok := spatial.Nearest(s.Index(), p)
 	if !ok {
 		return nil, 0, false
 	}
-	return v.(*POI), d, true
+	return it.Value.(*POI), d, true
 }
 
 // DensityAround returns the number of POIs within dist of p divided by the

@@ -23,12 +23,14 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"semitri/internal/core"
 	"semitri/internal/episode"
 	"semitri/internal/geo"
 	"semitri/internal/hmm"
 	"semitri/internal/poi"
+	"semitri/internal/spatial"
 )
 
 // Config holds the tunable parameters of the point annotation layer.
@@ -114,9 +116,12 @@ func PaperTransitionMatrix(selfProb float64) [][]float64 {
 
 // Annotator infers stop categories against a POI set. Construction
 // pre-computes the discretized per-cell category influences; afterwards the
-// annotator is safe for concurrent use.
+// annotator is safe for concurrent use (Cursors are per-goroutine). The HMM
+// candidate generation — which POIs influence a stop — runs entirely
+// through the spatial.Index captured from the set at construction.
 type Annotator struct {
 	pois  *poi.Set
+	idx   spatial.Index
 	cfg   Config
 	model *hmm.Model
 	// cellInfluence[cellID][cat] is the pre-computed discretized
@@ -142,9 +147,55 @@ func NewAnnotator(set *poi.Set, cfg Config) (*Annotator, error) {
 	if err != nil {
 		return nil, fmt.Errorf("point: building HMM: %w", err)
 	}
-	a := &Annotator{pois: set, cfg: cfg, model: model}
+	a := &Annotator{pois: set, idx: set.Index(), cfg: cfg, model: model}
 	a.precomputeInfluence()
 	return a, nil
+}
+
+// Cursor is the per-object locality cache of the point layer: the last POI
+// candidate query around a stop centre. Not safe for concurrent use; keep
+// one per moving object (or per trajectory in the batch path).
+type Cursor struct {
+	near *spatial.Cursor
+}
+
+// NewCursor returns an empty locality cursor for the annotator. The cached
+// superset stays unsorted — POI candidate sets shrink a lot between the
+// inflated cache query and the filtered answer, so sorting the small answer
+// per call (as the uncached path does anyway) is cheaper than sorting the
+// superset per miss.
+func (a *Annotator) NewCursor() *Cursor {
+	return &Cursor{near: spatial.NewCursor(a.idx)}
+}
+
+// Stats returns the candidate-cache hit/miss counters.
+func (c *Cursor) Stats() (hits, misses uint64) { return c.near.Stats() }
+
+// influenceRadius is the candidate radius of the HMM observation model: the
+// neighbourhood restriction of Figs. 7-8 expressed in metres.
+func (a *Annotator) influenceRadius() float64 {
+	return float64(a.cfg.NeighborhoodCells) * a.pois.Grid().CellSize
+}
+
+// Candidates returns the POIs within the influence neighbourhood of c,
+// ordered by id — the candidate set of the HMM observation model (Lemma 1),
+// answered through the spatial.Index interface and, when cur is non-nil,
+// its locality cache. The id ordering keeps the floating-point influence
+// sums identical no matter which index structure the density heuristic
+// picked.
+func (a *Annotator) Candidates(c geo.Point, cur *Cursor) []*poi.POI {
+	var items []spatial.Item
+	if cur != nil {
+		items = cur.near.WithinDistance(c, a.influenceRadius())
+	} else {
+		items = spatial.WithinDistance(a.idx, c, a.influenceRadius())
+	}
+	out := make([]*poi.POI, 0, len(items))
+	for _, it := range items {
+		out = append(out, it.Value.(*poi.POI))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // Model exposes the underlying HMM (read-only), mainly for tests and
@@ -166,11 +217,13 @@ func (a *Annotator) precomputeInfluence() {
 	g := a.pois.Grid()
 	n := g.NumCells()
 	a.cellInfluence = make([][]float64, n)
+	// Construction-time locality cursor: consecutive cell centres are one
+	// cell apart, well within the cache slack of the influence radius.
+	cur := a.NewCursor()
 	for id := 0; id < n; id++ {
 		a.cellInfluence[id] = make([]float64, poi.NumCategories)
 		center := g.CellRectByID(id).Center()
-		radius := float64(a.cfg.NeighborhoodCells) * g.CellSize
-		for _, p := range a.pois.WithinDistance(center, radius) {
+		for _, p := range a.Candidates(center, cur) {
 			sigma := a.sigmaFor(p.Category)
 			d := p.Position.DistanceTo(center)
 			a.cellInfluence[id][int(p.Category)] += gaussian2D(d, sigma)
@@ -190,6 +243,12 @@ func gaussian2D(d, sigma float64) float64 {
 // sum, and finally to the global category frequencies so decoding never
 // degenerates.
 func (a *Annotator) Emissions(stopCenters []geo.Point) [][]float64 {
+	return a.EmissionsCursor(stopCenters, nil)
+}
+
+// EmissionsCursor is Emissions with a per-object locality cursor; cur may
+// be nil. Cached and uncached results are identical.
+func (a *Annotator) EmissionsCursor(stopCenters []geo.Point, cur *Cursor) [][]float64 {
 	out := make([][]float64, len(stopCenters))
 	g := a.pois.Grid()
 	shares := a.pois.CategoryShares()
@@ -201,8 +260,7 @@ func (a *Annotator) Emissions(stopCenters []geo.Point) [][]float64 {
 		if sum(row) == 0 {
 			// Exact computation around the stop centre.
 			row = make([]float64, poi.NumCategories)
-			radius := float64(a.cfg.NeighborhoodCells) * g.CellSize
-			for _, p := range a.pois.WithinDistance(c, radius) {
+			for _, p := range a.Candidates(c, cur) {
 				row[int(p.Category)] += gaussian2D(p.Position.DistanceTo(c), a.sigmaFor(p.Category))
 			}
 		}
@@ -253,6 +311,12 @@ type StopAnnotation struct {
 // likely category sequence with Viterbi and returns both the structured
 // tuples of Tpoint and the per-stop annotations.
 func (a *Annotator) AnnotateStops(stops []*episode.Episode) ([]*core.EpisodeTuple, []StopAnnotation, error) {
+	return a.AnnotateStopsCursor(stops, nil)
+}
+
+// AnnotateStopsCursor is AnnotateStops with a per-object locality cursor;
+// cur may be nil. Cached and uncached results are identical.
+func (a *Annotator) AnnotateStopsCursor(stops []*episode.Episode, cur *Cursor) ([]*core.EpisodeTuple, []StopAnnotation, error) {
 	if len(stops) == 0 {
 		return nil, nil, errors.New("point: no stop episodes")
 	}
@@ -268,7 +332,7 @@ func (a *Annotator) AnnotateStops(stops []*episode.Episode) ([]*core.EpisodeTupl
 	for i, s := range stops {
 		centers[i] = s.Center
 	}
-	emissions := a.Emissions(centers)
+	emissions := a.EmissionsCursor(centers, cur)
 	res, err := a.model.Viterbi(emissions)
 	if err != nil {
 		return nil, nil, fmt.Errorf("point: %w", err)
@@ -280,7 +344,7 @@ func (a *Annotator) AnnotateStops(stops []*episode.Episode) ([]*core.EpisodeTupl
 		conf := confidence(emissions[i], stateIdx)
 		var nearest *poi.POI
 		var bestD float64 = math.Inf(1)
-		for _, p := range a.pois.WithinDistance(centers[i], float64(a.cfg.NeighborhoodCells)*a.pois.Grid().CellSize) {
+		for _, p := range a.Candidates(centers[i], cur) {
 			if p.Category != cat {
 				continue
 			}

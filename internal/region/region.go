@@ -3,6 +3,13 @@
 // stop/move episodes) and semantic regions — land-use cells and free-form
 // named regions — producing the coarse-grained structured semantic
 // trajectory Tregion and the land-use distributions of Figs. 9 and 14.
+//
+// All spatial work goes through the shared spatial layer: rectangle joins
+// against the cell raster run over the map's spatial.Index view
+// (Map.CellIndex), named regions come from the map's bulk-loaded region
+// index, and point location is O(1) arithmetic on the raster's spatial.Grid
+// accelerated by the per-object last-cell cache (Cursor) that exploits GPS
+// locality — consecutive records rarely leave a 100 m cell.
 package region
 
 import (
@@ -11,15 +18,19 @@ import (
 
 	"semitri/internal/core"
 	"semitri/internal/episode"
+	"semitri/internal/geo"
 	"semitri/internal/gps"
 	"semitri/internal/landuse"
+	"semitri/internal/spatial"
 	"semitri/internal/stats"
 )
 
 // Annotator joins trajectory data with a land-use map. It is safe for
-// concurrent use once constructed (the map is read-only).
+// concurrent use once constructed (the map is read-only); Cursors are
+// per-goroutine.
 type Annotator struct {
 	landUse *landuse.Map
+	cells   spatial.Index
 }
 
 // NewAnnotator returns an annotator over the given land-use map.
@@ -27,7 +38,28 @@ func NewAnnotator(m *landuse.Map) (*Annotator, error) {
 	if m == nil {
 		return nil, errors.New("region: nil land-use map")
 	}
-	return &Annotator{landUse: m}, nil
+	return &Annotator{landUse: m, cells: m.CellIndex()}, nil
+}
+
+// Cursor is the per-object locality cache of the region layer: the last
+// land-use cell a record resolved to. Not safe for concurrent use; keep one
+// per moving object (or per trajectory in the batch path).
+type Cursor struct {
+	cell landuse.Cursor
+}
+
+// NewCursor returns an empty locality cursor for the annotator.
+func (a *Annotator) NewCursor() *Cursor { return &Cursor{} }
+
+// Stats returns the cell-cache hit/miss counters.
+func (c *Cursor) Stats() (hits, misses uint64) { return c.cell.Stats() }
+
+// cellAt resolves the cell containing p through the cursor (nil = uncached).
+func (a *Annotator) cellAt(p geo.Point, cur *Cursor) (landuse.Cell, bool) {
+	if cur == nil {
+		return a.landUse.CellAt(p)
+	}
+	return a.landUse.CellAtCursor(p, &cur.cell)
 }
 
 // placeForCell builds the semantic place record for a land-use cell.
@@ -48,6 +80,12 @@ func placeForCell(c landuse.Cell) *core.Place {
 // the first and last record of the group. Records outside the map extent
 // produce unlinked tuples so the trajectory still covers its whole duration.
 func (a *Annotator) AnnotateTrajectory(t *gps.RawTrajectory) (*core.StructuredTrajectory, error) {
+	return a.AnnotateTrajectoryCursor(t, nil)
+}
+
+// AnnotateTrajectoryCursor is AnnotateTrajectory with a per-object locality
+// cursor; lc may be nil. Cached and uncached results are identical.
+func (a *Annotator) AnnotateTrajectoryCursor(t *gps.RawTrajectory, lc *Cursor) (*core.StructuredTrajectory, error) {
 	if t == nil || len(t.Records) == 0 {
 		return nil, errors.New("region: empty trajectory")
 	}
@@ -63,7 +101,7 @@ func (a *Annotator) AnnotateTrajectory(t *gps.RawTrajectory) (*core.StructuredTr
 		}
 	}
 	for _, rec := range t.Records {
-		cell, ok := a.landUse.CellAt(rec.Position)
+		cell, ok := a.cellAt(rec.Position, lc)
 		if !ok {
 			// Outside the map: close the current group and emit an unlinked tuple.
 			flush()
@@ -102,6 +140,12 @@ func (a *Annotator) AnnotateTrajectory(t *gps.RawTrajectory) (*core.StructuredTr
 // with the dominant category among intersected cells). Named free-form
 // regions covering the episode are attached under AnnNamedRegion.
 func (a *Annotator) AnnotateEpisodes(eps []*episode.Episode) ([]*core.EpisodeTuple, error) {
+	return a.AnnotateEpisodesCursor(eps, nil)
+}
+
+// AnnotateEpisodesCursor is AnnotateEpisodes with a per-object locality
+// cursor; cur may be nil. Cached and uncached results are identical.
+func (a *Annotator) AnnotateEpisodesCursor(eps []*episode.Episode, cur *Cursor) ([]*core.EpisodeTuple, error) {
 	if len(eps) == 0 {
 		return nil, errors.New("region: no episodes")
 	}
@@ -116,25 +160,36 @@ func (a *Annotator) AnnotateEpisodes(eps []*episode.Episode) ([]*core.EpisodeTup
 		var cat landuse.Category
 		var found bool
 		if ep.Kind == episode.Stop {
-			if cell, ok := a.landUse.CellAt(ep.Center); ok {
+			if cell, ok := a.cellAt(ep.Center, cur); ok {
 				tuple.Place = placeForCell(cell)
 				cat, found = cell.Category, true
 			}
 		} else {
-			cells := a.landUse.CellsIntersecting(ep.Bounds)
-			if len(cells) > 0 {
-				dist := stats.NewDistribution()
-				for _, c := range cells {
-					dist.AddCount(string(c.Category))
+			// Spatial join of the move's bounding rectangle with the raster,
+			// through the spatial.Index view (same interface the line and
+			// point layers query). The view reports cells in ascending id
+			// order, matching the raster scan it replaces.
+			var firstCell landuse.Cell
+			n := 0
+			dist := stats.NewDistribution()
+			a.cells.Visit(ep.Bounds, func(it spatial.Item) bool {
+				c := it.Value.(landuse.Cell)
+				if n == 0 {
+					firstCell = c
 				}
+				n++
+				dist.AddCount(string(c.Category))
+				return true
+			})
+			if n > 0 {
 				top := dist.TopN(1)[0]
 				cat, found = landuse.Category(top), true
 				// Link the place to the cell containing the episode centre
 				// when possible, otherwise to the first intersected cell.
-				if cell, ok := a.landUse.CellAt(ep.Center); ok {
+				if cell, ok := a.cellAt(ep.Center, cur); ok {
 					tuple.Place = placeForCell(cell)
 				} else {
-					tuple.Place = placeForCell(cells[0])
+					tuple.Place = placeForCell(firstCell)
 				}
 			}
 		}

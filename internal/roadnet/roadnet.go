@@ -1,10 +1,17 @@
 // Package roadnet models the semantic-line data source of SeMiTri: a road
-// network made of segments (Pline) with road classes, indexed with an
-// R*-tree for candidate-segment selection, plus a connectivity graph with
-// shortest-path routing that the synthetic workload generator uses to
-// produce road-constrained vehicle and people movement with exact
-// ground-truth segment sequences (the role of Krumm's Seattle benchmark in
-// the paper's Fig. 10 experiment).
+// network made of segments (Pline) with road classes, indexed through the
+// shared spatial layer (internal/spatial) for candidate-segment selection,
+// plus a connectivity graph with shortest-path routing that the synthetic
+// workload generator uses to produce road-constrained vehicle and people
+// movement with exact ground-truth segment sequences (the role of Krumm's
+// Seattle benchmark in the paper's Fig. 10 experiment).
+//
+// The spatial index is bulk-loaded lazily: AddSegment only buffers, and the
+// first query builds an immutable index over all segment bounding boxes
+// (the density heuristic of spatial.NewIndex picks the STR tree here, since
+// road segments are elongated rectangles). The index answers every query
+// exactly — including NearestSegment on one-segment networks — so there is
+// no full-scan fallback anywhere.
 package roadnet
 
 import (
@@ -14,9 +21,10 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"semitri/internal/geo"
-	"semitri/internal/rtree"
+	"semitri/internal/spatial"
 )
 
 // Class describes the kind of road a segment belongs to. The class feeds
@@ -88,12 +96,20 @@ type Segment struct {
 func (s *Segment) Length() float64 { return s.Geom.Length() }
 
 // Network is a road network: nodes (crossings), segments, a spatial index
-// over segment bounding boxes and an adjacency list for routing.
+// over segment bounding boxes and an adjacency list for routing. The
+// network may be mutated while it is being built; once annotators are
+// constructed over it, it must be treated as read-only (queries are then
+// safe from any number of goroutines).
 type Network struct {
 	nodes    []geo.Point
 	segments []*Segment
-	index    *rtree.Tree
 	adj      map[int][]adjEdge
+	bounds   geo.Rect
+
+	// mu guards the lazily bulk-loaded spatial index; AddSegment invalidates
+	// it, the first query after a mutation rebuilds it.
+	mu    sync.Mutex
+	index spatial.Index
 }
 
 type adjEdge struct {
@@ -104,7 +120,7 @@ type adjEdge struct {
 
 // NewNetwork returns an empty network.
 func NewNetwork() *Network {
-	return &Network{index: rtree.New(), adj: map[int][]adjEdge{}}
+	return &Network{adj: map[int][]adjEdge{}, bounds: geo.EmptyRect()}
 }
 
 // AddNode registers a crossing and returns its node id.
@@ -145,7 +161,10 @@ func (n *Network) AddSegment(from, to int, class Class, name string) (*Segment, 
 		To:    to,
 	}
 	n.segments = append(n.segments, seg)
-	n.index.Insert(seg.Geom.Bounds(), seg)
+	n.bounds = n.bounds.Union(seg.Geom.Bounds())
+	n.mu.Lock()
+	n.index = nil // rebuilt by the next query
+	n.mu.Unlock()
 	cost := seg.Length()
 	n.adj[from] = append(n.adj[from], adjEdge{segID: seg.ID, to: to, cost: cost})
 	n.adj[to] = append(n.adj[to], adjEdge{segID: seg.ID, to: from, cost: cost})
@@ -164,15 +183,32 @@ func (n *Network) Segment(id int) (*Segment, error) {
 func (n *Network) Segments() []*Segment { return n.segments }
 
 // Bounds returns the spatial extent of the network.
-func (n *Network) Bounds() geo.Rect { return n.index.Bounds() }
+func (n *Network) Bounds() geo.Rect { return n.bounds }
+
+// SpatialIndex returns the immutable bulk-loaded spatial index over the
+// segment bounding boxes (items carry *Segment values), building it on
+// first use. The annotation layers capture it once and issue all their
+// candidate queries through the spatial.Index interface.
+func (n *Network) SpatialIndex() spatial.Index {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.index == nil {
+		items := make([]spatial.Item, len(n.segments))
+		for i, s := range n.segments {
+			items[i] = spatial.Item{Rect: s.Geom.Bounds(), Value: s}
+		}
+		n.index = spatial.NewIndex(items)
+	}
+	return n.index
+}
 
 // CandidateSegments returns the segments whose bounding box lies within
-// radius of p — the candidateSegs(Q) of Alg. 2, served by the R*-tree.
+// radius of p — the candidateSegs(Q) of Alg. 2 — ordered by segment id.
 func (n *Network) CandidateSegments(p geo.Point, radius float64) []*Segment {
-	entries := n.index.WithinDistance(p, radius)
-	out := make([]*Segment, 0, len(entries))
-	for _, e := range entries {
-		out = append(out, e.Value.(*Segment))
+	items := spatial.WithinDistance(n.SpatialIndex(), p, radius)
+	out := make([]*Segment, 0, len(items))
+	for _, it := range items {
+		out = append(out, it.Value.(*Segment))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
@@ -180,40 +216,23 @@ func (n *Network) CandidateSegments(p geo.Point, radius float64) []*Segment {
 
 // NearestSegment returns the segment geometrically closest to p (by the
 // point–segment distance of Eq. 1) and that distance; used by the geometric
-// map-matching baseline and as a fallback when the candidate set is empty.
+// map-matching baseline and when the candidate set of Alg. 2 is empty. The
+// bulk-loaded index answers it exactly on any network size — a best-first
+// walk refined by the true segment distance — with no scan fallback.
 func (n *Network) NearestSegment(p geo.Point) (*Segment, float64, bool) {
-	if len(n.segments) == 0 {
+	return NearestSegmentIn(n.SpatialIndex(), p)
+}
+
+// NearestSegmentIn is NearestSegment against an already captured spatial
+// index whose items hold *Segment values.
+func NearestSegmentIn(ix spatial.Index, p geo.Point) (*Segment, float64, bool) {
+	it, d, ok := spatial.NearestBy(ix, p, func(it spatial.Item) float64 {
+		return it.Value.(*Segment).Geom.DistanceToPoint(p)
+	})
+	if !ok {
 		return nil, 0, false
 	}
-	// Expand the search radius until candidates appear.
-	radius := 50.0
-	for i := 0; i < 12; i++ {
-		cands := n.CandidateSegments(p, radius)
-		if len(cands) > 0 {
-			best := cands[0]
-			bestD := best.Geom.DistanceToPoint(p)
-			for _, s := range cands[1:] {
-				if d := s.Geom.DistanceToPoint(p); d < bestD {
-					best, bestD = s, d
-				}
-			}
-			// The true nearest might still be just outside the current radius
-			// ring; accept once the best distance is safely inside it.
-			if bestD <= radius {
-				return best, bestD, true
-			}
-		}
-		radius *= 2
-	}
-	// Fall back to a full scan (tiny networks).
-	best := n.segments[0]
-	bestD := best.Geom.DistanceToPoint(p)
-	for _, s := range n.segments[1:] {
-		if d := s.Geom.DistanceToPoint(p); d < bestD {
-			best, bestD = s, d
-		}
-	}
-	return best, bestD, true
+	return it.Value.(*Segment), d, true
 }
 
 // NearestNode returns the node id closest to p.

@@ -130,6 +130,71 @@ func TestCandidateAndNearestSegments(t *testing.T) {
 	}
 }
 
+// TestNearestSegmentTinyNetworks is the regression test for the removed
+// full-scan fallback: the bulk-loaded spatial index must answer nearest and
+// candidate queries exactly on 0- and 1-segment networks.
+func TestNearestSegmentTinyNetworks(t *testing.T) {
+	// 0 edges: every query is a clean miss, never a panic or a scan.
+	empty := NewNetwork()
+	if _, _, ok := empty.NearestSegment(geo.Pt(123, 456)); ok {
+		t.Fatal("0-edge network: NearestSegment should be !ok")
+	}
+	if cands := empty.CandidateSegments(geo.Pt(0, 0), 1e9); len(cands) != 0 {
+		t.Fatalf("0-edge network: CandidateSegments = %d", len(cands))
+	}
+	if !empty.Bounds().IsEmpty() {
+		t.Fatalf("0-edge network bounds = %+v", empty.Bounds())
+	}
+
+	// 1 edge: the only segment is the nearest from anywhere, with the exact
+	// point-segment distance, even from very far away (the old radius-
+	// doubling search needed its full scan exactly here).
+	one := NewNetwork()
+	a := one.AddNode(geo.Pt(0, 0))
+	b := one.AddNode(geo.Pt(100, 0))
+	seg, err := one.AddSegment(a, b, Residential, "only")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []geo.Point{
+		geo.Pt(50, 10), geo.Pt(-40, -30), geo.Pt(1e7, 1e7), geo.Pt(50, 0),
+	} {
+		got, d, ok := one.NearestSegment(q)
+		if !ok || got != seg {
+			t.Fatalf("1-edge network: NearestSegment(%v) = %v, %v", q, got, ok)
+		}
+		if want := seg.Geom.DistanceToPoint(q); d != want {
+			t.Fatalf("1-edge network: dist(%v) = %v want %v", q, d, want)
+		}
+	}
+	// Candidate radius smaller than the distance: empty set, no fallback.
+	if cands := one.CandidateSegments(geo.Pt(500, 500), 10); len(cands) != 0 {
+		t.Fatalf("out-of-radius candidates = %d", len(cands))
+	}
+}
+
+// TestSpatialIndexInvalidation checks that mutating the network after a
+// query rebuilds the index.
+func TestSpatialIndexInvalidation(t *testing.T) {
+	n := NewNetwork()
+	a := n.AddNode(geo.Pt(0, 0))
+	b := n.AddNode(geo.Pt(100, 0))
+	if _, err := n.AddSegment(a, b, Residential, "first"); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(n.CandidateSegments(geo.Pt(50, 0), 10)); got != 1 {
+		t.Fatalf("candidates before mutation = %d", got)
+	}
+	c := n.AddNode(geo.Pt(100, 5))
+	d := n.AddNode(geo.Pt(0, 5))
+	if _, err := n.AddSegment(c, d, Residential, "second"); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(n.CandidateSegments(geo.Pt(50, 2), 10)); got != 2 {
+		t.Fatalf("candidates after mutation = %d", got)
+	}
+}
+
 func TestShortestPathSquare(t *testing.T) {
 	n := smallNetwork(t)
 	r, err := n.ShortestPath(0, 2, nil)

@@ -1,0 +1,105 @@
+package spatial
+
+import (
+	"math"
+
+	"semitri/internal/geo"
+)
+
+// Kind names an index structure choice.
+type Kind int
+
+const (
+	// KindSTR is the bulk-loaded STR-packed R-tree.
+	KindSTR Kind = iota
+	// KindGrid is the uniform-grid bucket index.
+	KindGrid
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == KindGrid {
+		return "grid"
+	}
+	return "str-rtree"
+}
+
+const (
+	// gridMinItems is the item count below which structure choice is moot
+	// and the tree (which needs no extent tuning) is used.
+	gridMinItems = 64
+	// gridPointFraction is the minimum fraction of point items required for
+	// the grid: extended rectangles (road segments, polygons) straddle cells
+	// and are better served by the tree's tight packing.
+	gridPointFraction = 0.9
+	// gridTargetOccupancy sizes grid cells so a bucket holds a handful of
+	// items: large enough to amortise the bucket header, small enough that a
+	// candidate scan stays a short slice walk.
+	gridTargetOccupancy = 4.0
+	// gridMaxCells caps the grid allocation for very large extents.
+	gridMaxCells = 1 << 22
+)
+
+// Choose picks the index structure for an item set with a density heuristic:
+// dense, point-dominated sets (POIs) get the uniform grid, everything else —
+// small sets, extended geometry like road segments and region polygons,
+// degenerate extents — gets the STR tree. The decision mirrors how the
+// paper's sources behave: the Milan POI set is a dense urban point cloud
+// where an O(1) bucket read wins, while road networks are elongated
+// rectangles where a packed tree prunes better.
+func Choose(items []Item) Kind {
+	if len(items) < gridMinItems {
+		return KindSTR
+	}
+	bounds := boundsOf(items)
+	if bounds.IsEmpty() || bounds.Area() <= 0 {
+		return KindSTR
+	}
+	points := 0
+	for _, it := range items {
+		if isPointRect(it.Rect) {
+			points++
+		}
+	}
+	if float64(points) < gridPointFraction*float64(len(items)) {
+		return KindSTR
+	}
+	return KindGrid
+}
+
+// NewIndex builds an index over items, selecting the structure with Choose.
+// The input slice is not retained or modified.
+func NewIndex(items []Item) Index {
+	switch Choose(items) {
+	case KindGrid:
+		return NewGridIndex(autoGrid(items), items)
+	default:
+		return NewSTRTree(items)
+	}
+}
+
+// autoGrid sizes a grid over the items' bounds so the average bucket holds
+// gridTargetOccupancy items, clamped to gridMaxCells.
+func autoGrid(items []Item) *Grid {
+	bounds := boundsOf(items)
+	cellSize := math.Sqrt(bounds.Area() * gridTargetOccupancy / float64(len(items)))
+	// Respect the cell-count cap (cells ~= area / cellSize^2).
+	if minSize := math.Sqrt(bounds.Area() / gridMaxCells); cellSize < minSize {
+		cellSize = minSize
+	}
+	g, err := NewGrid(bounds, cellSize)
+	if err != nil {
+		// Unreachable for the non-degenerate bounds Choose requires, but
+		// keep a safe fallback: one cell covering everything.
+		g = &Grid{Origin: bounds.Min, CellSize: math.Max(bounds.Width(), bounds.Height()), Cols: 1, Rows: 1}
+	}
+	return g
+}
+
+func boundsOf(items []Item) geo.Rect {
+	r := geo.EmptyRect()
+	for _, it := range items {
+		r = r.Union(it.Rect)
+	}
+	return r
+}

@@ -1,0 +1,373 @@
+package spatial
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"semitri/internal/geo"
+)
+
+// Grid is a uniform partitioning of a rectangular extent into Cols x Rows
+// equal square cells. It is both the geometry of SeMiTri's raster sources —
+// the 100m x 100m land-use cell model (Fig. 4) and the discretization of the
+// POI emission probabilities (Figs. 7/8) — and the bucket layout of
+// GridIndex.
+type Grid struct {
+	Origin   geo.Point // lower-left corner of cell (0,0)
+	CellSize float64   // side length of a square cell, in metres
+	Cols     int
+	Rows     int
+}
+
+// NewGrid creates a grid covering extent with square cells of the given
+// size. The extent is expanded (never shrunk) so an integer number of cells
+// covers it.
+func NewGrid(extent geo.Rect, cellSize float64) (*Grid, error) {
+	if cellSize <= 0 {
+		return nil, fmt.Errorf("spatial: cell size must be positive, got %v", cellSize)
+	}
+	if extent.IsEmpty() {
+		return nil, fmt.Errorf("spatial: empty grid extent")
+	}
+	cols := int(math.Ceil(extent.Width() / cellSize))
+	rows := int(math.Ceil(extent.Height() / cellSize))
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	return &Grid{Origin: extent.Min, CellSize: cellSize, Cols: cols, Rows: rows}, nil
+}
+
+// NumCells returns the total number of cells in the grid.
+func (g *Grid) NumCells() int { return g.Cols * g.Rows }
+
+// Bounds returns the full extent covered by the grid.
+func (g *Grid) Bounds() geo.Rect {
+	return geo.Rect{
+		Min: g.Origin,
+		Max: geo.Pt(g.Origin.X+float64(g.Cols)*g.CellSize, g.Origin.Y+float64(g.Rows)*g.CellSize),
+	}
+}
+
+// CellIndex returns the (col, row) of the cell containing p and whether p is
+// inside the grid extent. Points on the max edge map to the last cell.
+func (g *Grid) CellIndex(p geo.Point) (col, row int, ok bool) {
+	col = int(math.Floor((p.X - g.Origin.X) / g.CellSize))
+	row = int(math.Floor((p.Y - g.Origin.Y) / g.CellSize))
+	if p.X == g.Origin.X+float64(g.Cols)*g.CellSize {
+		col = g.Cols - 1
+	}
+	if p.Y == g.Origin.Y+float64(g.Rows)*g.CellSize {
+		row = g.Rows - 1
+	}
+	if col < 0 || col >= g.Cols || row < 0 || row >= g.Rows {
+		return 0, 0, false
+	}
+	return col, row, true
+}
+
+// CellID returns a dense integer id for the cell (col, row).
+func (g *Grid) CellID(col, row int) int { return row*g.Cols + col }
+
+// CellAt returns the id of the cell containing p, or -1 when outside.
+func (g *Grid) CellAt(p geo.Point) int {
+	col, row, ok := g.CellIndex(p)
+	if !ok {
+		return -1
+	}
+	return g.CellID(col, row)
+}
+
+// CellRect returns the extent of the cell (col, row).
+func (g *Grid) CellRect(col, row int) geo.Rect {
+	min := geo.Pt(g.Origin.X+float64(col)*g.CellSize, g.Origin.Y+float64(row)*g.CellSize)
+	return geo.Rect{Min: min, Max: geo.Pt(min.X+g.CellSize, min.Y+g.CellSize)}
+}
+
+// CellRectByID returns the extent of the cell with the given dense id.
+func (g *Grid) CellRectByID(id int) geo.Rect {
+	return g.CellRect(id%g.Cols, id/g.Cols)
+}
+
+// CellCenter returns the centre point of the cell (col, row).
+func (g *Grid) CellCenter(col, row int) geo.Point { return g.CellRect(col, row).Center() }
+
+// cellRange returns the inclusive col/row range of cells intersecting r,
+// clipped to the grid; ok is false when r misses the grid entirely.
+func (g *Grid) cellRange(r geo.Rect) (minCol, maxCol, minRow, maxRow int, ok bool) {
+	if r.IsEmpty() || !g.Bounds().Intersects(r) {
+		return 0, 0, 0, 0, false
+	}
+	clipped := g.Bounds().Intersection(r)
+	minCol = clampInt(int(math.Floor((clipped.Min.X-g.Origin.X)/g.CellSize)), 0, g.Cols-1)
+	maxCol = clampInt(int(math.Floor((clipped.Max.X-g.Origin.X)/g.CellSize)), 0, g.Cols-1)
+	minRow = clampInt(int(math.Floor((clipped.Min.Y-g.Origin.Y)/g.CellSize)), 0, g.Rows-1)
+	maxRow = clampInt(int(math.Floor((clipped.Max.Y-g.Origin.Y)/g.CellSize)), 0, g.Rows-1)
+	return minCol, maxCol, minRow, maxRow, true
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// CellsIntersecting returns the ids of all cells whose extent intersects r,
+// in ascending (row-major) id order.
+func (g *Grid) CellsIntersecting(r geo.Rect) []int {
+	var out []int
+	g.VisitCellsIntersecting(r, func(id int) bool {
+		out = append(out, id)
+		return true
+	})
+	return out
+}
+
+// VisitCellsIntersecting calls fn for every cell id whose extent intersects
+// r, in ascending (row-major) id order, until fn returns false.
+func (g *Grid) VisitCellsIntersecting(r geo.Rect, fn func(id int) bool) {
+	minCol, maxCol, minRow, maxRow, ok := g.cellRange(r)
+	if !ok {
+		return
+	}
+	for row := minRow; row <= maxRow; row++ {
+		for col := minCol; col <= maxCol; col++ {
+			if !fn(g.CellID(col, row)) {
+				return
+			}
+		}
+	}
+}
+
+// CellIter enumerates the grid's cells in non-decreasing order of distance
+// to a query point (see Grid.NearestCells).
+type CellIter struct {
+	g      *Grid
+	p      geo.Point
+	center [2]int // clamped (col, row) the rings expand from
+	ring   int    // next ring to push
+	maxR   int
+	q      cellQueue
+}
+
+type cellEntry struct {
+	dist float64
+	id   int
+}
+
+type cellQueue []cellEntry
+
+func (q cellQueue) Len() int           { return len(q) }
+func (q cellQueue) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q cellQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *cellQueue) Push(x any)        { *q = append(*q, x.(cellEntry)) }
+func (q *cellQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// NearestCells returns an iterator over all cells in non-decreasing order of
+// distance from p to the cell rectangle. The iterator expands Chebyshev
+// rings around the (clamped) cell containing p and holds only one ring in
+// its heap at a time, so a nearest query on a large grid stays cheap.
+func (g *Grid) NearestCells(p geo.Point) *CellIter {
+	col := clampInt(int(math.Floor((p.X-g.Origin.X)/g.CellSize)), 0, g.Cols-1)
+	row := clampInt(int(math.Floor((p.Y-g.Origin.Y)/g.CellSize)), 0, g.Rows-1)
+	maxR := maxInt(maxInt(col, g.Cols-1-col), maxInt(row, g.Rows-1-row))
+	return &CellIter{g: g, p: p, center: [2]int{col, row}, maxR: maxR}
+}
+
+// Next returns the next cell id and its rectangle distance to the query
+// point; ok is false when all cells have been enumerated.
+func (it *CellIter) Next() (id int, dist float64, ok bool) {
+	for {
+		// Safe to emit once the heap top cannot be beaten by any cell in a
+		// ring not yet pushed: cells in ring k >= it.ring lie at least
+		// (it.ring-1)*CellSize from the query point.
+		if len(it.q) > 0 {
+			bound := float64(it.ring-1) * it.g.CellSize
+			if it.ring > it.maxR || it.q[0].dist <= bound {
+				e := heap.Pop(&it.q).(cellEntry)
+				return e.id, e.dist, true
+			}
+		} else if it.ring > it.maxR {
+			return 0, 0, false
+		}
+		it.pushRing(it.ring)
+		it.ring++
+	}
+}
+
+// pushRing adds the cells at Chebyshev distance k from the centre cell.
+func (it *CellIter) pushRing(k int) {
+	g := it.g
+	c, r := it.center[0], it.center[1]
+	push := func(col, row int) {
+		if col < 0 || col >= g.Cols || row < 0 || row >= g.Rows {
+			return
+		}
+		id := g.CellID(col, row)
+		heap.Push(&it.q, cellEntry{dist: g.CellRect(col, row).DistanceToPoint(it.p), id: id})
+	}
+	if k == 0 {
+		push(c, r)
+		return
+	}
+	for col := c - k; col <= c+k; col++ {
+		push(col, r-k)
+		push(col, r+k)
+	}
+	for row := r - k + 1; row <= r+k-1; row++ {
+		push(c-k, row)
+		push(c+k, row)
+	}
+}
+
+// GridIndex is a uniform-grid bucket index over an immutable item set: each
+// cell holds the indices of the items whose rectangle intersects it. For
+// dense point data (POIs) a candidate lookup is a constant-time bucket read,
+// which is why the density heuristic of NewIndex prefers it over the STR
+// tree there. Items not fully inside the grid extent go to a small overflow
+// list scanned on every query, so the index stays exact for any input.
+type GridIndex struct {
+	grid      *Grid
+	items     []Item
+	cells     [][]int32
+	overflow  []int32
+	bounds    geo.Rect
+	multiCell bool // some item lives in more than one cell: queries dedupe
+}
+
+// NewGridIndex builds a bucket index for items over the given grid geometry.
+// The input slice is not retained or modified.
+func NewGridIndex(g *Grid, items []Item) *GridIndex {
+	ix := &GridIndex{
+		grid:   g,
+		items:  append([]Item(nil), items...),
+		cells:  make([][]int32, g.NumCells()),
+		bounds: geo.EmptyRect(),
+	}
+	gb := g.Bounds()
+	for i, it := range ix.items {
+		ix.bounds = ix.bounds.Union(it.Rect)
+		if isPointRect(it.Rect) {
+			if id := g.CellAt(it.Rect.Min); id >= 0 {
+				ix.cells[id] = append(ix.cells[id], int32(i))
+			} else {
+				ix.overflow = append(ix.overflow, int32(i))
+			}
+			continue
+		}
+		if !gb.ContainsRect(it.Rect) {
+			ix.overflow = append(ix.overflow, int32(i))
+			continue
+		}
+		n := 0
+		g.VisitCellsIntersecting(it.Rect, func(id int) bool {
+			ix.cells[id] = append(ix.cells[id], int32(i))
+			n++
+			return true
+		})
+		if n > 1 {
+			ix.multiCell = true
+		}
+	}
+	return ix
+}
+
+func isPointRect(r geo.Rect) bool { return r.Min == r.Max }
+
+// Grid returns the underlying grid geometry.
+func (ix *GridIndex) Grid() *Grid { return ix.grid }
+
+// Len implements Index.
+func (ix *GridIndex) Len() int { return len(ix.items) }
+
+// Bounds implements Index.
+func (ix *GridIndex) Bounds() geo.Rect { return ix.bounds }
+
+// Visit implements Index: bucket scan over the cells intersecting r plus the
+// overflow list. Items spanning several cells are reported once.
+func (ix *GridIndex) Visit(r geo.Rect, fn func(Item) bool) {
+	for _, i := range ix.overflow {
+		if ix.items[i].Rect.Intersects(r) && !fn(ix.items[i]) {
+			return
+		}
+	}
+	var seen map[int32]struct{}
+	if ix.multiCell {
+		seen = make(map[int32]struct{})
+	}
+	ix.grid.VisitCellsIntersecting(r, func(id int) bool {
+		for _, i := range ix.cells[id] {
+			if seen != nil {
+				if _, dup := seen[i]; dup {
+					continue
+				}
+				seen[i] = struct{}{}
+			}
+			if ix.items[i].Rect.Intersects(r) && !fn(ix.items[i]) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// VisitNearest implements Index: cells are pulled in nearest-first order and
+// their items merged through a heap; an item is emitted once its rectangle
+// distance cannot be beaten by any cell not yet pulled.
+func (ix *GridIndex) VisitNearest(p geo.Point, fn func(Item, float64) bool) {
+	if len(ix.items) == 0 {
+		return
+	}
+	var q cellQueue // reused as an item heap: dist + item index
+	for _, i := range ix.overflow {
+		heap.Push(&q, cellEntry{dist: ix.items[i].Rect.DistanceToPoint(p), id: int(i)})
+	}
+	var seen map[int32]struct{}
+	if ix.multiCell {
+		seen = make(map[int32]struct{})
+	}
+	it := ix.grid.NearestCells(p)
+	cellID, cellDist, cellOK := it.Next()
+	for {
+		// Pull cells while one could still hold a closer item than the heap top.
+		for cellOK && (len(q) == 0 || cellDist <= q[0].dist) {
+			for _, i := range ix.cells[cellID] {
+				if seen != nil {
+					if _, dup := seen[i]; dup {
+						continue
+					}
+					seen[i] = struct{}{}
+				}
+				heap.Push(&q, cellEntry{dist: ix.items[i].Rect.DistanceToPoint(p), id: int(i)})
+			}
+			cellID, cellDist, cellOK = it.Next()
+		}
+		if len(q) == 0 {
+			return
+		}
+		e := heap.Pop(&q).(cellEntry)
+		if !fn(ix.items[e.id], e.dist) {
+			return
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

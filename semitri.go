@@ -7,9 +7,12 @@
 // The package exposes the end-to-end Pipeline used by the command-line
 // tools, the examples and the benchmark harness. The individual layers live
 // in internal packages: internal/region, internal/line and internal/point
-// implement Algorithms 1-3 of the paper, internal/episode the stop/move
-// computation, internal/store the semantic trajectory store and
-// internal/workload the synthetic stand-ins for the paper's datasets.
+// implement Algorithms 1-3 of the paper, internal/spatial the shared
+// spatial-index layer all three annotators query (bulk-loaded STR R-tree
+// and uniform grid behind one interface, plus per-object locality caches),
+// internal/episode the stop/move computation, internal/store the semantic
+// trajectory store and internal/workload the synthetic stand-ins for the
+// paper's datasets.
 //
 // A minimal batch use looks like:
 //
@@ -285,8 +288,35 @@ func (p *Pipeline) ProcessTrajectory(t *gps.RawTrajectory) error {
 	return err
 }
 
+// annCursors bundles the per-object spatial locality caches of the three
+// annotation layers (last land-use cell, last road-candidate set, last POI
+// neighbourhood). Cursors are single-goroutine: the batch path creates one
+// set per trajectory (each trajectory is annotated by one worker), the
+// streaming path keeps one set per moving object for the object's lifetime.
+type annCursors struct {
+	region *region.Cursor
+	line   *line.Cursor
+	point  *point.Cursor
+}
+
+// newCursors returns fresh locality cursors for the configured layers.
+func (p *Pipeline) newCursors() *annCursors {
+	c := &annCursors{}
+	if p.regionAnnotator != nil {
+		c.region = p.regionAnnotator.NewCursor()
+	}
+	if p.lineAnnotator != nil {
+		c.line = p.lineAnnotator.NewCursor()
+	}
+	if p.pointAnnotator != nil {
+		c.point = p.pointAnnotator.NewCursor()
+	}
+	return c
+}
+
 func (p *Pipeline) processTrajectory(t *gps.RawTrajectory) (stops, moves int, err error) {
 	local := stats.NewLatencyBreakdown()
+	cur := p.newCursors()
 	defer func() {
 		p.mu.Lock()
 		p.latency.Merge(local)
@@ -316,7 +346,7 @@ func (p *Pipeline) processTrajectory(t *gps.RawTrajectory) (stops, moves int, er
 	var regionTuples, lineTuples []*core.EpisodeTuple
 	var mergedStops []*core.EpisodeTuple
 	for _, ep := range eps {
-		ann, err := p.annotateEpisode(t, ep, local)
+		ann, err := p.annotateEpisode(t, ep, local, cur)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -333,7 +363,7 @@ func (p *Pipeline) processTrajectory(t *gps.RawTrajectory) (stops, moves int, er
 	// Region layer, record level: Tregion with consecutive tuples merged.
 	if p.regionAnnotator != nil {
 		start = time.Now()
-		recordLevel, err := p.regionAnnotator.AnnotateTrajectory(t)
+		recordLevel, err := p.regionAnnotator.AnnotateTrajectoryCursor(t, cur.region)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -362,7 +392,7 @@ func (p *Pipeline) processTrajectory(t *gps.RawTrajectory) (stops, moves int, er
 	}
 
 	// Point layer: POI category inference over the trajectory's stop sequence.
-	if err := p.annotateStopSequence(t.ID, t.ObjectID, stopEps, mergedStops, local); err != nil {
+	if err := p.annotateStopSequence(t.ID, t.ObjectID, stopEps, mergedStops, local, cur); err != nil {
 		return 0, 0, err
 	}
 
@@ -384,14 +414,15 @@ type episodeAnnotation struct {
 
 // annotateEpisode runs the region and line layers on one episode. t may be a
 // still-open trajectory as long as its records cover the episode's index
-// range (the streaming path calls it with the records seen so far).
-func (p *Pipeline) annotateEpisode(t *gps.RawTrajectory, ep *episode.Episode, local *stats.LatencyBreakdown) (episodeAnnotation, error) {
+// range (the streaming path calls it with the records seen so far). cur
+// carries the caller's per-object locality cursors.
+func (p *Pipeline) annotateEpisode(t *gps.RawTrajectory, ep *episode.Episode, local *stats.LatencyBreakdown, cur *annCursors) (episodeAnnotation, error) {
 	out := episodeAnnotation{
 		merged: &core.EpisodeTuple{Kind: ep.Kind, TimeIn: ep.Start, TimeOut: ep.End, Episode: ep},
 	}
 	if p.regionAnnotator != nil {
 		start := time.Now()
-		epTuples, err := p.regionAnnotator.AnnotateEpisodes([]*episode.Episode{ep})
+		epTuples, err := p.regionAnnotator.AnnotateEpisodesCursor([]*episode.Episode{ep}, cur.region)
 		if err != nil {
 			return out, err
 		}
@@ -404,7 +435,7 @@ func (p *Pipeline) annotateEpisode(t *gps.RawTrajectory, ep *episode.Episode, lo
 	}
 	if p.lineAnnotator != nil && ep.Kind == episode.Move {
 		start := time.Now()
-		tuples, runs, err := p.lineAnnotator.AnnotateMove(t, ep)
+		tuples, runs, err := p.lineAnnotator.AnnotateMoveCursor(t, ep, cur.line)
 		if err != nil {
 			return out, err
 		}
@@ -430,12 +461,12 @@ func (p *Pipeline) annotateEpisode(t *gps.RawTrajectory, ep *episode.Episode, lo
 // stopEps. The HMM decodes the full sequence jointly, which is why both the
 // batch and the streaming path run it once per trajectory rather than per
 // episode.
-func (p *Pipeline) annotateStopSequence(id, objectID string, stopEps []*episode.Episode, mergedStops []*core.EpisodeTuple, local *stats.LatencyBreakdown) error {
+func (p *Pipeline) annotateStopSequence(id, objectID string, stopEps []*episode.Episode, mergedStops []*core.EpisodeTuple, local *stats.LatencyBreakdown, cur *annCursors) error {
 	if p.pointAnnotator == nil || len(stopEps) == 0 {
 		return nil
 	}
 	start := time.Now()
-	tuples, _, err := p.pointAnnotator.AnnotateStops(stopEps)
+	tuples, _, err := p.pointAnnotator.AnnotateStopsCursor(stopEps, cur.point)
 	if err != nil {
 		return err
 	}

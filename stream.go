@@ -77,6 +77,12 @@ type objectStream struct {
 	id        string // trajectory id, "" until committed
 	closed    bool   // set by Close: the object accepts no further records
 
+	// cur holds the object's spatial locality cursors (last land-use cell,
+	// last road candidates, last POI neighbourhood). The per-object state of
+	// the streaming engine makes them lock-free, and they survive trajectory
+	// resets: spatial locality belongs to the object, not the trajectory.
+	cur *annCursors
+
 	// Closed episodes of the open trajectory and their merged tuples
 	// (parallel slices), kept for the point layer at close time.
 	episodes []*episode.Episode
@@ -151,6 +157,7 @@ func (sp *StreamProcessor) object(objectID string) (*objectStream, error) {
 			objectID:  objectID,
 			cleaner:   gps.NewStreamCleaner(sp.p.cfg.Cleaning),
 			segmenter: gps.NewStreamSegmenter(sp.p.cfg.Segmentation, sp.p.cfg.DailySplit),
+			cur:       sp.p.newCursors(),
 			latency:   stats.NewLatencyBreakdown(),
 		}
 		sp.objects[objectID] = os
@@ -257,7 +264,7 @@ func (sp *StreamProcessor) ingestCleaned(os *objectStream, cr gps.Record) ([]Str
 // time. Caller holds os.mu.
 func (sp *StreamProcessor) closeEpisodeRecords(os *objectStream, ep *episode.Episode, records []gps.Record) (StreamEvent, error) {
 	view := &gps.RawTrajectory{ID: os.id, ObjectID: os.objectID, Records: records}
-	ann, err := sp.p.annotateEpisode(view, ep, os.latency)
+	ann, err := sp.p.annotateEpisode(view, ep, os.latency, os.cur)
 	if err != nil {
 		return StreamEvent{}, fmt.Errorf("semitri: %w", err)
 	}
@@ -370,7 +377,7 @@ func (sp *StreamProcessor) closeTrajectory(os *objectStream, t *gps.RawTrajector
 	// Record-level region interpretation over the full trajectory.
 	if sp.p.regionAnnotator != nil {
 		start = time.Now()
-		recordLevel, err := sp.p.regionAnnotator.AnnotateTrajectory(t)
+		recordLevel, err := sp.p.regionAnnotator.AnnotateTrajectoryCursor(t, os.cur.region)
 		if err != nil {
 			return events, fmt.Errorf("semitri: %w", err)
 		}
@@ -391,7 +398,7 @@ func (sp *StreamProcessor) closeTrajectory(os *objectStream, t *gps.RawTrajector
 			mergedStops = append(mergedStops, os.merged[i])
 		}
 	}
-	if err := sp.p.annotateStopSequence(t.ID, t.ObjectID, stopEps, mergedStops, os.latency); err != nil {
+	if err := sp.p.annotateStopSequence(t.ID, t.ObjectID, stopEps, mergedStops, os.latency, os.cur); err != nil {
 		return events, fmt.Errorf("semitri: %w", err)
 	}
 	// Replace the partial trajectory stored at commit time with the final one.
