@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench lint ci fmt
+.PHONY: build test race bench lint serve-smoke ci fmt
 
 build:
 	$(GO) build ./...
@@ -13,10 +13,11 @@ test:
 
 # Race-detector pass focused on the concurrency surface: the batch/stream
 # parity suite (sequential + concurrent-interleaving variants), the fan-in
-# driver and the lock-striped store.
+# driver, the lock-striped store and the query engine's concurrent read
+# path (queries racing live ingestion).
 race:
-	$(GO) test -race -count=1 -run 'TestBatchStreamParity|TestAddBatchConcurrent|TestConcurrent|TestStream' .
-	$(GO) test -race -count=1 ./internal/store/
+	$(GO) test -race -count=1 -run 'TestBatchStreamParity|TestAddBatchConcurrent|TestConcurrent|TestStream|TestQuery' .
+	$(GO) test -race -count=1 ./internal/store/ ./internal/query/
 
 # Full benchmark run (the paper's tables/figures print under -v). Includes
 # the spatial-layer lookup micro-benchmarks (BenchmarkRegionLookup,
@@ -42,6 +43,11 @@ lint:
 fmt:
 	gofmt -w .
 
-# What CI runs: build, lint, tests, and a one-iteration bench smoke pass.
-ci: build lint test
+# End-to-end probe of the HTTP serving layer (what CI's serve-smoke job runs).
+serve-smoke:
+	./scripts/serve-smoke.sh
+
+# What CI runs: build, lint, tests, a one-iteration bench smoke pass and the
+# serving-layer smoke.
+ci: build lint test serve-smoke
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .

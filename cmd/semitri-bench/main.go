@@ -5,12 +5,14 @@
 //
 // Usage:
 //
-//	semitri-bench [-exp all|table1|table2|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig17|compression|ablation-mapmatch|ablation-hmm|lookup]
+//	semitri-bench [-exp all|table1|table2|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig17|compression|ablation-mapmatch|ablation-hmm|lookup|query]
 //	              [-seed 2026] [-scale 1.0]
 //
-// The "lookup" experiment is not a paper figure: it reports the spatial-layer
+// Two experiments are not paper figures: "lookup" reports the spatial-layer
 // hot path (the per-record candidate lookups of the three annotation layers,
-// cached vs uncached) including a combined ns/record number.
+// cached vs uncached) including a combined ns/record number, and "query"
+// reports the read path (typed queries through the query engine's indexes
+// versus the full-scan baseline, ns/query).
 package main
 
 import (

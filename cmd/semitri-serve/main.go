@@ -1,0 +1,166 @@
+// Command semitri-serve is the online face of the reproduction: it ingests
+// a GPS dataset through the streaming pipeline and serves the semantic
+// trajectory store over an HTTP JSON API — episode queries planned and
+// executed by the query engine (internal/query), trajectory and per-object
+// summaries, and an analytics snapshot. Ingestion runs in the background by
+// default, so the API answers queries while records are still streaming in,
+// the serving setting the paper's middleware is built for.
+//
+// Usage:
+//
+//	semitri-serve [-addr :8080] [-in people.csv] [-profile people|vehicle]
+//	              [-seed 1] [-pois 8000] [-users 2] [-days 2]
+//	              [-stream-workers 4] [-wait] [-progress 20000]
+//
+// With -in omitted a small people dataset is generated, sized by -users and
+// -days. With -wait the server only starts listening once ingestion has
+// finished (useful for scripted probing).
+//
+// Endpoints (see internal/serve for the full parameter list):
+//
+//	GET /healthz
+//	GET /query/episodes?object=&kind=stop&ann=poi_category=item sale&from=&to=&minx=&...
+//	GET /query/trajectories?object=
+//	GET /query/objects?object=
+//	GET /stats
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"semitri"
+	"semitri/internal/gps"
+	"semitri/internal/serve"
+	"semitri/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	in := flag.String("in", "", "input CSV of GPS records (object,x,y,time); generated when empty")
+	profile := flag.String("profile", "people", "annotation profile: people | vehicle")
+	seed := flag.Int64("seed", 1, "seed for the synthetic city sources (and the generated dataset)")
+	pois := flag.Int("pois", 8000, "number of POIs in the synthetic city")
+	users := flag.Int("users", 2, "users in the generated dataset (with -in empty)")
+	days := flag.Int("days", 2, "days per user in the generated dataset (with -in empty)")
+	streamWorkers := flag.Int("stream-workers", 4, "concurrent ingestion goroutines (records sharded by object)")
+	wait := flag.Bool("wait", false, "finish ingestion before the server starts listening")
+	progress := flag.Int("progress", 20000, "report ingestion progress every N records (0 = silent)")
+	flag.Parse()
+
+	city, err := workload.NewCity(workload.DefaultCityConfig(*seed, *pois))
+	if err != nil {
+		fail(err)
+	}
+	cfg := semitri.DefaultConfig()
+	if *profile == "vehicle" {
+		cfg = semitri.VehicleConfig()
+		cfg.DailySplit = false
+	}
+	pipeline, err := semitri.New(semitri.Sources{
+		Landuse: city.Landuse, Roads: city.Roads, POIs: city.POIs,
+	}, cfg)
+	if err != nil {
+		fail(err)
+	}
+	// Request the engine before ingestion starts: the indexes then build
+	// purely incrementally from the stream's append path.
+	engine := pipeline.QueryEngine()
+	server := serve.New(engine)
+
+	ingested := make(chan struct{})
+	go func() {
+		defer close(ingested)
+		start := time.Now()
+		result := ingest(pipeline, *in, city, *seed, *users, *days, *streamWorkers, *progress)
+		fmt.Fprintf(os.Stderr, "ingestion complete: %d records, %d trajectories (%d stops, %d moves) in %v\n",
+			result.Records, len(result.TrajectoryIDs), result.Stops, result.Moves,
+			time.Since(start).Round(time.Millisecond))
+	}()
+	if *wait {
+		<-ingested
+	}
+
+	fmt.Fprintf(os.Stderr, "serving on %s\n", *addr)
+	if err := http.ListenAndServe(*addr, server.Handler()); err != nil {
+		fail(err)
+	}
+}
+
+// ingest streams the input (a CSV read line by line, or a generated people
+// dataset) into the pipeline with the concurrent object-sharded fan-in and
+// closes the stream.
+func ingest(pipeline *semitri.Pipeline, in string, city *workload.City, seed int64, users, days, workers, every int) *semitri.Result {
+	sp := pipeline.NewStream()
+	var n atomic.Int64
+	feed := make(chan gps.Record, 256)
+	done := make(chan struct{})
+	var fanErr error
+	go func() {
+		fanErr = sp.FanIn(feed, workers, nil)
+		close(done)
+	}()
+	offer := func(r gps.Record) bool {
+		select {
+		case feed <- r:
+		case <-done:
+			return false
+		}
+		if c := n.Add(1); every > 0 && c%int64(every) == 0 {
+			fmt.Fprintf(os.Stderr, "ingested %d records\n", c)
+		}
+		return true
+	}
+	if in == "" {
+		fmt.Fprintf(os.Stderr, "no -in file given; generating %d user(s) x %d day(s)\n", users, days)
+		ds, err := workload.GeneratePeople(city, workload.DefaultPeopleConfig(users, days, seed+1))
+		if err != nil {
+			fail(err)
+		}
+		for _, r := range ds.Records() {
+			if !offer(r) {
+				break
+			}
+		}
+	} else {
+		f, err := os.Open(in)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		cr := gps.NewCSVReader(bufio.NewReader(f))
+		for {
+			r, err := cr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				fail(err)
+			}
+			if !offer(r) {
+				break
+			}
+		}
+	}
+	close(feed)
+	<-done
+	if fanErr != nil {
+		fail(fanErr)
+	}
+	result, err := sp.Close()
+	if err != nil {
+		fail(err)
+	}
+	return result
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}

@@ -141,6 +141,13 @@ func (s *AnnotationSet) Len() int { return len(s.items) }
 // All returns a copy of the annotations in insertion order.
 func (s *AnnotationSet) All() []Annotation { return append([]Annotation(nil), s.items...) }
 
+// Clone returns an independent copy of the set: mutating either copy never
+// affects the other. The store uses it to hand out stable tuple snapshots
+// while writers keep annotating the stored original.
+func (s *AnnotationSet) Clone() AnnotationSet {
+	return AnnotationSet{items: append([]Annotation(nil), s.items...)}
+}
+
 // Merge adds every annotation of other into s.
 func (s *AnnotationSet) Merge(other *AnnotationSet) {
 	if other == nil {

@@ -1,0 +1,383 @@
+package query
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"semitri/internal/core"
+	"semitri/internal/episode"
+	"semitri/internal/geo"
+	"semitri/internal/store"
+)
+
+var t0 = time.Date(2010, 3, 15, 8, 0, 0, 0, time.UTC)
+
+// mkTuple builds an episode-backed tuple (the shape the pipeline stores).
+func mkTuple(kind episode.Kind, start, end time.Time, center geo.Point, anns ...core.Annotation) *core.EpisodeTuple {
+	ep := &episode.Episode{
+		Kind:   kind,
+		Start:  start,
+		End:    end,
+		Center: center,
+		Bounds: geo.RectAround(center, 30),
+	}
+	tp := &core.EpisodeTuple{Kind: kind, TimeIn: start, TimeOut: end, Episode: ep}
+	for _, a := range anns {
+		tp.Annotations.Add(a)
+	}
+	return tp
+}
+
+func ann(key, value string) core.Annotation {
+	return core.Annotation{Key: key, Value: value, Confidence: 0.9, Source: "test"}
+}
+
+// stored mirrors what the test wrote into the store: the reference the
+// engine is checked against, filtered by an independent reimplementation of
+// the predicate semantics.
+type stored struct {
+	ref store.TupleRef
+	tp  *core.EpisodeTuple
+}
+
+// bruteMatches is the test's own predicate evaluation, deliberately written
+// against the documented semantics rather than sharing code with Query.
+func bruteMatches(q Query, s stored) bool {
+	interp := q.Interpretation
+	if interp == "" {
+		interp = DefaultInterpretation
+	}
+	if s.ref.Interpretation != interp {
+		return false
+	}
+	if q.ObjectID != "" && s.ref.ObjectID != q.ObjectID {
+		return false
+	}
+	if q.TrajectoryID != "" && s.ref.TrajectoryID != q.TrajectoryID {
+		return false
+	}
+	if q.Kind != nil && s.tp.Kind != *q.Kind {
+		return false
+	}
+	if !q.From.IsZero() && s.tp.TimeOut.Before(q.From) {
+		return false
+	}
+	if !q.To.IsZero() && s.tp.TimeIn.After(q.To) {
+		return false
+	}
+	if q.AnnKey != "" && s.tp.Annotations.Value(q.AnnKey) != q.AnnValue {
+		return false
+	}
+	if q.Window != nil && (s.tp.Episode == nil || !s.tp.Episode.Bounds.Intersects(*q.Window)) {
+		return false
+	}
+	if q.Near != nil && (s.tp.Episode == nil || s.tp.Episode.Center.DistanceTo(*q.Near) > q.Radius) {
+		return false
+	}
+	return true
+}
+
+func wantRefs(q Query, all []stored) []store.TupleRef {
+	var out []store.TupleRef
+	for _, s := range all {
+		if bruteMatches(q, s) {
+			out = append(out, s.ref)
+		}
+	}
+	return out
+}
+
+func gotRefs(ms []Match) []store.TupleRef {
+	var out []store.TupleRef
+	for _, m := range ms {
+		out = append(out, m.Ref)
+	}
+	return out
+}
+
+func sameRefSet(t *testing.T, label string, got, want []store.TupleRef) {
+	t.Helper()
+	gs := map[store.TupleRef]bool{}
+	for _, r := range got {
+		if gs[r] {
+			t.Fatalf("%s: duplicate result %+v", label, r)
+		}
+		gs[r] = true
+	}
+	if len(gs) != len(want) {
+		t.Fatalf("%s: got %d results, want %d", label, len(gs), len(want))
+	}
+	for _, r := range want {
+		if !gs[r] {
+			t.Fatalf("%s: missing %+v", label, r)
+		}
+	}
+}
+
+// populate writes a deterministic random tuple workload and returns the
+// mirror. With an engine already attached the appends exercise live index
+// maintenance; without one, NewEngine's backfill.
+func populate(t *testing.T, st *store.Store, seed int64, objects, trajPerObject, tuplesPerTraj int) []stored {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	categories := []string{"restaurant", "shop", "office", "park", "station"}
+	modes := []string{"walk", "bus", "car"}
+	var all []stored
+	for o := 0; o < objects; o++ {
+		obj := fmt.Sprintf("u%d", o)
+		for tj := 0; tj < trajPerObject; tj++ {
+			id := fmt.Sprintf("%s-T%d", obj, tj)
+			at := t0.Add(time.Duration(tj) * 24 * time.Hour)
+			for i := 0; i < tuplesPerTraj; i++ {
+				kind := episode.Move
+				var anns []core.Annotation
+				if i%2 == 0 {
+					kind = episode.Stop
+					anns = append(anns, ann(core.AnnPOICategory, categories[rng.Intn(len(categories))]))
+				} else {
+					anns = append(anns, ann(core.AnnTransportMode, modes[rng.Intn(len(modes))]))
+				}
+				end := at.Add(time.Duration(5+rng.Intn(40)) * time.Minute)
+				center := geo.Pt(rng.Float64()*2000, rng.Float64()*2000)
+				tp := mkTuple(kind, at, end, center, anns...)
+				if err := st.AppendStructuredTuples(id, obj, DefaultInterpretation, tp); err != nil {
+					t.Fatal(err)
+				}
+				all = append(all, stored{
+					ref: store.TupleRef{TrajectoryID: id, ObjectID: obj, Interpretation: DefaultInterpretation, Index: i},
+					tp:  tp,
+				})
+				at = end
+			}
+		}
+	}
+	return all
+}
+
+func randomQuery(rng *rand.Rand) Query {
+	var q Query
+	if rng.Intn(3) == 0 {
+		q.ObjectID = fmt.Sprintf("u%d", rng.Intn(6))
+	}
+	if rng.Intn(4) == 0 {
+		q.TrajectoryID = fmt.Sprintf("u%d-T%d", rng.Intn(6), rng.Intn(3))
+	}
+	if rng.Intn(3) == 0 {
+		k := episode.Stop
+		if rng.Intn(2) == 0 {
+			k = episode.Move
+		}
+		q.Kind = &k
+	}
+	if rng.Intn(2) == 0 {
+		from := t0.Add(time.Duration(rng.Intn(72)) * time.Hour)
+		q.From = from
+		q.To = from.Add(time.Duration(1+rng.Intn(24)) * time.Hour)
+	}
+	if rng.Intn(2) == 0 {
+		q.AnnKey = core.AnnPOICategory
+		q.AnnValue = []string{"restaurant", "shop", "office"}[rng.Intn(3)]
+	}
+	switch rng.Intn(4) {
+	case 0:
+		w := geo.RectAround(geo.Pt(rng.Float64()*2000, rng.Float64()*2000), 100+rng.Float64()*500)
+		q.Window = &w
+	case 1:
+		p := geo.Pt(rng.Float64()*2000, rng.Float64()*2000)
+		q.Near = &p
+		q.Radius = 100 + rng.Float64()*500
+	}
+	return q
+}
+
+// TestEngineMatchesBruteForce is the engine's quick-check: random workloads,
+// random queries, engine results must equal an independent brute-force
+// filter — both when the engine was built after the data (backfill) and
+// when it was attached before (live maintenance).
+func TestEngineMatchesBruteForce(t *testing.T) {
+	for _, mode := range []string{"backfill", "live"} {
+		t.Run(mode, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(77))
+			st := store.NewSharded(8)
+			var e *Engine
+			if mode == "live" {
+				e = NewEngine(st)
+			}
+			all := populate(t, st, 42, 6, 3, 12)
+			if mode == "backfill" {
+				e = NewEngine(st)
+			}
+			for i := 0; i < 200; i++ {
+				q := randomQuery(rng)
+				ms, plan, err := e.ExecuteExplained(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				label := fmt.Sprintf("query %d (%+v, plan %s)", i, q, plan)
+				sameRefSet(t, label, gotRefs(ms), wantRefs(q, all))
+				for j := 1; j < len(ms); j++ {
+					if !ms[j-1].less(&ms[j]) {
+						t.Fatalf("%s: results out of order at %d", label, j)
+					}
+				}
+			}
+			if stats := e.IndexStats(); stats.IndexedTuples != len(all) {
+				t.Fatalf("IndexStats.IndexedTuples = %d want %d", stats.IndexedTuples, len(all))
+			}
+		})
+	}
+}
+
+// TestEngineReplaceAndUpdate exercises the two non-append write paths:
+// PutStructured replacement and MergeTupleAnnotations re-annotation.
+func TestEngineReplaceAndUpdate(t *testing.T) {
+	st := store.New()
+	e := NewEngine(st)
+
+	old := mkTuple(episode.Stop, t0, t0.Add(time.Hour), geo.Pt(100, 100), ann(core.AnnPOICategory, "shop"))
+	if err := st.AppendStructuredTuples("u1-T0", "u1", "merged", old); err != nil {
+		t.Fatal(err)
+	}
+	// Replace the interpretation with different content.
+	repl := &core.StructuredTrajectory{ID: "u1-T0", ObjectID: "u1", Interpretation: "merged"}
+	repl.Tuples = append(repl.Tuples,
+		mkTuple(episode.Stop, t0, t0.Add(30*time.Minute), geo.Pt(500, 500), ann(core.AnnPOICategory, "park")))
+	if err := st.PutStructured(repl); err != nil {
+		t.Fatal(err)
+	}
+	if ms, _ := e.Execute(Query{AnnKey: core.AnnPOICategory, AnnValue: "shop"}); len(ms) != 0 {
+		t.Fatalf("stale annotation survived replacement: %+v", ms)
+	}
+	ms, err := e.Execute(Query{AnnKey: core.AnnPOICategory, AnnValue: "park"})
+	if err != nil || len(ms) != 1 || ms[0].Ref.Index != 0 {
+		t.Fatalf("replacement content not queryable: %+v, %v", ms, err)
+	}
+
+	// Re-annotate in place through the store (the streaming close path).
+	if err := st.MergeTupleAnnotations("u1-T0", "merged", 0, nil,
+		[]core.Annotation{ann(core.AnnActivity, "leisure")}); err != nil {
+		t.Fatal(err)
+	}
+	ms, err = e.Execute(Query{AnnKey: core.AnnActivity, AnnValue: "leisure"})
+	if err != nil || len(ms) != 1 {
+		t.Fatalf("updated annotation not queryable: %+v, %v", ms, err)
+	}
+	if ms[0].Tuple.Annotations.Value(core.AnnPOICategory) != "park" {
+		t.Fatal("update lost existing annotations")
+	}
+	if err := st.MergeTupleAnnotations("u1-T0", "merged", 7, nil, nil); err == nil {
+		t.Fatal("merge into a missing tuple should fail")
+	}
+}
+
+// TestEngineAsStoreBackend checks the thin-wrapper contract: a store with an
+// engine attached answers QueryStopsByAnnotation / QueryTuplesInWindow
+// exactly like a plain store, ordering included.
+func TestEngineAsStoreBackend(t *testing.T) {
+	plain := store.NewSharded(4)
+	indexed := store.NewSharded(4)
+	NewEngine(indexed)
+	populate(t, plain, 9, 4, 2, 10)
+	populate(t, indexed, 9, 4, 2, 10)
+
+	for _, cat := range []string{"restaurant", "shop", "office", "park", "station", "nothing"} {
+		want := plain.QueryStopsByAnnotation("merged", core.AnnPOICategory, cat)
+		got := indexed.QueryStopsByAnnotation("merged", core.AnnPOICategory, cat)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d hits, want %d", cat, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].TimeIn != want[i].TimeIn || got[i].Annotations.String() != want[i].Annotations.String() {
+				t.Fatalf("%s: hit %d differs: %v vs %v", cat, i, got[i], want[i])
+			}
+		}
+	}
+	for _, win := range [][2]time.Time{
+		{t0.Add(30 * time.Minute), t0.Add(4 * time.Hour)},
+		{time.Time{}, t0.Add(4 * time.Hour)}, // zero from: open on that side
+		{t0, time.Time{}},                    // zero to: the scan matches nothing
+	} {
+		for _, id := range []string{"u0-T0", "u2-T1", "missing"} {
+			want := plain.QueryTuplesInWindow(id, "merged", win[0], win[1])
+			got := indexed.QueryTuplesInWindow(id, "merged", win[0], win[1])
+			if (got == nil) != (want == nil) || len(got) != len(want) {
+				t.Fatalf("%s %v: %d tuples, want %d (nil parity %v/%v)", id, win, len(got), len(want), got == nil, want == nil)
+			}
+			for i := range got {
+				if got[i].TimeIn != want[i].TimeIn {
+					t.Fatalf("%s %v: tuple %d differs", id, win, i)
+				}
+			}
+		}
+	}
+}
+
+// TestPlannerPicksSelectivePath pins the access-path selection on a
+// workload where the right answer is unambiguous.
+func TestPlannerPicksSelectivePath(t *testing.T) {
+	st := store.New()
+	e := NewEngine(st)
+	all := populate(t, st, 3, 8, 2, 20)
+	if len(all) == 0 {
+		t.Fatal("empty workload")
+	}
+
+	cases := []struct {
+		name string
+		q    Query
+		want Path
+	}{
+		{"trajectory beats all", Query{TrajectoryID: "u0-T0", ObjectID: "u0", AnnKey: core.AnnPOICategory, AnnValue: "shop"}, PathTrajectory},
+		{"annotation when selective", Query{AnnKey: core.AnnPOICategory, AnnValue: "restaurant"}, PathAnnotation},
+		{"object for object queries", Query{ObjectID: "u1", From: t0, To: t0.Add(2 * time.Hour)}, PathObjectTime},
+		{"spatial when only geometry", Query{Near: &geo.Point{X: 100, Y: 100}, Radius: 50}, PathSpatial},
+		{"scan when nothing is indexed", Query{Kind: func() *episode.Kind { k := episode.Stop; return &k }()}, PathScan},
+	}
+	for _, c := range cases {
+		plan, err := e.Explain(c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.Path != c.want {
+			t.Fatalf("%s: planned %s, want %s (%s)", c.name, plan.Path, c.want, plan)
+		}
+		if plan.String() == "" {
+			t.Fatalf("%s: empty plan string", c.name)
+		}
+	}
+}
+
+// TestQueryValidation pins the error cases and the limit.
+func TestQueryValidation(t *testing.T) {
+	st := store.New()
+	e := NewEngine(st)
+	populate(t, st, 5, 2, 1, 8)
+
+	bad := []Query{
+		{Near: &geo.Point{}, Radius: 0},
+		{Radius: 5},
+		{From: t0.Add(time.Hour), To: t0},
+		{Limit: -1},
+		{AnnValue: "x"},
+		{Window: &geo.Rect{Min: geo.Pt(1, 1), Max: geo.Pt(0, 0)}},
+	}
+	for i, q := range bad {
+		if _, err := e.Execute(q); err == nil {
+			t.Fatalf("bad query %d accepted", i)
+		}
+	}
+	msAll, err := e.Execute(Query{})
+	if err != nil || len(msAll) == 0 {
+		t.Fatalf("zero query: %v, %d", err, len(msAll))
+	}
+	ms2, err := e.Execute(Query{Limit: 3})
+	if err != nil || len(ms2) != 3 {
+		t.Fatalf("limit: %v, %d", err, len(ms2))
+	}
+	if !reflect.DeepEqual(gotRefs(ms2), gotRefs(msAll)[:3]) {
+		t.Fatal("limit must truncate the sorted result, not an arbitrary subset")
+	}
+}

@@ -1,0 +1,138 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Path names one access path the planner can execute a query through.
+type Path string
+
+const (
+	// PathTrajectory resolves the named trajectory's tuples directly from
+	// the store — available when Query.TrajectoryID is set.
+	PathTrajectory Path = "trajectory"
+	// PathAnnotation walks the inverted annotation index — available when
+	// Query.AnnKey and AnnValue are set (an empty AnnValue asks for tuples
+	// *without* the key, which no inverted index can enumerate).
+	PathAnnotation Path = "annotation"
+	// PathObjectTime walks the object's time-ordered episode postings —
+	// available when Query.ObjectID is set; a time window narrows it by
+	// binary search.
+	PathObjectTime Path = "object-time"
+	// PathSpatial walks the episode-geometry grids — available when
+	// Query.Window or Query.Near is set.
+	PathSpatial Path = "spatial"
+	// PathScan is the indexless fallback: a full pass over the stored
+	// tuples of the interpretation. Always available; chosen only when no
+	// indexed path is, or when the store is small enough that estimates
+	// round down to it.
+	PathScan Path = "full-scan"
+)
+
+// Plan records the planner's decision for one query: the access path it
+// picked and the candidate-count estimate of every path the query's
+// predicates made available. The cheapest estimate wins; ties break in
+// declaration order of the paths above (most precise first).
+type Plan struct {
+	Path      Path
+	Estimates map[Path]int
+}
+
+// String renders the plan compactly: the chosen path first, then the
+// alternatives with their estimates.
+func (p Plan) String() string {
+	paths := make([]Path, 0, len(p.Estimates))
+	for path := range p.Estimates {
+		paths = append(paths, path)
+	}
+	sort.Slice(paths, func(i, j int) bool { return pathRank(paths[i]) < pathRank(paths[j]) })
+	parts := make([]string, 0, len(paths))
+	for _, path := range paths {
+		marker := ""
+		if path == p.Path {
+			marker = "*"
+		}
+		parts = append(parts, fmt.Sprintf("%s%s≈%d", marker, path, p.Estimates[path]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// pathRank is the tie-break order of the access paths.
+func pathRank(p Path) int {
+	switch p {
+	case PathTrajectory:
+		return 0
+	case PathAnnotation:
+		return 1
+	case PathObjectTime:
+		return 2
+	case PathSpatial:
+		return 3
+	}
+	return 4
+}
+
+// Explain plans the query without executing it.
+func (e *Engine) Explain(q Query) (Plan, error) {
+	q = q.normalized()
+	if err := q.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return e.plan(q), nil
+}
+
+// plan ranks the available access paths by estimated candidate count and
+// picks the cheapest. Estimates read per-shard index cardinalities (posting
+// list lengths, binary-searched window prefixes, grid occupancy) — O(shards)
+// work, never a data scan. q is normalized and valid.
+func (e *Engine) plan(q Query) Plan {
+	est := map[Path]int{}
+
+	if q.TrajectoryID != "" {
+		est[PathTrajectory] = e.st.TupleCount(q.TrajectoryID, q.Interpretation)
+	}
+	if q.AnnKey != "" && q.AnnValue != "" {
+		k := annKey{interp: q.Interpretation, key: q.AnnKey, value: q.AnnValue}
+		sh := e.annShardFor(k)
+		sh.mu.RLock()
+		est[PathAnnotation] = len(sh.ann[k])
+		sh.mu.RUnlock()
+	}
+	if q.ObjectID != "" {
+		sh := e.objShardFor(q.ObjectID)
+		sh.mu.RLock()
+		posted := sh.objects[q.ObjectID]
+		lo, hi := 0, len(posted)
+		if !q.To.IsZero() {
+			hi = sort.Search(len(posted), func(i int) bool { return posted[i].timeIn.After(q.To) })
+		}
+		if !q.From.IsZero() {
+			// TimeIn is sorted; postings whose TimeIn is already past From
+			// certainly overlap on that side. Earlier ones may still overlap
+			// via TimeOut, so this bound only sharpens the estimate, not the
+			// gather (which filters on TimeOut exactly).
+			lo = sort.Search(hi, func(i int) bool { return !posted[i].timeIn.Before(q.From) })
+			lo = lo / 2 // split the difference on the straddling prefix
+		}
+		sh.mu.RUnlock()
+		est[PathObjectTime] = hi - lo
+	}
+	if q.Window != nil || q.Near != nil {
+		rect := q.spatialRect()
+		e.spatial.mu.RLock()
+		est[PathSpatial] = e.spatial.grid.EstimateWithin(rect)
+		e.spatial.mu.RUnlock()
+	}
+	est[PathScan] = int(e.total.Load())
+
+	best := PathScan
+	for _, path := range []Path{PathSpatial, PathObjectTime, PathAnnotation, PathTrajectory} {
+		n, ok := est[path]
+		if ok && n <= est[best] {
+			best = path
+		}
+	}
+	return Plan{Path: best, Estimates: est}
+}

@@ -1,0 +1,330 @@
+// Package serve is the HTTP JSON serving layer over the query engine: the
+// online face of the reproduction, standing in for the application tier the
+// paper puts on top of its PostgreSQL/PostGIS store (§1's "who stopped at a
+// restaurant between 12:00 and 14:00 inside this region", served while the
+// annotation middleware keeps ingesting).
+//
+// The handler is deliberately a plain net/http mux so cmd/semitri-serve,
+// the examples and the tests all share one implementation:
+//
+//	GET /healthz             liveness + store counts
+//	GET /query/episodes      episode tuples matching a Query (see parseQuery)
+//	GET /query/trajectories  per-trajectory summaries (?object= filters)
+//	GET /query/objects       per-object counts (?object= filters)
+//	GET /stats               analytics snapshot (episode/category/mode/
+//	                         compression aggregates + index state)
+//
+// Every endpoint answers JSON; errors answer {"error": ...} with a 4xx/5xx
+// status. Queries run against live data: the engine's indexes are
+// maintained from the store's append path, so results reflect ingestion up
+// to the moment the request resolved.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"semitri/internal/analytics"
+	"semitri/internal/core"
+	"semitri/internal/episode"
+	"semitri/internal/geo"
+	"semitri/internal/query"
+	"semitri/internal/store"
+)
+
+// Server serves the query engine (and the store behind it) over HTTP.
+type Server struct {
+	engine *query.Engine
+	st     *store.Store
+}
+
+// New builds a server over the engine and its store.
+func New(engine *query.Engine) *Server {
+	return &Server{engine: engine, st: engine.Store()}
+}
+
+// Handler returns the route mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /query/episodes", s.handleEpisodes)
+	mux.HandleFunc("GET /query/trajectories", s.handleTrajectories)
+	mux.HandleFunc("GET /query/objects", s.handleObjects)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+// writeJSON writes v as the response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}
+
+// writeError writes an {"error": ...} body.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// parseQuery maps URL parameters onto a query.Query:
+//
+//	object, trajectory, interpretation, kind=stop|move, limit
+//	from, to            RFC 3339 timestamps (closed window, open sides)
+//	ann=key=value       annotation equality (alias: annkey + annvalue)
+//	minx,miny,maxx,maxy spatial window over episode geometry
+//	nearx,neary,radius  radius (metres) around a point
+func parseQuery(r *http.Request) (query.Query, error) {
+	var q query.Query
+	p := r.URL.Query()
+	q.ObjectID = p.Get("object")
+	q.TrajectoryID = p.Get("trajectory")
+	q.Interpretation = p.Get("interpretation")
+	switch kind := p.Get("kind"); kind {
+	case "":
+	case "stop":
+		k := episode.Stop
+		q.Kind = &k
+	case "move":
+		k := episode.Move
+		q.Kind = &k
+	default:
+		return q, fmt.Errorf("unknown kind %q (want stop or move)", kind)
+	}
+	for name, dst := range map[string]*time.Time{"from": &q.From, "to": &q.To} {
+		if v := p.Get(name); v != "" {
+			ts, err := time.Parse(time.RFC3339, v)
+			if err != nil {
+				return q, fmt.Errorf("%s: %w", name, err)
+			}
+			*dst = ts
+		}
+	}
+	if ann := p.Get("ann"); ann != "" {
+		key, value, ok := strings.Cut(ann, "=")
+		if !ok || key == "" {
+			return q, fmt.Errorf("ann must be key=value, got %q", ann)
+		}
+		q.AnnKey, q.AnnValue = key, value
+	}
+	if k := p.Get("annkey"); k != "" {
+		q.AnnKey, q.AnnValue = k, p.Get("annvalue")
+	}
+	coords := map[string]float64{}
+	for _, name := range []string{"minx", "miny", "maxx", "maxy", "nearx", "neary", "radius"} {
+		if v := p.Get(name); v != "" {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return q, fmt.Errorf("%s: %w", name, err)
+			}
+			coords[name] = f
+		}
+	}
+	// Spatial parameters come in complete groups: a partial window (or a
+	// radius with no centre) is a malformed query, not a query with the
+	// missing coordinate read as zero.
+	if err := allOrNone(coords, "minx", "miny", "maxx", "maxy"); err != nil {
+		return q, err
+	}
+	if err := allOrNone(coords, "nearx", "neary", "radius"); err != nil {
+		return q, err
+	}
+	if _, ok := coords["minx"]; ok {
+		w := geo.NewRect(geo.Pt(coords["minx"], coords["miny"]), geo.Pt(coords["maxx"], coords["maxy"]))
+		q.Window = &w
+	}
+	if _, ok := coords["nearx"]; ok {
+		pnt := geo.Pt(coords["nearx"], coords["neary"])
+		q.Near = &pnt
+		q.Radius = coords["radius"]
+	}
+	if v := p.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return q, fmt.Errorf("limit: %w", err)
+		}
+		q.Limit = n
+	}
+	return q, nil
+}
+
+// allOrNone rejects a parameter group that is only partially present.
+func allOrNone(coords map[string]float64, names ...string) error {
+	present := 0
+	for _, n := range names {
+		if _, ok := coords[n]; ok {
+			present++
+		}
+	}
+	if present != 0 && present != len(names) {
+		return fmt.Errorf("parameters %s must be given together", strings.Join(names, ", "))
+	}
+	return nil
+}
+
+// jsonMatch is the wire form of one query result.
+type jsonMatch struct {
+	Trajectory     string            `json:"trajectory"`
+	Object         string            `json:"object"`
+	Interpretation string            `json:"interpretation"`
+	Index          int               `json:"index"`
+	Kind           string            `json:"kind"`
+	Place          *jsonPlace        `json:"place,omitempty"`
+	TimeIn         time.Time         `json:"time_in"`
+	TimeOut        time.Time         `json:"time_out"`
+	Annotations    []core.Annotation `json:"annotations,omitempty"`
+	Center         *jsonPoint        `json:"center,omitempty"`
+}
+
+type jsonPlace struct {
+	ID       string `json:"id"`
+	Kind     string `json:"kind"`
+	Name     string `json:"name,omitempty"`
+	Category string `json:"category,omitempty"`
+}
+
+type jsonPoint struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+func toJSONMatch(m query.Match) jsonMatch {
+	out := jsonMatch{
+		Trajectory:     m.Ref.TrajectoryID,
+		Object:         m.Ref.ObjectID,
+		Interpretation: m.Ref.Interpretation,
+		Index:          m.Ref.Index,
+		Kind:           m.Tuple.Kind.String(),
+		TimeIn:         m.Tuple.TimeIn,
+		TimeOut:        m.Tuple.TimeOut,
+		Annotations:    m.Tuple.Annotations.All(),
+	}
+	if pl := m.Tuple.Place; pl != nil {
+		out.Place = &jsonPlace{ID: pl.ID, Kind: pl.Kind.String(), Name: pl.Name, Category: pl.Category}
+	}
+	if ep := m.Tuple.Episode; ep != nil {
+		out.Center = &jsonPoint{X: ep.Center.X, Y: ep.Center.Y}
+	}
+	return out
+}
+
+// handleEpisodes answers GET /query/episodes: the tuples matching the
+// parsed Query, plus the plan the engine executed (estimates per access
+// path, chosen path first in the "plan" string).
+func (s *Server) handleEpisodes(w http.ResponseWriter, r *http.Request) {
+	q, err := parseQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ms, plan, err := s.engine.ExecuteExplained(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	matches := make([]jsonMatch, len(ms))
+	for i, m := range ms {
+		matches[i] = toJSONMatch(m)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count":   len(matches),
+		"plan":    plan.String(),
+		"path":    plan.Path,
+		"matches": matches,
+	})
+}
+
+// jsonTrajectory is the wire form of one trajectory summary.
+type jsonTrajectory struct {
+	ID              string    `json:"id"`
+	Object          string    `json:"object"`
+	Records         int       `json:"records"`
+	Stops           int       `json:"stops"`
+	Moves           int       `json:"moves"`
+	Interpretations []string  `json:"interpretations"`
+	Start           time.Time `json:"start,omitzero"`
+	End             time.Time `json:"end,omitzero"`
+}
+
+// handleTrajectories answers GET /query/trajectories: summaries of the
+// stored trajectories, all of them or one object's (?object=).
+func (s *Server) handleTrajectories(w http.ResponseWriter, r *http.Request) {
+	object := r.URL.Query().Get("object")
+	ids := s.st.TrajectoryIDs(object)
+	out := make([]jsonTrajectory, 0, len(ids))
+	for _, id := range ids {
+		jt := jsonTrajectory{ID: id, Object: object, Interpretations: s.st.Interpretations(id)}
+		if t, ok := s.st.Trajectory(id); ok {
+			jt.Object = t.ObjectID
+			jt.Records = len(t.Records)
+			if len(t.Records) > 0 {
+				jt.Start = t.Records[0].Time
+				jt.End = t.Records[len(t.Records)-1].Time
+			}
+		}
+		for _, ep := range s.st.Episodes(id) {
+			if ep.Kind == episode.Stop {
+				jt.Stops++
+			} else {
+				jt.Moves++
+			}
+		}
+		out = append(out, jt)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(out), "trajectories": out})
+}
+
+// handleObjects answers GET /query/objects: per-object counts (the Fig. 13
+// aggregation), all objects or one (?object=).
+func (s *Server) handleObjects(w http.ResponseWriter, r *http.Request) {
+	objects := s.st.Objects()
+	if filter := r.URL.Query().Get("object"); filter != "" {
+		objects = []string{filter}
+	}
+	counts := analytics.PerUserCounts(s.st, objects)
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(counts), "objects": counts})
+}
+
+// handleHealthz answers GET /healthz with liveness and the store's running
+// totals (all O(shards) reads, safe to poll).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	stops, moves := s.st.EpisodeCounts()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":       "ok",
+		"records":      s.st.RecordCount(),
+		"trajectories": s.st.TrajectoryCount(),
+		"stops":        stops,
+		"moves":        moves,
+		"structured":   s.st.StructuredCount(),
+	})
+}
+
+// handleStats answers GET /stats: the analytics-layer aggregates over the
+// store's current content plus the engine's index state.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	stops, moves := s.st.EpisodeCounts()
+	compression := analytics.Compression(s.st)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"records":      s.st.RecordCount(),
+		"trajectories": s.st.TrajectoryCount(),
+		"stops":        stops,
+		"moves":        moves,
+		"structured":   s.st.StructuredCount(),
+		"objects":      len(s.st.Objects()),
+		"stop_time_by_category": analytics.AnnotationDistribution(
+			s.st, query.DefaultInterpretation, core.AnnPOICategory).Shares(),
+		"move_time_by_mode": analytics.ModeDistribution(s.st, query.DefaultInterpretation).Shares(),
+		"compression": map[string]any{
+			"gps_records":    compression.GPSRecords,
+			"region_tuples":  compression.RegionTuples,
+			"distinct_cells": compression.DistinctCells,
+			"ratio":          compression.Ratio,
+		},
+		"index": s.engine.IndexStats(),
+	})
+}

@@ -1,0 +1,324 @@
+package store
+
+import (
+	"errors"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"semitri/internal/core"
+)
+
+// errNoSuchTuple reports a MergeTupleAnnotations target that does not exist.
+var errNoSuchTuple = errors.New("store: no such tuple")
+
+// TupleRef locates one episode tuple inside the store: the structured
+// trajectory it belongs to and its position in that trajectory's tuple
+// sequence. Refs are the currency between the store and a secondary-index
+// layer: an index stores refs, and resolves them back through TupleAt when a
+// query needs the tuple's current content.
+type TupleRef struct {
+	TrajectoryID   string
+	ObjectID       string
+	Interpretation string
+	Index          int
+}
+
+// TupleEvent is one index-maintenance notification: the ref of a tuple that
+// was appended, replaced or updated, together with a stable copy of its
+// content taken while the stripe lock was held. Indexes must read the copy,
+// never the stored original (which concurrent writers keep mutating under
+// the stripe lock).
+type TupleEvent struct {
+	Ref   TupleRef
+	Tuple core.EpisodeTuple
+	// Changed is set on TupleUpdated events only: the annotations the
+	// update merged in, at their post-merge values. Indexes that already
+	// hold the tuple only need postings for these, not for the whole set.
+	Changed []core.Annotation
+}
+
+// Index is the contract between the store and an incrementally maintained
+// secondary-index layer (internal/query.Engine implements it). The store
+// calls the methods after the corresponding table mutation committed and the
+// stripe lock was released, from the mutating goroutine; per structured
+// trajectory the pipeline writes from a single goroutine, so notifications
+// for one (trajectory, interpretation) arrive in mutation order.
+type Index interface {
+	// TuplesAppended reports tuples appended to a structured trajectory
+	// (Ref.Index carries each tuple's final position).
+	TuplesAppended(events []TupleEvent)
+	// StructuredReplaced reports that PutStructured replaced the whole tuple
+	// sequence of (trajectoryID, interpretation); events carries the full
+	// new content (possibly empty).
+	StructuredReplaced(trajectoryID, objectID, interpretation string, events []TupleEvent)
+	// TupleUpdated reports that a stored tuple gained annotations in place
+	// (the streaming close path merging the point layer's results).
+	TupleUpdated(event TupleEvent)
+}
+
+// QueryBackend is the read-side counterpart of Index: an attached index that
+// can also answer the store's legacy query methods. When present,
+// QueryStopsByAnnotation and QueryTuplesInWindow become thin wrappers over
+// it instead of full-table scans.
+type QueryBackend interface {
+	StopsByAnnotation(interpretation, key, value string) []*core.EpisodeTuple
+	TuplesInWindow(trajectoryID, interpretation string, from, to time.Time) []*core.EpisodeTuple
+}
+
+// indexHooks bundles the attached index and its optional query backend
+// behind one atomic pointer, so the hot append path pays a single load when
+// no index is attached.
+type indexHooks struct {
+	sink    Index
+	backend QueryBackend
+}
+
+// AttachIndex registers an incrementally maintained secondary index. At most
+// one index is attached at a time (a later call replaces the earlier one);
+// if ix also implements QueryBackend, the store's annotation and time-window
+// queries delegate to it. Attach the index before concurrent writers start,
+// or backfill it from VisitStructuredTuples afterwards — TuplesAppended
+// events and the backfill scan may overlap, so indexes must treat
+// re-delivery of a ref as idempotent.
+func (s *Store) AttachIndex(ix Index) {
+	if ix == nil {
+		s.hooks.Store(nil)
+		return
+	}
+	h := &indexHooks{sink: ix}
+	if b, ok := ix.(QueryBackend); ok {
+		h.backend = b
+	}
+	s.hooks.Store(h)
+}
+
+// sink returns the attached index, or nil.
+func (s *Store) sink() Index {
+	if h := s.hooks.Load(); h != nil {
+		return h.sink
+	}
+	return nil
+}
+
+// queryBackend returns the attached query backend, or nil.
+func (s *Store) queryBackend() QueryBackend {
+	if h := s.hooks.Load(); h != nil {
+		return h.backend
+	}
+	return nil
+}
+
+// copyTuple snapshots one stored tuple. Caller holds the stripe lock. The
+// Place and Episode pointers are shared: both are immutable once the tuple
+// reaches the store (places come from the 3rd-party sources, episodes are
+// final when appended); only the annotation set keeps being written.
+func copyTuple(tp *core.EpisodeTuple) core.EpisodeTuple {
+	c := *tp
+	c.Annotations = tp.Annotations.Clone()
+	return c
+}
+
+// tupleEvents builds index notifications for tuples[start:] of a structured
+// trajectory. Caller holds the stripe lock.
+func tupleEvents(st *core.StructuredTrajectory, start int) []TupleEvent {
+	if start >= len(st.Tuples) {
+		return nil
+	}
+	events := make([]TupleEvent, 0, len(st.Tuples)-start)
+	for i := start; i < len(st.Tuples); i++ {
+		events = append(events, TupleEvent{
+			Ref: TupleRef{
+				TrajectoryID:   st.ID,
+				ObjectID:       st.ObjectID,
+				Interpretation: st.Interpretation,
+				Index:          i,
+			},
+			Tuple: copyTuple(st.Tuples[i]),
+		})
+	}
+	return events
+}
+
+// TupleAt returns a stable copy of the tuple stored at (trajectoryID,
+// interpretation, index), or false when the position does not exist. This is
+// the resolution step of indexed query execution: an index's ref is resolved
+// against the store's current content under the stripe lock, so the result
+// can never be a torn read of a tuple a writer is still annotating.
+func (s *Store) TupleAt(trajectoryID, interpretation string, index int) (core.EpisodeTuple, bool) {
+	if index < 0 {
+		return core.EpisodeTuple{}, false
+	}
+	sh := s.shardFor(trajectoryID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	st, ok := sh.structured[trajectoryID][interpretation]
+	if !ok || index >= len(st.Tuples) {
+		return core.EpisodeTuple{}, false
+	}
+	return copyTuple(st.Tuples[index]), true
+}
+
+// TuplesAt resolves several positions of one structured trajectory under a
+// single stripe lock: tuples[i] is a stable copy of the tuple at indexes[i]
+// and ok[i] reports whether that position exists. Batch resolution is what
+// keeps indexed query execution cheap — candidates cluster by trajectory,
+// so the executor pays one lock per trajectory instead of one per tuple.
+func (s *Store) TuplesAt(trajectoryID, interpretation string, indexes []int) (tuples []core.EpisodeTuple, ok []bool) {
+	tuples = make([]core.EpisodeTuple, len(indexes))
+	ok = make([]bool, len(indexes))
+	sh := s.shardFor(trajectoryID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	st, found := sh.structured[trajectoryID][interpretation]
+	if !found {
+		return tuples, ok
+	}
+	for i, idx := range indexes {
+		if idx >= 0 && idx < len(st.Tuples) {
+			tuples[i] = copyTuple(st.Tuples[idx])
+			ok[i] = true
+		}
+	}
+	return tuples, ok
+}
+
+// TupleSnapshot returns stable copies of every tuple stored under
+// (trajectoryID, interpretation), in stored order, plus the owning object
+// id. One stripe lock, one pass — the resolution step of trajectory-direct
+// query execution.
+func (s *Store) TupleSnapshot(trajectoryID, interpretation string) (objectID string, tuples []core.EpisodeTuple, ok bool) {
+	sh := s.shardFor(trajectoryID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	st, ok := sh.structured[trajectoryID][interpretation]
+	if !ok {
+		return "", nil, false
+	}
+	tuples = make([]core.EpisodeTuple, len(st.Tuples))
+	for i, tp := range st.Tuples {
+		tuples[i] = copyTuple(tp)
+	}
+	return st.ObjectID, tuples, true
+}
+
+// TupleCount returns the number of tuples stored under (trajectoryID,
+// interpretation) — the planner's cost estimate for the trajectory-direct
+// access path.
+func (s *Store) TupleCount(trajectoryID, interpretation string) int {
+	sh := s.shardFor(trajectoryID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	st, ok := sh.structured[trajectoryID][interpretation]
+	if !ok {
+		return 0
+	}
+	return len(st.Tuples)
+}
+
+// MergeTupleAnnotations merges annotations (and, when place is non-nil, the
+// place link) into the tuple stored at (trajectoryID, interpretation,
+// index), under the stripe lock. It is the streaming close path's
+// counterpart of mutating a local tuple before storing it: the point layer's
+// results land on already-stored merged tuples, and routing the write
+// through the store keeps concurrent readers (Save, TupleAt, the query
+// engine) race-free and notifies the attached index.
+func (s *Store) MergeTupleAnnotations(trajectoryID, interpretation string, index int, place *core.Place, anns []core.Annotation) error {
+	sh := s.shardFor(trajectoryID)
+	sh.mu.Lock()
+	st, ok := sh.structured[trajectoryID][interpretation]
+	if !ok || index < 0 || index >= len(st.Tuples) {
+		sh.mu.Unlock()
+		return errNoSuchTuple
+	}
+	tp := st.Tuples[index]
+	for _, a := range anns {
+		tp.Annotations.Add(a)
+	}
+	if place != nil {
+		tp.Place = place
+	}
+	var ev TupleEvent
+	sink := s.sink()
+	if sink != nil {
+		ev = TupleEvent{
+			Ref: TupleRef{
+				TrajectoryID:   trajectoryID,
+				ObjectID:       st.ObjectID,
+				Interpretation: interpretation,
+				Index:          index,
+			},
+			Tuple: copyTuple(tp),
+		}
+		// Report the post-merge values of the merged keys (Add keeps the old
+		// annotation when its confidence wins, and an index must post what
+		// the tuple now carries, not what the caller asked for).
+		for _, a := range anns {
+			if got, found := tp.Annotations.Get(a.Key); found {
+				ev.Changed = append(ev.Changed, got)
+			}
+		}
+	}
+	sh.mu.Unlock()
+	if sink != nil {
+		sink.TupleUpdated(ev)
+	}
+	return nil
+}
+
+// VisitStructuredTuples calls fn for every stored tuple of the given
+// interpretation (every interpretation when interpretation is empty), as a
+// stable copy with its ref. It is the engine's backfill scan and the
+// full-scan fallback of unindexable queries: one stripe's tuples are copied
+// under the stripe's read lock, then fn runs with no lock held, so fn may
+// query the store. Stripes are visited in order but trajectories within a
+// stripe in map order; callers needing determinism sort their results. The
+// visit stops early when fn returns false.
+func (s *Store) VisitStructuredTuples(interpretation string, fn func(ref TupleRef, t core.EpisodeTuple) bool) {
+	var buf []TupleEvent
+	for _, sh := range s.shards {
+		buf = buf[:0]
+		sh.mu.RLock()
+		for _, byInterp := range sh.structured {
+			for interp, st := range byInterp {
+				if interpretation != "" && interp != interpretation {
+					continue
+				}
+				buf = append(buf, tupleEvents(st, 0)...)
+			}
+		}
+		sh.mu.RUnlock()
+		for _, ev := range buf {
+			if !fn(ev.Ref, ev.Tuple) {
+				return
+			}
+		}
+	}
+}
+
+// Objects returns the ids of every moving object present in the store
+// (owning raw records or trajectories), sorted lexicographically.
+func (s *Store) Objects() []string {
+	seen := map[string]bool{}
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for obj := range sh.records {
+			seen[obj] = true
+		}
+		for obj := range sh.trajByObject {
+			seen[obj] = true
+		}
+		sh.mu.RUnlock()
+	}
+	out := make([]string, 0, len(seen))
+	for obj := range seen {
+		out = append(out, obj)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// hooksPtr is the atomic holder AttachIndex writes and the mutation paths
+// read. It lives here (not on Store directly) so store.go stays focused on
+// the tables.
+type hooksPtr = atomic.Pointer[indexHooks]

@@ -1,0 +1,180 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"semitri/internal/core"
+	"semitri/internal/episode"
+)
+
+// recordingIndex captures notifications for assertion.
+type recordingIndex struct {
+	appended []TupleEvent
+	replaced []string // "traj/interp(n)"
+	updated  []TupleEvent
+}
+
+func (r *recordingIndex) TuplesAppended(events []TupleEvent) {
+	r.appended = append(r.appended, events...)
+}
+func (r *recordingIndex) StructuredReplaced(traj, obj, interp string, events []TupleEvent) {
+	r.replaced = append(r.replaced, traj+"/"+interp)
+}
+func (r *recordingIndex) TupleUpdated(ev TupleEvent) { r.updated = append(r.updated, ev) }
+
+func mkStopTuple(start, end time.Time, anns ...core.Annotation) *core.EpisodeTuple {
+	tp := &core.EpisodeTuple{Kind: episode.Stop, TimeIn: start, TimeOut: end}
+	for _, a := range anns {
+		tp.Annotations.Add(a)
+	}
+	return tp
+}
+
+func TestIndexNotifications(t *testing.T) {
+	s := New()
+	rec := &recordingIndex{}
+	s.AttachIndex(rec)
+
+	tp := mkStopTuple(t0, t0.Add(time.Hour), core.Annotation{Key: "k", Value: "v", Confidence: 0.5})
+	if err := s.AppendStructuredTuples("t1", "o1", "merged", tp); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.appended) != 1 {
+		t.Fatalf("appended events = %d", len(rec.appended))
+	}
+	ev := rec.appended[0]
+	if ev.Ref != (TupleRef{TrajectoryID: "t1", ObjectID: "o1", Interpretation: "merged", Index: 0}) {
+		t.Fatalf("ref = %+v", ev.Ref)
+	}
+	// The event carries a stable copy: later merges must not leak into it.
+	if err := s.MergeTupleAnnotations("t1", "merged", 0, nil,
+		[]core.Annotation{{Key: "k2", Value: "v2", Confidence: 0.9}}); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Tuple.Annotations.Len() != 1 {
+		t.Fatal("append event snapshot was mutated by a later merge")
+	}
+	if len(rec.updated) != 1 || rec.updated[0].Tuple.Annotations.Value("k2") != "v2" {
+		t.Fatalf("updated events = %+v", rec.updated)
+	}
+	if err := s.PutStructured(&core.StructuredTrajectory{ID: "t1", ObjectID: "o1", Interpretation: "region"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.replaced) != 1 || rec.replaced[0] != "t1/region" {
+		t.Fatalf("replaced events = %v", rec.replaced)
+	}
+	// Detach: no further events.
+	s.AttachIndex(nil)
+	if err := s.AppendStructuredTuples("t1", "o1", "merged", mkStopTuple(t0, t0)); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.appended) != 1 {
+		t.Fatal("detached index still received events")
+	}
+}
+
+func TestTupleAccessors(t *testing.T) {
+	s := New()
+	a := mkStopTuple(t0, t0.Add(time.Hour), core.Annotation{Key: "k", Value: "v", Confidence: 0.5})
+	b := mkStopTuple(t0.Add(time.Hour), t0.Add(2*time.Hour))
+	if err := s.AppendStructuredTuples("t1", "o1", "merged", a, b); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.TupleAt("t1", "merged", 1)
+	if !ok || !got.TimeIn.Equal(t0.Add(time.Hour)) {
+		t.Fatalf("TupleAt = %+v, %v", got, ok)
+	}
+	// The returned copy is stable under concurrent-style mutation.
+	got0, _ := s.TupleAt("t1", "merged", 0)
+	if err := s.MergeTupleAnnotations("t1", "merged", 0, nil,
+		[]core.Annotation{{Key: "x", Value: "y", Confidence: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if got0.Annotations.Len() != 1 {
+		t.Fatal("TupleAt copy aliased the stored annotation set")
+	}
+	for _, bad := range []int{-1, 2} {
+		if _, ok := s.TupleAt("t1", "merged", bad); ok {
+			t.Fatalf("TupleAt(%d) should miss", bad)
+		}
+	}
+	if _, ok := s.TupleAt("t9", "merged", 0); ok {
+		t.Fatal("missing trajectory should miss")
+	}
+	if n := s.TupleCount("t1", "merged"); n != 2 {
+		t.Fatalf("TupleCount = %d", n)
+	}
+	if n := s.TupleCount("t9", "merged"); n != 0 {
+		t.Fatalf("TupleCount missing = %d", n)
+	}
+	obj, tuples, ok := s.TupleSnapshot("t1", "merged")
+	if !ok || obj != "o1" || len(tuples) != 2 {
+		t.Fatalf("TupleSnapshot = %q, %d, %v", obj, len(tuples), ok)
+	}
+
+	seen := 0
+	s.VisitStructuredTuples("merged", func(ref TupleRef, tp core.EpisodeTuple) bool {
+		seen++
+		return false // early stop
+	})
+	if seen != 1 {
+		t.Fatalf("early stop visited %d", seen)
+	}
+	seen = 0
+	s.VisitStructuredTuples("", func(ref TupleRef, tp core.EpisodeTuple) bool { seen++; return true })
+	if seen != 2 {
+		t.Fatalf("visit all = %d", seen)
+	}
+}
+
+func TestObjects(t *testing.T) {
+	s := New()
+	s.PutRecords(sampleTrajectory("b-T0", "b", 1).Records)
+	if err := s.PutTrajectory(sampleTrajectory("a-T0", "a", 3)); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Objects()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Objects = %v", got)
+	}
+}
+
+// TestSaveAtomic checks the crash-safe write: saving over an existing file
+// replaces it whole, and no temp files are left behind.
+func TestSaveAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap", "store.json")
+
+	s := New()
+	s.PutRecords(sampleTrajectory("o1-T0", "o1", 5).Records)
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	s.PutRecords(sampleTrajectory("o2-T0", "o2", 3).Records)
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.RecordCount() != 8 {
+		t.Fatalf("RecordCount after reload = %d", loaded.RecordCount())
+	}
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Fatalf("snapshot dir should hold exactly the snapshot, got %d entries", len(entries))
+	}
+}

@@ -60,6 +60,11 @@ type jsonTuple struct {
 // place, so reading them outside the stripe lock would race); writers
 // running concurrently with Save land entirely in or entirely out of the
 // file per row, never half-serialised.
+//
+// The write is crash-safe: the snapshot lands in a temporary file in the
+// target directory and is renamed into place, so a snapshot taken during
+// live ingestion (or interrupted by a crash) can never be read torn — any
+// existing file at path stays intact until the new one is complete.
 func (s *Store) Save(path string) error {
 	snap := snapshot{
 		Records:    map[string][]jsonRecord{},
@@ -75,13 +80,48 @@ func (s *Store) Save(path string) error {
 	if err != nil {
 		return fmt.Errorf("store: marshal: %w", err)
 	}
-	if dir := filepath.Dir(path); dir != "." && dir != "" {
+	dir := filepath.Dir(path)
+	if dir != "." && dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return fmt.Errorf("store: mkdir: %w", err)
 		}
 	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	// The temp file must live in the target directory: os.Rename is only
+	// atomic within one filesystem.
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: temp file: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
 		return fmt.Errorf("store: write: %w", err)
+	}
+	// Flush the data before the rename: without it a power failure after
+	// the rename could surface an empty or partial destination file (rename
+	// alone is only atomic against process crashes).
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: close: %w", err)
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: chmod: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: rename: %w", err)
+	}
+	// Persist the rename itself: fsync the directory so the new entry
+	// survives a crash (best-effort — not every platform allows it).
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
 	}
 	return nil
 }

@@ -52,6 +52,9 @@ const DefaultShards = 32
 // New or NewSharded. All methods are safe for concurrent use.
 type Store struct {
 	shards []*shard
+	// hooks holds the attached secondary index (see AttachIndex); nil until
+	// one is attached, so unindexed stores pay one atomic load per mutation.
+	hooks hooksPtr
 }
 
 type structuredByInterp map[string]*core.StructuredTrajectory
@@ -278,7 +281,6 @@ func (s *Store) PutStructured(st *core.StructuredTrajectory) error {
 	}
 	sh := s.shardFor(st.ID)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	byInterp, ok := sh.structured[st.ID]
 	if !ok {
 		byInterp = structuredByInterp{}
@@ -288,6 +290,15 @@ func (s *Store) PutStructured(st *core.StructuredTrajectory) error {
 		sh.structCount++
 	}
 	byInterp[st.Interpretation] = st
+	var events []TupleEvent
+	sink := s.sink()
+	if sink != nil {
+		events = tupleEvents(st, 0)
+	}
+	sh.mu.Unlock()
+	if sink != nil {
+		sink.StructuredReplaced(st.ID, st.ObjectID, st.Interpretation, events)
+	}
 	return nil
 }
 
@@ -305,7 +316,6 @@ func (s *Store) AppendStructuredTuples(trajectoryID, objectID, interpretation st
 	}
 	sh := s.shardFor(trajectoryID)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	byInterp, ok := sh.structured[trajectoryID]
 	if !ok {
 		byInterp = structuredByInterp{}
@@ -317,7 +327,17 @@ func (s *Store) AppendStructuredTuples(trajectoryID, objectID, interpretation st
 		byInterp[interpretation] = st
 		sh.structCount++
 	}
+	start := len(st.Tuples)
 	st.Tuples = append(st.Tuples, tuples...)
+	var events []TupleEvent
+	sink := s.sink()
+	if sink != nil && len(tuples) > 0 {
+		events = tupleEvents(st, start)
+	}
+	sh.mu.Unlock()
+	if len(events) > 0 {
+		sink.TuplesAppended(events)
+	}
 	return nil
 }
 
@@ -380,7 +400,17 @@ func (s *Store) StructuredCount() int {
 // of the given interpretation, the stop tuples whose annotation `key` equals
 // `value` (e.g. all stops annotated with the "item sale" POI category).
 // Results are ordered by trajectory id for determinism across shard layouts.
+//
+// With a secondary index attached (AttachIndex) and a non-empty value, the
+// call is a thin wrapper over the index's inverted annotation list instead
+// of the full-table scan below. An empty value asks for tuples *without* the
+// key, which no inverted index can answer, so it always scans.
 func (s *Store) QueryStopsByAnnotation(interpretation, key, value string) []*core.EpisodeTuple {
+	if value != "" {
+		if b := s.queryBackend(); b != nil {
+			return b.StopsByAnnotation(interpretation, key, value)
+		}
+	}
 	type hit struct {
 		id     string
 		tuples []*core.EpisodeTuple
@@ -414,8 +444,12 @@ func (s *Store) QueryStopsByAnnotation(interpretation, key, value string) []*cor
 }
 
 // QueryTuplesInWindow returns the tuples of a trajectory's interpretation
-// overlapping the [from, to] time window.
+// overlapping the [from, to] time window. With a secondary index attached it
+// delegates to the index's per-object time-ordered list.
 func (s *Store) QueryTuplesInWindow(trajectoryID, interpretation string, from, to time.Time) []*core.EpisodeTuple {
+	if b := s.queryBackend(); b != nil {
+		return b.TuplesInWindow(trajectoryID, interpretation, from, to)
+	}
 	st, ok := s.Structured(trajectoryID, interpretation)
 	if !ok {
 		return nil

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Serve smoke test: builds semitri-serve, ingests a small generated
+# workload, starts the server and probes every endpoint, asserting HTTP 200
+# and a non-empty JSON body that contains the key the endpoint is defined
+# by. CI runs this as the serve-smoke job; `make serve-smoke` runs it
+# locally.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+addr="127.0.0.1:${SEMITRI_SMOKE_PORT:-18080}"
+tmp=$(mktemp -d)
+server_pid=""
+cleanup() {
+	[ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/semitri-gen" ./cmd/semitri-gen
+go build -o "$tmp/semitri-serve" ./cmd/semitri-serve
+
+"$tmp/semitri-gen" -kind people -users 2 -days 1 -pois 3000 -out "$tmp/people.csv"
+# -wait: only start listening once ingestion finished, so every probe sees
+# the fully annotated store.
+"$tmp/semitri-serve" -addr "$addr" -in "$tmp/people.csv" -pois 3000 -wait -progress 0 &
+server_pid=$!
+
+for _ in $(seq 1 100); do
+	if curl -fsS "http://$addr/healthz" >/dev/null 2>&1; then
+		break
+	fi
+	kill -0 "$server_pid" 2>/dev/null || { echo "server exited early" >&2; exit 1; }
+	sleep 0.2
+done
+
+probe() {
+	local path=$1 want=$2
+	local body
+	body=$(curl -fsS "http://$addr$path")
+	if [ -z "$body" ]; then
+		echo "FAIL $path: empty body" >&2
+		exit 1
+	fi
+	if ! printf '%s' "$body" | grep -q "\"$want\""; then
+		echo "FAIL $path: body lacks \"$want\": $body" >&2
+		exit 1
+	fi
+	echo "ok GET $path"
+}
+
+probe "/healthz" "status"
+probe "/query/episodes?kind=stop&limit=3" "matches"
+probe "/query/episodes?annkey=poi_category&annvalue=item%20sale" "plan"
+probe "/query/episodes?minx=0&miny=0&maxx=10000&maxy=10000&kind=stop" "matches"
+probe "/query/trajectories" "trajectories"
+probe "/query/objects" "objects"
+probe "/stats" "index"
+
+# A malformed query must answer 400 with an error body, not 200 or a crash.
+status=$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/query/episodes?kind=hover")
+if [ "$status" != "400" ]; then
+	echo "FAIL bad query: status $status, want 400" >&2
+	exit 1
+fi
+echo "ok GET /query/episodes?kind=hover -> 400"
+
+echo "serve smoke passed"

@@ -56,6 +56,7 @@ import (
 	"semitri/internal/line"
 	"semitri/internal/poi"
 	"semitri/internal/point"
+	"semitri/internal/query"
 	"semitri/internal/region"
 	"semitri/internal/roadnet"
 	"semitri/internal/stats"
@@ -162,6 +163,7 @@ type Pipeline struct {
 
 	mu      sync.Mutex
 	latency *stats.LatencyBreakdown
+	engine  *query.Engine
 }
 
 // New builds a pipeline over the given sources. At least one source must be
@@ -200,6 +202,22 @@ func New(sources Sources, cfg Config) (*Pipeline, error) {
 
 // Store returns the semantic trajectory store populated by the pipeline.
 func (p *Pipeline) Store() *store.Store { return p.st }
+
+// QueryEngine returns the pipeline's query engine, creating it on first use:
+// the engine attaches to the store's append path and backfills from its
+// current content, so it may be requested before ingestion starts (the
+// cheapest point — indexes then build purely incrementally) or afterwards.
+// Queries are safe concurrently with live StreamProcessor ingestion; a
+// result is always consistent with some store state the ingest actually
+// passed through.
+func (p *Pipeline) QueryEngine() *query.Engine {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.engine == nil {
+		p.engine = query.NewEngine(p.st)
+	}
+	return p.engine
+}
 
 // Latency returns the accumulated per-stage latency breakdown (Fig. 17).
 func (p *Pipeline) Latency() *stats.LatencyBreakdown {
@@ -455,26 +473,40 @@ func (p *Pipeline) annotateEpisode(t *gps.RawTrajectory, ep *episode.Episode, lo
 	return out, nil
 }
 
-// annotateStopSequence runs the point layer (HMM over the trajectory's whole
-// stop sequence), stores the point interpretation and merges the inferred
-// categories into the stops' merged tuples. mergedStops must parallel
-// stopEps. The HMM decodes the full sequence jointly, which is why both the
-// batch and the streaming path run it once per trajectory rather than per
-// episode.
-func (p *Pipeline) annotateStopSequence(id, objectID string, stopEps []*episode.Episode, mergedStops []*core.EpisodeTuple, local *stats.LatencyBreakdown, cur *annCursors) error {
+// pointAnnotateStops runs the point layer (HMM over the trajectory's whole
+// stop sequence) and stores the point interpretation, returning the point
+// tuples (parallel to stopEps; nil when the layer is disabled or there are
+// no stops). The HMM decodes the full sequence jointly, which is why both
+// the batch and the streaming path run it once per trajectory rather than
+// per episode.
+func (p *Pipeline) pointAnnotateStops(id, objectID string, stopEps []*episode.Episode, local *stats.LatencyBreakdown, cur *annCursors) ([]*core.EpisodeTuple, error) {
 	if p.pointAnnotator == nil || len(stopEps) == 0 {
-		return nil
+		return nil, nil
 	}
 	start := time.Now()
 	tuples, _, err := p.pointAnnotator.AnnotateStopsCursor(stopEps, cur.point)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	local.Record(StagePointAnnotate, time.Since(start))
 	pointTraj := &core.StructuredTrajectory{
 		ID: id, ObjectID: objectID, Interpretation: InterpretationPoint, Tuples: tuples,
 	}
 	if err := p.st.PutStructured(pointTraj); err != nil {
+		return nil, err
+	}
+	return tuples, nil
+}
+
+// annotateStopSequence is the batch path's wrapper over pointAnnotateStops:
+// the merged tuples are still local to the worker at this point, so the
+// inferred categories merge straight into them before the trajectory is
+// stored. mergedStops must parallel stopEps. (The streaming path stores
+// merged tuples as episodes close, long before the point layer runs, so it
+// merges through Store.MergeTupleAnnotations instead — see closeTrajectory.)
+func (p *Pipeline) annotateStopSequence(id, objectID string, stopEps []*episode.Episode, mergedStops []*core.EpisodeTuple, local *stats.LatencyBreakdown, cur *annCursors) error {
+	tuples, err := p.pointAnnotateStops(id, objectID, stopEps, local, cur)
+	if err != nil || tuples == nil {
 		return err
 	}
 	for i := range stopEps {

@@ -83,10 +83,10 @@ type objectStream struct {
 	// resets: spatial locality belongs to the object, not the trajectory.
 	cur *annCursors
 
-	// Closed episodes of the open trajectory and their merged tuples
-	// (parallel slices), kept for the point layer at close time.
+	// Closed episodes of the open trajectory, kept for the point layer at
+	// close time (each episode's position here is also its merged-tuple
+	// index in the store, the append order).
 	episodes []*episode.Episode
-	merged   []*core.EpisodeTuple
 
 	// Artefacts staged while the trajectory may still be dropped: the
 	// closed episodes with their annotations (replayed through the normal
@@ -269,7 +269,6 @@ func (sp *StreamProcessor) closeEpisodeRecords(os *objectStream, ep *episode.Epi
 		return StreamEvent{}, fmt.Errorf("semitri: %w", err)
 	}
 	os.episodes = append(os.episodes, ep)
-	os.merged = append(os.merged, ann.merged)
 	if os.id == "" {
 		// Not committed yet: stage until the trajectory is guaranteed kept.
 		os.staged = append(os.staged, stagedEpisode{ep: ep, ann: ann})
@@ -389,17 +388,28 @@ func (sp *StreamProcessor) closeTrajectory(os *objectStream, t *gps.RawTrajector
 	}
 	// Point layer over the trajectory's whole stop sequence. This is the one
 	// per-trajectory step that stays monolithic even under concurrent
-	// ingestion: the HMM decodes the full stop sequence jointly.
+	// ingestion: the HMM decodes the full stop sequence jointly. The merged
+	// tuples it annotates were appended to the store as their episodes
+	// closed, so the inferred categories merge through the store — under the
+	// stripe lock, with the attached query index notified — rather than by
+	// mutating the stored tuples in place, which would race with concurrent
+	// readers (Save, the query engine).
 	var stopEps []*episode.Episode
-	var mergedStops []*core.EpisodeTuple
+	var stopIdx []int // position of each stop in the merged interpretation
 	for i, ep := range os.episodes {
 		if ep.Kind == episode.Stop {
 			stopEps = append(stopEps, ep)
-			mergedStops = append(mergedStops, os.merged[i])
+			stopIdx = append(stopIdx, i)
 		}
 	}
-	if err := sp.p.annotateStopSequence(t.ID, t.ObjectID, stopEps, mergedStops, os.latency, os.cur); err != nil {
+	pointTuples, err := sp.p.pointAnnotateStops(t.ID, t.ObjectID, stopEps, os.latency, os.cur)
+	if err != nil {
 		return events, fmt.Errorf("semitri: %w", err)
+	}
+	for i, tp := range pointTuples {
+		if err := sp.p.st.MergeTupleAnnotations(t.ID, InterpretationMerged, stopIdx[i], tp.Place, tp.Annotations.All()); err != nil {
+			return events, fmt.Errorf("semitri: trajectory %s stop %d: %w", t.ID, i, err)
+		}
 	}
 	// Replace the partial trajectory stored at commit time with the final one.
 	if err := sp.p.st.PutTrajectory(t); err != nil {
@@ -427,7 +437,6 @@ func (os *objectStream) reset() {
 	os.tracker = nil
 	os.id = ""
 	os.episodes = nil
-	os.merged = nil
 	os.staged = nil
 	os.stagedEvents = nil
 	os.latency = stats.NewLatencyBreakdown()
