@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench lint serve-smoke ci fmt
+.PHONY: build test race bench lint serve-smoke recovery-smoke ci fmt
 
 build:
 	$(GO) build ./...
@@ -13,11 +13,12 @@ test:
 
 # Race-detector pass focused on the concurrency surface: the batch/stream
 # parity suite (sequential + concurrent-interleaving variants), the fan-in
-# driver, the lock-striped store and the query engine's concurrent read
-# path (queries racing live ingestion).
+# driver, the lock-striped store, the query engine's concurrent read path
+# (queries racing live ingestion) and the durability parity suite
+# (checkpoints racing concurrent WAL-logged ingestion).
 race:
-	$(GO) test -race -count=1 -run 'TestBatchStreamParity|TestAddBatchConcurrent|TestConcurrent|TestStream|TestQuery' .
-	$(GO) test -race -count=1 ./internal/store/ ./internal/query/
+	$(GO) test -race -count=1 -run 'TestBatchStreamParity|TestAddBatchConcurrent|TestConcurrent|TestStream|TestQuery|TestDurable' .
+	$(GO) test -race -count=1 ./internal/store/ ./internal/query/ ./internal/wal/
 
 # Full benchmark run (the paper's tables/figures print under -v). Includes
 # the spatial-layer lookup micro-benchmarks (BenchmarkRegionLookup,
@@ -47,7 +48,13 @@ fmt:
 serve-smoke:
 	./scripts/serve-smoke.sh
 
-# What CI runs: build, lint, tests, a one-iteration bench smoke pass and the
-# serving-layer smoke.
-ci: build lint test serve-smoke
+# End-to-end crash-recovery probe: ingest with the WAL on, kill -9 the
+# server, restart from the data dir and assert identical counts and query
+# answers (what CI's recovery-smoke job runs).
+recovery-smoke:
+	./scripts/recovery-smoke.sh
+
+# What CI runs: build, lint, tests, a one-iteration bench smoke pass and
+# the serving-layer + crash-recovery smokes.
+ci: build lint test serve-smoke recovery-smoke
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .

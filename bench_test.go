@@ -8,6 +8,7 @@ package semitri_test
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 	"testing"
@@ -159,6 +160,64 @@ func BenchmarkStreamPeopleDay(b *testing.B) {
 	perRecord := float64(b.Elapsed().Nanoseconds()) / float64(b.N*len(records))
 	b.ReportMetric(perRecord, "ns/record")
 }
+
+// BenchmarkStreamPeopleDayDurable is BenchmarkStreamPeopleDay with the
+// write-ahead log enabled under the default group-commit policy: the same
+// person-day streamed record by record, but every store mutation is framed,
+// CRC'd and batch-fsynced to a WAL. The per-record delta against
+// BenchmarkStreamPeopleDay is the durability overhead (the acceptance
+// budget is ~25%; the `durability` experiment row reports the same figure
+// on a larger workload).
+func BenchmarkStreamPeopleDayDurable(b *testing.B) {
+	env := benchEnv(b)
+	ds, err := workload.GeneratePeople(env.City, workload.DefaultPeopleConfig(1, 1, 99))
+	if err != nil {
+		b.Fatal(err)
+	}
+	records := ds.Records()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir, err := os.MkdirTemp("", "semitri-bench-wal-*")
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := semitri.DefaultConfig()
+		cfg.Durability = semitri.Durability{Dir: dir}
+		p, err := semitri.New(semitri.Sources{
+			Landuse: env.City.Landuse, Roads: env.City.Roads, POIs: env.City.POIs,
+		}, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sp := p.NewStream()
+		b.StartTimer()
+		for _, r := range records {
+			if _, err := sp.Add(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := sp.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if err := p.Close(); err != nil {
+			b.Fatal(err)
+		}
+		os.RemoveAll(dir)
+		b.StartTimer()
+	}
+	b.StopTimer()
+	perRecord := float64(b.Elapsed().Nanoseconds()) / float64(b.N*len(records))
+	b.ReportMetric(perRecord, "ns/record")
+}
+
+// BenchmarkDurabilityOverhead regenerates the `durability` experiment row
+// (WAL-on vs WAL-off ns/record plus recovery timings), so the durability
+// subsystem runs end to end — ingest, replay, checkpoint, snapshot
+// recovery — on every bench pass.
+func BenchmarkDurabilityOverhead(b *testing.B) { runExperiment(b, "durability") }
 
 // BenchmarkStreamConcurrentObjects measures multi-object streaming
 // ingestion: 8 objects' day-long feeds are pushed through one

@@ -5,14 +5,18 @@
 //
 // Usage:
 //
-//	semitri-bench [-exp all|table1|table2|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig17|compression|ablation-mapmatch|ablation-hmm|lookup|query]
+//	semitri-bench [-exp all|table1|table2|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig17|compression|ablation-mapmatch|ablation-hmm|lookup|query|durability]
 //	              [-seed 2026] [-scale 1.0]
 //
-// Two experiments are not paper figures: "lookup" reports the spatial-layer
-// hot path (the per-record candidate lookups of the three annotation layers,
-// cached vs uncached) including a combined ns/record number, and "query"
-// reports the read path (typed queries through the query engine's indexes
-// versus the full-scan baseline, ns/query).
+// Three experiments are not paper figures: "lookup" reports the
+// spatial-layer hot path (the per-record candidate lookups of the three
+// annotation layers, cached vs uncached) including a combined ns/record
+// number, "query" reports the read path (typed queries through the query
+// engine's indexes versus the full-scan baseline, ns/query), and
+// "durability" reports what the write-ahead log costs streaming ingestion
+// (WAL-on vs WAL-off ns/record, group-commit fsync) plus crash-recovery
+// timings (log replay and snapshot+tail), verified exact against the live
+// store.
 package main
 
 import (

@@ -11,10 +11,22 @@
 //	semitri-serve [-addr :8080] [-in people.csv] [-profile people|vehicle]
 //	              [-seed 1] [-pois 8000] [-users 2] [-days 2]
 //	              [-stream-workers 4] [-wait] [-progress 20000]
+//	              [-data-dir dir] [-flush-interval 50ms]
+//	              [-fsync interval|always|never] [-checkpoint-interval 1m]
 //
 // With -in omitted a small people dataset is generated, sized by -users and
 // -days. With -wait the server only starts listening once ingestion has
 // finished (useful for scripted probing).
+//
+// With -data-dir the store is durable: every mutation is written ahead to a
+// group-committed log in the directory and the store checkpoints on the
+// -checkpoint-interval schedule. On startup the server recovers whatever
+// the directory holds (snapshot + log tail, tolerating a torn tail from a
+// crash), so ingest → kill -9 → restart serves exactly the state the dead
+// process had made durable. A restart with a non-empty data dir and no -in
+// skips ingestion and serves the recovered store as is. On SIGINT/SIGTERM
+// the server shuts down gracefully: ingestion stops, the stream processor
+// closes, a final checkpoint is written, then the process exits.
 //
 // Endpoints (see internal/serve for the full parameter list):
 //
@@ -27,12 +39,15 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"os/signal"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"semitri"
@@ -52,6 +67,10 @@ func main() {
 	streamWorkers := flag.Int("stream-workers", 4, "concurrent ingestion goroutines (records sharded by object)")
 	wait := flag.Bool("wait", false, "finish ingestion before the server starts listening")
 	progress := flag.Int("progress", 20000, "report ingestion progress every N records (0 = silent)")
+	dataDir := flag.String("data-dir", "", "durability directory (WAL + checkpoints); empty = in-memory only")
+	flushInterval := flag.Duration("flush-interval", 50*time.Millisecond, "WAL group-commit window (with -data-dir)")
+	fsync := flag.String("fsync", "interval", "WAL fsync policy: interval | always | never (with -data-dir)")
+	checkpointInterval := flag.Duration("checkpoint-interval", time.Minute, "checkpoint schedule, 0 disables (with -data-dir)")
 	flag.Parse()
 
 	city, err := workload.NewCity(workload.DefaultCityConfig(*seed, *pois))
@@ -63,40 +82,111 @@ func main() {
 		cfg = semitri.VehicleConfig()
 		cfg.DailySplit = false
 	}
+	if *dataDir != "" {
+		cfg.Durability = semitri.Durability{
+			Dir:                *dataDir,
+			FlushInterval:      *flushInterval,
+			Fsync:              *fsync,
+			CheckpointInterval: *checkpointInterval,
+		}
+	}
 	pipeline, err := semitri.New(semitri.Sources{
 		Landuse: city.Landuse, Roads: city.Roads, POIs: city.POIs,
 	}, cfg)
 	if err != nil {
 		fail(err)
 	}
+	if pipeline.Durable() {
+		rs := pipeline.Recovery()
+		st := pipeline.Store()
+		fmt.Fprintf(os.Stderr,
+			"data dir %s: recovered %d records, %d trajectories, %d structured (snapshot=%v, segments=%d, frames=%d)\n",
+			*dataDir, st.RecordCount(), st.TrajectoryCount(), st.StructuredCount(),
+			rs.SnapshotLoaded, rs.Segments, rs.FramesApplied)
+		if rs.Torn && rs.Quarantined == 0 {
+			fmt.Fprintln(os.Stderr, "wal tail was torn (crash mid-flush); kept the committed prefix and repaired the log")
+		} else if rs.Torn {
+			fmt.Fprintf(os.Stderr,
+				"WARNING: wal was torn mid-log (disk corruption, not a crash); kept the prefix before the tear and quarantined %d later segment(s) as *.quarantined for inspection\n",
+				rs.Quarantined)
+		}
+	}
 	// Request the engine before ingestion starts: the indexes then build
-	// purely incrementally from the stream's append path.
+	// purely incrementally from the stream's append path (they backfill
+	// from recovered content first).
 	engine := pipeline.QueryEngine()
 	server := serve.New(engine)
 
+	// Graceful shutdown: a signal stops the producer, the ingest goroutine
+	// drains and closes the stream, then a final checkpoint runs.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	ingestStop := make(chan struct{})
+
 	ingested := make(chan struct{})
-	go func() {
-		defer close(ingested)
-		start := time.Now()
-		result := ingest(pipeline, *in, city, *seed, *users, *days, *streamWorkers, *progress)
-		fmt.Fprintf(os.Stderr, "ingestion complete: %d records, %d trajectories (%d stops, %d moves) in %v\n",
-			result.Records, len(result.TrajectoryIDs), result.Stops, result.Moves,
-			time.Since(start).Round(time.Millisecond))
-	}()
-	if *wait {
+	if *in == "" && pipeline.Durable() && pipeline.Store().RecordCount() > 0 {
+		fmt.Fprintln(os.Stderr, "recovered store is non-empty and no -in given; serving recovered data without new ingestion")
+		close(ingested)
+	} else {
+		go func() {
+			defer close(ingested)
+			start := time.Now()
+			result := ingest(pipeline, *in, city, *seed, *users, *days, *streamWorkers, *progress, ingestStop)
+			fmt.Fprintf(os.Stderr, "ingestion complete: %d records, %d trajectories (%d stops, %d moves) in %v\n",
+				result.Records, len(result.TrajectoryIDs), result.Stops, result.Moves,
+				time.Since(start).Round(time.Millisecond))
+		}()
+	}
+	// finish drains ingestion and writes the final checkpoint; it is the
+	// tail of both shutdown paths (signal before the server started under
+	// -wait, and signal while serving).
+	finish := func() {
+		close(ingestStop)
 		<-ingested
+		if err := pipeline.Close(); err != nil {
+			fail(err)
+		}
+		if pipeline.Durable() {
+			fmt.Fprintf(os.Stderr, "final checkpoint written to %s\n", *dataDir)
+		}
+	}
+	if *wait {
+		// A signal during ingestion must still shut down gracefully — the
+		// ingest producer watches ingestStop, so the stream drains, closes
+		// and checkpoints instead of the process dying with the signal
+		// queued (or worse, ignored).
+		select {
+		case <-ingested:
+		case sig := <-stop:
+			fmt.Fprintf(os.Stderr, "received %s during ingestion; shutting down\n", sig)
+			finish()
+			return
+		}
 	}
 
+	srv := &http.Server{Addr: *addr, Handler: server.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "serving on %s\n", *addr)
-	if err := http.ListenAndServe(*addr, server.Handler()); err != nil {
+
+	select {
+	case err := <-serveErr:
 		fail(err)
+	case sig := <-stop:
+		fmt.Fprintf(os.Stderr, "received %s; shutting down\n", sig)
 	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(ctx)
+	finish()
 }
 
 // ingest streams the input (a CSV read line by line, or a generated people
 // dataset) into the pipeline with the concurrent object-sharded fan-in and
-// closes the stream.
-func ingest(pipeline *semitri.Pipeline, in string, city *workload.City, seed int64, users, days, workers, every int) *semitri.Result {
+// closes the stream. A close of stopCh makes the producer stop early; the
+// records already offered still drain through the fan-in before the stream
+// closes, so shutdown never abandons in-flight work.
+func ingest(pipeline *semitri.Pipeline, in string, city *workload.City, seed int64, users, days, workers, every int, stopCh <-chan struct{}) *semitri.Result {
 	sp := pipeline.NewStream()
 	var n atomic.Int64
 	feed := make(chan gps.Record, 256)
@@ -110,6 +200,8 @@ func ingest(pipeline *semitri.Pipeline, in string, city *workload.City, seed int
 		select {
 		case feed <- r:
 		case <-done:
+			return false
+		case <-stopCh:
 			return false
 		}
 		if c := n.Add(1); every > 0 && c%int64(every) == 0 {
@@ -155,7 +247,15 @@ func ingest(pipeline *semitri.Pipeline, in string, city *workload.City, seed int
 	}
 	result, err := sp.Close()
 	if err != nil {
-		fail(err)
+		select {
+		case <-stopCh:
+			// Shutdown raced an early or empty ingest; a partial stream is
+			// expected here, not fatal.
+			fmt.Fprintf(os.Stderr, "stream close during shutdown: %v\n", err)
+			return &semitri.Result{}
+		default:
+			fail(err)
+		}
 	}
 	return result
 }

@@ -9,6 +9,16 @@
 //	semitri -in people.csv [-profile people|vehicle] [-seed 1] [-pois 8000]
 //	        [-store out/store.json] [-max-trajectories 10] [-summary]
 //	        [-workers 4] [-stream] [-stream-workers 4] [-progress 5000]
+//	        [-data-dir dir]
+//
+// With -data-dir the run is durable: every store mutation is written ahead
+// to a group-committed log in the directory while the pipeline runs, and a
+// final checkpoint (snapshot + log truncation) is written on exit. The
+// resulting directory can be served directly with
+// `semitri-serve -data-dir dir` — including after a mid-run crash, which
+// recovers everything up to the last group commit. Use a fresh directory
+// per dataset: re-ingesting input into an already-populated directory
+// appends duplicate records.
 //
 // With -in omitted the command generates a small demonstration dataset on
 // the fly so it can be run with no arguments.
@@ -58,6 +68,7 @@ func main() {
 	stream := flag.Bool("stream", false, "ingest through the online streaming pipeline instead of the batch one")
 	streamWorkers := flag.Int("stream-workers", 1, "with -stream, concurrent ingestion goroutines (records sharded by object)")
 	progress := flag.Int("progress", 5000, "with -stream, report ingestion progress every N records")
+	dataDir := flag.String("data-dir", "", "durability directory (WAL + final checkpoint); use a fresh directory per dataset")
 	flag.Parse()
 
 	city, err := workload.NewCity(workload.DefaultCityConfig(*seed, *pois))
@@ -73,11 +84,18 @@ func main() {
 	if *workers > 0 {
 		cfg.Workers = *workers
 	}
+	if *dataDir != "" {
+		cfg.Durability = semitri.Durability{Dir: *dataDir}
+	}
 	pipeline, err := semitri.New(semitri.Sources{
 		Landuse: city.Landuse, Roads: city.Roads, POIs: city.POIs,
 	}, cfg)
 	if err != nil {
 		fail(err)
+	}
+	if pipeline.Durable() && pipeline.Store().RecordCount() > 0 {
+		fmt.Fprintf(os.Stderr, "warning: data dir %s already holds %d records; this run appends to the recovered store\n",
+			*dataDir, pipeline.Store().RecordCount())
 	}
 
 	start := time.Now()
@@ -166,6 +184,14 @@ func main() {
 	for _, stage := range lat.Stages() {
 		fmt.Printf("  %-22s %8.3f ms over %d trajectories\n",
 			stage, float64(lat.Average(stage).Microseconds())/1000.0, lat.Count(stage))
+	}
+	// Durable runs end with a checkpoint, leaving the data dir ready for
+	// `semitri-serve -data-dir`.
+	if err := pipeline.Close(); err != nil {
+		fail(err)
+	}
+	if pipeline.Durable() {
+		fmt.Printf("durable store checkpointed in %s (serve it with: semitri-serve -data-dir %s)\n", *dataDir, *dataDir)
 	}
 }
 

@@ -1,0 +1,295 @@
+package semitri_test
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"semitri"
+	"semitri/internal/core"
+	"semitri/internal/episode"
+	"semitri/internal/gps"
+	"semitri/internal/store"
+	"semitri/internal/wal"
+)
+
+// durableConfig returns the default pipeline config with the WAL enabled on
+// dir and a short group-commit window so tests exercise real flush cycles.
+func durableConfig(dir string) semitri.Config {
+	cfg := semitri.DefaultConfig()
+	cfg.Durability = semitri.Durability{Dir: dir, FlushInterval: 5 * time.Millisecond}
+	return cfg
+}
+
+// TestDurableRecoveryParity is the crash-recovery counterpart of
+// TestBatchStreamParity: the same person-days are streamed into a durable
+// pipeline, the WAL directory is recovered into a fresh store (exactly what
+// a process restart after kill -9 does), and the recovered store must be
+// tuple-for-tuple identical to the live one at the last durable point. It
+// then checkpoints and recovers again, covering the snapshot + empty-tail
+// path.
+func TestDurableRecoveryParity(t *testing.T) {
+	city := newTestCity(t, 1, 3000)
+	records := peopleRecords(t, city, 2, 2, 5)
+	dir := t.TempDir()
+
+	p := newTestPipeline(t, city, durableConfig(dir))
+	sp := p.NewStream()
+	for _, r := range records {
+		if _, err := sp.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sp.Close(); err != nil { // Close syncs the WAL
+		t.Fatal(err)
+	}
+
+	// Pure log replay (no checkpoint has run): what a kill -9 restart sees.
+	rec, stats, err := wal.Recover(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SnapshotLoaded {
+		t.Fatal("no checkpoint ran, yet recovery loaded a snapshot")
+	}
+	if stats.FramesApplied == 0 {
+		t.Fatal("recovery replayed no frames")
+	}
+	assertDurableParity(t, p.Store(), rec)
+
+	// Checkpoint + recover: snapshot plus (empty) tail must give the same
+	// store, proving snapshot and replay agree on every table.
+	if err := p.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	rec2, stats2, err := wal.Recover(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats2.SnapshotLoaded {
+		t.Fatal("recovery after checkpoint ignored the snapshot")
+	}
+	assertDurableParity(t, p.Store(), rec2)
+
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Restarting over the same directory recovers the identical store and
+	// keeps a configured shard count (the LoadSharded satellite).
+	cfg := durableConfig(dir)
+	cfg.StoreShards = 7
+	restarted, err := semitri.New(semitri.Sources{
+		Landuse: city.Landuse, Roads: city.Roads, POIs: city.POIs,
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restarted.Close()
+	if !restarted.Durable() {
+		t.Fatal("restarted pipeline is not durable")
+	}
+	if got := restarted.Store().ShardCount(); got != 7 {
+		t.Fatalf("restarted store has %d shards, want 7", got)
+	}
+	assertDurableParity(t, p.Store(), restarted.Store())
+}
+
+// TestDurableRecoveryParityConcurrent runs the same parity check with
+// multiple objects ingested from concurrent goroutines while checkpoints
+// race the ingestion — the -race configuration of the durability
+// acceptance criterion.
+func TestDurableRecoveryParityConcurrent(t *testing.T) {
+	city := newTestCity(t, 2, 3000)
+	const objects = 6
+	records := peopleRecords(t, city, objects, 1, 17)
+	perObject := map[string][]gps.Record{}
+	for _, r := range records {
+		perObject[r.ObjectID] = append(perObject[r.ObjectID], r)
+	}
+	feeds := make([][]gps.Record, 0, len(perObject))
+	for _, recs := range perObject {
+		feeds = append(feeds, recs)
+	}
+	dir := t.TempDir()
+	p := newTestPipeline(t, city, durableConfig(dir))
+	sp := p.NewStream()
+
+	const workers = 3
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for f := w; f < len(feeds); f += workers {
+				for _, r := range feeds[f] {
+					if _, err := sp.Add(r); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	// Checkpoints racing live ingestion: every recovery below must still be
+	// exact, because mutations racing the snapshot stay in retained
+	// segments and replay idempotently.
+	cpDone := make(chan struct{})
+	go func() {
+		defer close(cpDone)
+		for i := 0; i < 3; i++ {
+			if err := p.Checkpoint(); err != nil {
+				t.Error(err)
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	<-cpDone
+	if t.Failed() {
+		t.FailNow()
+	}
+	if _, err := sp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, _, err := wal.Recover(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertDurableParity(t, p.Store(), rec)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec2, stats, err := wal.Recover(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.SnapshotLoaded {
+		t.Fatal("final checkpoint left no snapshot")
+	}
+	assertDurableParity(t, p.Store(), rec2)
+}
+
+// assertDurableParity compares a live store against a recovered one
+// tuple-for-tuple: record tables, raw trajectories, episode sequences and
+// every structured interpretation. Times are compared as instants (the WAL
+// codec and the JSON snapshot restore times in UTC).
+func assertDurableParity(t *testing.T, live, rec *store.Store) {
+	t.Helper()
+	if live.RecordCount() != rec.RecordCount() {
+		t.Fatalf("record count: live %d, recovered %d", live.RecordCount(), rec.RecordCount())
+	}
+	ls, lm := live.EpisodeCounts()
+	rs, rm := rec.EpisodeCounts()
+	if ls != rs || lm != rm {
+		t.Fatalf("episode counts: live %d/%d, recovered %d/%d", ls, lm, rs, rm)
+	}
+	if live.StructuredCount() != rec.StructuredCount() {
+		t.Fatalf("structured count: live %d, recovered %d", live.StructuredCount(), rec.StructuredCount())
+	}
+	if !reflect.DeepEqual(live.Objects(), rec.Objects()) {
+		t.Fatalf("objects: live %v, recovered %v", live.Objects(), rec.Objects())
+	}
+	for _, obj := range live.Objects() {
+		lr, rr := live.Records(obj), rec.Records(obj)
+		if err := recordsMatch(lr, rr); err != nil {
+			t.Fatalf("object %s records: %v", obj, err)
+		}
+	}
+	ids := live.TrajectoryIDs("")
+	if !reflect.DeepEqual(ids, rec.TrajectoryIDs("")) {
+		t.Fatalf("trajectory ids: live %v, recovered %v", ids, rec.TrajectoryIDs(""))
+	}
+	for _, id := range ids {
+		lt, _ := live.Trajectory(id)
+		rt, ok := rec.Trajectory(id)
+		if !ok {
+			t.Fatalf("recovered store missing trajectory %s", id)
+		}
+		if lt.ObjectID != rt.ObjectID {
+			t.Fatalf("trajectory %s object: live %s, recovered %s", id, lt.ObjectID, rt.ObjectID)
+		}
+		if err := recordsMatch(lt.Records, rt.Records); err != nil {
+			t.Fatalf("trajectory %s records: %v", id, err)
+		}
+		leps, reps := live.Episodes(id), rec.Episodes(id)
+		if len(leps) != len(reps) {
+			t.Fatalf("trajectory %s: live %d episodes, recovered %d", id, len(leps), len(reps))
+		}
+		for i := range leps {
+			if !durEpisodesEqual(leps[i], reps[i]) {
+				t.Fatalf("trajectory %s episode %d differs:\n live      %+v\n recovered %+v",
+					id, i, *leps[i], *reps[i])
+			}
+		}
+		if !reflect.DeepEqual(live.Interpretations(id), rec.Interpretations(id)) {
+			t.Fatalf("trajectory %s interpretations: live %v, recovered %v",
+				id, live.Interpretations(id), rec.Interpretations(id))
+		}
+		for _, interp := range live.Interpretations(id) {
+			lo, ltu, _ := live.TupleSnapshot(id, interp)
+			ro, rtu, ok := rec.TupleSnapshot(id, interp)
+			if !ok || lo != ro {
+				t.Fatalf("%s/%s: recovered object id %q, live %q (ok=%v)", id, interp, ro, lo, ok)
+			}
+			if len(ltu) != len(rtu) {
+				t.Fatalf("%s/%s: live %d tuples, recovered %d", id, interp, len(ltu), len(rtu))
+			}
+			for i := range ltu {
+				if err := durTuplesEqual(&ltu[i], &rtu[i]); err != nil {
+					t.Fatalf("%s/%s tuple %d: %v\n live      %+v\n recovered %+v",
+						id, interp, i, err, ltu[i], rtu[i])
+				}
+			}
+		}
+	}
+}
+
+func recordsMatch(a, b []gps.Record) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("live %d, recovered %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ObjectID != b[i].ObjectID || a[i].Position != b[i].Position || !a[i].Time.Equal(b[i].Time) {
+			return fmt.Errorf("record %d: live %+v, recovered %+v", i, a[i], b[i])
+		}
+	}
+	return nil
+}
+
+func durEpisodesEqual(a, b *episode.Episode) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.TrajectoryID == b.TrajectoryID && a.ObjectID == b.ObjectID && a.Kind == b.Kind &&
+		a.StartIdx == b.StartIdx && a.EndIdx == b.EndIdx &&
+		a.Start.Equal(b.Start) && a.End.Equal(b.End) &&
+		a.Center == b.Center && a.Bounds == b.Bounds &&
+		a.AvgSpeed == b.AvgSpeed && a.MaxSpeed == b.MaxSpeed &&
+		a.Distance == b.Distance && a.RecordCount == b.RecordCount
+}
+
+func durTuplesEqual(a, b *core.EpisodeTuple) error {
+	if a.Kind != b.Kind {
+		return fmt.Errorf("kind %v vs %v", a.Kind, b.Kind)
+	}
+	if !a.TimeIn.Equal(b.TimeIn) || !a.TimeOut.Equal(b.TimeOut) {
+		return fmt.Errorf("times differ")
+	}
+	if (a.Place == nil) != (b.Place == nil) {
+		return fmt.Errorf("place presence differs")
+	}
+	if a.Place != nil && *a.Place != *b.Place {
+		return fmt.Errorf("place differs")
+	}
+	if !reflect.DeepEqual(a.Annotations.All(), b.Annotations.All()) {
+		return fmt.Errorf("annotations differ: %s vs %s", a.Annotations.String(), b.Annotations.String())
+	}
+	if !durEpisodesEqual(a.Episode, b.Episode) {
+		return fmt.Errorf("episode back-pointer differs")
+	}
+	return nil
+}

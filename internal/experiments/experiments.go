@@ -145,11 +145,12 @@ var Registry = map[string]func(*Env) (*Table, error){
 	"ablation-hmm":      AblationHMM,
 	"lookup":            Lookup,
 	"query":             QueryServing,
+	"durability":        DurabilityOverhead,
 }
 
 // Order lists the experiment ids in presentation order (the order of §5).
 var Order = []string{
 	"table1", "table2", "fig9", "fig10", "fig11", "fig12", "fig13",
 	"fig14", "fig15", "fig17", "compression", "ablation-mapmatch", "ablation-hmm",
-	"lookup", "query",
+	"lookup", "query", "durability",
 }

@@ -231,6 +231,10 @@ func (s *Store) MergeTupleAnnotations(trajectoryID, interpretation string, index
 		sh.mu.Unlock()
 		return errNoSuchTuple
 	}
+	if l := s.mutationLog(); l != nil {
+		l.LogMutation(Mutation{Op: MutMergeTuple, TrajectoryID: trajectoryID,
+			Interpretation: interpretation, Start: index, Place: place, Annotations: anns})
+	}
 	tp := st.Tuples[index]
 	for _, a := range anns {
 		tp.Annotations.Add(a)

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -15,10 +16,13 @@ import (
 )
 
 // snapshot is the JSON persistence format of the store. It is shard-layout
-// independent: Save merges every stripe into one document (sorted where map
-// iteration would leak ordering), and Load re-routes rows through the public
-// Put API, so a snapshot written with one shard count loads into a store
-// with any other.
+// independent: Save merges every stripe into one document (keys sorted, so a
+// snapshot of given content is byte-identical regardless of stripe layout or
+// insertion order), and Load re-routes rows through the public Put API, so a
+// snapshot written with one shard count loads into a store with any other.
+//
+// Save streams the document row by row (see writeSnapshot); this struct is
+// only unmarshalled into by Load.
 type snapshot struct {
 	Records      map[string][]jsonRecord          `json:"records"`
 	Trajectories []jsonTrajectory                 `json:"trajectories"`
@@ -52,34 +56,27 @@ type jsonTuple struct {
 	TimeIn      time.Time         `json:"time_in"`
 	TimeOut     time.Time         `json:"time_out"`
 	Annotations []core.Annotation `json:"annotations,omitempty"`
+	// Episode preserves the tuple's back-pointer to its stop/move episode,
+	// which the query engine's spatial path reads (episode bounds/centre).
+	// Absent in snapshots written before the field existed, which load as
+	// before (nil back-pointers).
+	Episode *episode.Episode `json:"episode,omitempty"`
 }
 
 // Save writes the store contents as JSON to the given path, creating parent
-// directories as needed. Each stripe is serialised into snapshot rows while
-// its lock is held (AppendStructuredTuples mutates stored tuple slices in
-// place, so reading them outside the stripe lock would race); writers
-// running concurrently with Save land entirely in or entirely out of the
-// file per row, never half-serialised.
+// directories as needed. The document is streamed row by row with a
+// json.Encoder straight to the temporary file: each row (one object's
+// records, one trajectory, one structured interpretation) is copied under
+// its stripe lock and encoded immediately, so Save's memory footprint scales
+// with the largest single row, not with the store. Writers running
+// concurrently with Save land entirely in or entirely out of the file per
+// row, never half-serialised.
 //
 // The write is crash-safe: the snapshot lands in a temporary file in the
 // target directory and is renamed into place, so a snapshot taken during
 // live ingestion (or interrupted by a crash) can never be read torn — any
 // existing file at path stays intact until the new one is complete.
 func (s *Store) Save(path string) error {
-	snap := snapshot{
-		Records:    map[string][]jsonRecord{},
-		Episodes:   map[string][]*episode.Episode{},
-		Structured: map[string]map[string]jsonStruct{},
-	}
-	for _, sh := range s.shards {
-		sh.snapshotInto(&snap)
-	}
-
-	sort.Slice(snap.Trajectories, func(i, j int) bool { return snap.Trajectories[i].ID < snap.Trajectories[j].ID })
-	data, err := json.MarshalIndent(&snap, "", " ")
-	if err != nil {
-		return fmt.Errorf("store: marshal: %w", err)
-	}
 	dir := filepath.Dir(path)
 	if dir != "." && dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -92,18 +89,23 @@ func (s *Store) Save(path string) error {
 	if err != nil {
 		return fmt.Errorf("store: temp file: %w", err)
 	}
-	if _, err := tmp.Write(data); err != nil {
+	discard := func(err error) error {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		return fmt.Errorf("store: write: %w", err)
+		return err
+	}
+	bw := bufio.NewWriterSize(tmp, 64<<10)
+	if err := s.writeSnapshot(bw); err != nil {
+		return discard(fmt.Errorf("store: encode: %w", err))
+	}
+	if err := bw.Flush(); err != nil {
+		return discard(fmt.Errorf("store: write: %w", err))
 	}
 	// Flush the data before the rename: without it a power failure after
 	// the rename could surface an empty or partial destination file (rename
 	// alone is only atomic against process crashes).
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("store: sync: %w", err)
+		return discard(fmt.Errorf("store: sync: %w", err))
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
@@ -126,17 +128,176 @@ func (s *Store) Save(path string) error {
 	return nil
 }
 
-// Load reads a snapshot produced by Save into a fresh store.
+// writeSnapshot streams the snapshot document to w. Keys are collected and
+// sorted up front (ids only — O(keys) memory), then each row is copied out
+// of its stripe under the stripe's lock and encoded immediately.
+func (s *Store) writeSnapshot(w *bufio.Writer) error {
+	// field emits one `"key":value` pair, comma-separated within its block.
+	val := func(v any) error {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(data)
+		return err
+	}
+	key := func(first bool, k string) error {
+		if !first {
+			if err := w.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		if err := val(k); err != nil {
+			return err
+		}
+		return w.WriteByte(':')
+	}
+
+	if _, err := w.WriteString(`{"records":{`); err != nil {
+		return err
+	}
+	for i, obj := range s.recordObjectIDs() {
+		if err := key(i == 0, obj); err != nil {
+			return err
+		}
+		recs := s.Records(obj)
+		rows := make([]jsonRecord, len(recs))
+		for j, r := range recs {
+			rows[j] = jsonRecord{Object: r.ObjectID, X: r.Position.X, Y: r.Position.Y, Time: r.Time}
+		}
+		if err := val(rows); err != nil {
+			return err
+		}
+	}
+	if _, err := w.WriteString(`},"trajectories":[`); err != nil {
+		return err
+	}
+	first := true
+	for _, id := range s.TrajectoryIDs("") {
+		t, ok := s.Trajectory(id)
+		if !ok {
+			continue
+		}
+		if !first {
+			if err := w.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		first = false
+		rows := make([]jsonRecord, len(t.Records))
+		for j, r := range t.Records {
+			rows[j] = jsonRecord{Object: r.ObjectID, X: r.Position.X, Y: r.Position.Y, Time: r.Time}
+		}
+		if err := val(jsonTrajectory{ID: t.ID, ObjectID: t.ObjectID, Records: rows}); err != nil {
+			return err
+		}
+	}
+	if _, err := w.WriteString(`],"episodes":{`); err != nil {
+		return err
+	}
+	for i, id := range s.episodeTrajectoryIDs() {
+		if err := key(i == 0, id); err != nil {
+			return err
+		}
+		if err := val(s.Episodes(id)); err != nil {
+			return err
+		}
+	}
+	if _, err := w.WriteString(`},"structured":{`); err != nil {
+		return err
+	}
+	for i, id := range s.StructuredIDs() {
+		if err := key(i == 0, id); err != nil {
+			return err
+		}
+		if err := w.WriteByte('{'); err != nil {
+			return err
+		}
+		firstInterp := true
+		for _, interp := range s.Interpretations(id) {
+			objectID, tuples, ok := s.TupleSnapshot(id, interp)
+			if !ok {
+				continue
+			}
+			if err := key(firstInterp, interp); err != nil {
+				return err
+			}
+			firstInterp = false
+			js := jsonStruct{ID: id, ObjectID: objectID, Interpretation: interp}
+			for _, tp := range tuples {
+				js.Tuples = append(js.Tuples, jsonTuple{
+					Kind:        tp.Kind.String(),
+					Place:       tp.Place,
+					TimeIn:      tp.TimeIn,
+					TimeOut:     tp.TimeOut,
+					Annotations: tp.Annotations.All(),
+					Episode:     tp.Episode,
+				})
+			}
+			if err := val(js); err != nil {
+				return err
+			}
+		}
+		if err := w.WriteByte('}'); err != nil {
+			return err
+		}
+	}
+	_, err := w.WriteString(`}}`)
+	return err
+}
+
+// recordObjectIDs returns the ids of every object owning raw records, sorted.
+func (s *Store) recordObjectIDs() []string {
+	var out []string
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for obj := range sh.records {
+			out = append(out, obj)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// episodeTrajectoryIDs returns the ids of every trajectory with stored
+// episodes, sorted.
+func (s *Store) episodeTrajectoryIDs() []string {
+	var out []string
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for id := range sh.episodes {
+			out = append(out, id)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Load reads a snapshot produced by Save into a fresh store with the
+// default shard count. Use LoadSharded to keep a configured stripe count
+// across a save/restore cycle.
 func Load(path string) (*Store, error) {
-	data, err := os.ReadFile(path)
+	return LoadSharded(path, 0)
+}
+
+// LoadSharded reads a snapshot produced by Save into a fresh store with n
+// lock stripes (values below 1 mean DefaultShards). The snapshot format is
+// shard-layout independent, so any snapshot loads into any stripe count; a
+// recovered server passes its configured StoreShards here to keep its
+// striping.
+func LoadSharded(path string, n int) (*Store, error) {
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("store: read: %w", err)
 	}
+	defer f.Close()
 	var snap snapshot
-	if err := json.Unmarshal(data, &snap); err != nil {
+	if err := json.NewDecoder(bufio.NewReaderSize(f, 64<<10)).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("store: unmarshal: %w", err)
 	}
-	s := New()
+	s := NewSharded(n)
 	for _, rows := range snap.Records {
 		recs := make([]gps.Record, len(rows))
 		for i, r := range rows {
@@ -166,7 +327,7 @@ func Load(path string) (*Store, error) {
 				if jtp.Kind == "stop" {
 					kind = episode.Stop
 				}
-				tp := &core.EpisodeTuple{Kind: kind, Place: jtp.Place, TimeIn: jtp.TimeIn, TimeOut: jtp.TimeOut}
+				tp := &core.EpisodeTuple{Kind: kind, Place: jtp.Place, TimeIn: jtp.TimeIn, TimeOut: jtp.TimeOut, Episode: jtp.Episode}
 				for _, a := range jtp.Annotations {
 					tp.Annotations.Add(a)
 				}

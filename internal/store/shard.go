@@ -60,47 +60,3 @@ func (sh *shard) uncountEpisodes(eps []*episode.Episode) {
 		}
 	}
 }
-
-// snapshotInto serialises one stripe's tables into snapshot rows while the
-// stripe lock is held. Converting to the JSON row types under the lock is
-// what makes Save safe against concurrent writers: stored tuple slices are
-// appended to in place by AppendStructuredTuples, so they must not be read
-// after the lock is released.
-func (sh *shard) snapshotInto(snap *snapshot) {
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	for obj, recs := range sh.records {
-		rows := make([]jsonRecord, len(recs))
-		for i, r := range recs {
-			rows[i] = jsonRecord{Object: r.ObjectID, X: r.Position.X, Y: r.Position.Y, Time: r.Time}
-		}
-		snap.Records[obj] = rows
-	}
-	for _, t := range sh.trajectories {
-		rows := make([]jsonRecord, len(t.Records))
-		for i, r := range t.Records {
-			rows[i] = jsonRecord{Object: r.ObjectID, X: r.Position.X, Y: r.Position.Y, Time: r.Time}
-		}
-		snap.Trajectories = append(snap.Trajectories, jsonTrajectory{ID: t.ID, ObjectID: t.ObjectID, Records: rows})
-	}
-	for id, eps := range sh.episodes {
-		snap.Episodes[id] = append([]*episode.Episode(nil), eps...)
-	}
-	for id, byInterp := range sh.structured {
-		m := map[string]jsonStruct{}
-		for interp, st := range byInterp {
-			js := jsonStruct{ID: st.ID, ObjectID: st.ObjectID, Interpretation: st.Interpretation}
-			for _, tp := range st.Tuples {
-				js.Tuples = append(js.Tuples, jsonTuple{
-					Kind:        tp.Kind.String(),
-					Place:       tp.Place,
-					TimeIn:      tp.TimeIn,
-					TimeOut:     tp.TimeOut,
-					Annotations: tp.Annotations.All(),
-				})
-			}
-			m[interp] = js
-		}
-		snap.Structured[id] = m
-	}
-}

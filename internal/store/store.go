@@ -55,6 +55,10 @@ type Store struct {
 	// hooks holds the attached secondary index (see AttachIndex); nil until
 	// one is attached, so unindexed stores pay one atomic load per mutation.
 	hooks hooksPtr
+	// mlog holds the attached mutation log (see AttachLog); nil until a
+	// durability layer attaches, so non-durable stores pay one atomic load
+	// per mutation.
+	mlog mlogPtr
 }
 
 type structuredByInterp map[string]*core.StructuredTrajectory
@@ -106,30 +110,43 @@ func (s *Store) shardFor(key string) *shard {
 }
 
 // PutRecords appends raw GPS records to the record table. Records are
-// grouped by stripe first so a batch locks each stripe once.
+// grouped by object first so a batch locks each object's stripe once and the
+// attached mutation log receives one positional entry per object sub-batch.
 func (s *Store) PutRecords(records []gps.Record) {
 	if len(records) == 0 {
 		return
 	}
+	l := s.mutationLog()
 	if len(records) == 1 { // the streaming path's per-record hot path
 		r := records[0]
 		sh := s.shardFor(r.ObjectID)
 		sh.mu.Lock()
+		if l != nil {
+			l.LogMutation(Mutation{Op: MutPutRecords, ObjectID: r.ObjectID,
+				Start: len(sh.records[r.ObjectID]), Records: records})
+		}
 		sh.records[r.ObjectID] = append(sh.records[r.ObjectID], r)
 		sh.recordCount++
 		sh.mu.Unlock()
 		return
 	}
-	byShard := map[*shard][]gps.Record{}
+	byObject := map[string][]gps.Record{}
+	order := make([]string, 0, 8)
 	for _, r := range records {
-		sh := s.shardFor(r.ObjectID)
-		byShard[sh] = append(byShard[sh], r)
-	}
-	for sh, recs := range byShard {
-		sh.mu.Lock()
-		for _, r := range recs {
-			sh.records[r.ObjectID] = append(sh.records[r.ObjectID], r)
+		if _, seen := byObject[r.ObjectID]; !seen {
+			order = append(order, r.ObjectID)
 		}
+		byObject[r.ObjectID] = append(byObject[r.ObjectID], r)
+	}
+	for _, obj := range order {
+		recs := byObject[obj]
+		sh := s.shardFor(obj)
+		sh.mu.Lock()
+		if l != nil {
+			l.LogMutation(Mutation{Op: MutPutRecords, ObjectID: obj,
+				Start: len(sh.records[obj]), Records: recs})
+		}
+		sh.records[obj] = append(sh.records[obj], recs...)
 		sh.recordCount += len(recs)
 		sh.mu.Unlock()
 	}
@@ -162,6 +179,10 @@ func (s *Store) PutTrajectory(t *gps.RawTrajectory) error {
 	}
 	ts := s.shardFor(t.ID)
 	ts.mu.Lock()
+	if l := s.mutationLog(); l != nil {
+		l.LogMutation(Mutation{Op: MutPutTrajectory, ObjectID: t.ObjectID,
+			TrajectoryID: t.ID, Trajectory: t})
+	}
 	_, exists := ts.trajectories[t.ID]
 	ts.trajectories[t.ID] = t
 	ts.mu.Unlock()
@@ -229,6 +250,9 @@ func (s *Store) PutEpisodes(trajectoryID string, eps []*episode.Episode) error {
 	sh := s.shardFor(trajectoryID)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	if l := s.mutationLog(); l != nil {
+		l.LogMutation(Mutation{Op: MutPutEpisodes, TrajectoryID: trajectoryID, Episodes: eps})
+	}
 	sh.uncountEpisodes(sh.episodes[trajectoryID])
 	sh.episodes[trajectoryID] = append([]*episode.Episode(nil), eps...)
 	sh.countEpisodes(eps)
@@ -245,6 +269,10 @@ func (s *Store) AppendEpisodes(trajectoryID string, eps ...*episode.Episode) err
 	sh := s.shardFor(trajectoryID)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	if l := s.mutationLog(); l != nil {
+		l.LogMutation(Mutation{Op: MutAppendEpisodes, TrajectoryID: trajectoryID,
+			Start: len(sh.episodes[trajectoryID]), Episodes: eps})
+	}
 	sh.episodes[trajectoryID] = append(sh.episodes[trajectoryID], eps...)
 	sh.countEpisodes(eps)
 	return nil
@@ -281,6 +309,10 @@ func (s *Store) PutStructured(st *core.StructuredTrajectory) error {
 	}
 	sh := s.shardFor(st.ID)
 	sh.mu.Lock()
+	if l := s.mutationLog(); l != nil {
+		l.LogMutation(Mutation{Op: MutPutStructured, ObjectID: st.ObjectID,
+			TrajectoryID: st.ID, Interpretation: st.Interpretation, Tuples: st.Tuples})
+	}
 	byInterp, ok := sh.structured[st.ID]
 	if !ok {
 		byInterp = structuredByInterp{}
@@ -328,6 +360,11 @@ func (s *Store) AppendStructuredTuples(trajectoryID, objectID, interpretation st
 		sh.structCount++
 	}
 	start := len(st.Tuples)
+	if l := s.mutationLog(); l != nil {
+		l.LogMutation(Mutation{Op: MutAppendTuples, ObjectID: objectID,
+			TrajectoryID: trajectoryID, Interpretation: interpretation,
+			Start: start, Tuples: tuples})
+	}
 	st.Tuples = append(st.Tuples, tuples...)
 	var events []TupleEvent
 	sink := s.sink()

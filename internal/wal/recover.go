@@ -1,0 +1,180 @@
+package wal
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"semitri/internal/store"
+)
+
+// RecoverStats summarises one recovery.
+type RecoverStats struct {
+	// SnapshotLoaded reports whether a checkpoint snapshot was found and
+	// loaded before replay.
+	SnapshotLoaded bool
+	// Segments is the number of segment files visited.
+	Segments int
+	// FramesApplied is the number of log frames replayed into the store.
+	FramesApplied int
+	// Torn reports that replay stopped before the physical end of the log:
+	// a truncated, bit-flipped or otherwise corrupt frame was found and the
+	// committed prefix before it was kept. A torn final frame after a crash
+	// mid-flush is the expected case.
+	Torn bool
+	// TornSegment and TornOffset locate the first corrupt byte when Torn.
+	TornSegment string
+	TornOffset  int64
+	// QuarantinedSegments counts intact segments found BEHIND the tear — a
+	// mid-log tear, which a crash cannot produce (it points at disk
+	// corruption). Their frames cannot be replayed over the gap, so they
+	// are renamed aside with a ".quarantined" suffix for forensics rather
+	// than deleted. Zero for the expected torn-final-frame case.
+	QuarantinedSegments int
+}
+
+// Recover rebuilds a store from a log directory: the checkpoint snapshot
+// (when present) plus a replay of every remaining segment in order. shards
+// is the stripe count of the rebuilt store (values below 1 mean the
+// default), so a recovered server keeps its configured striping.
+//
+// Replay stops at the first torn or corrupt frame and keeps everything
+// before it; it never panics on damaged input. A detected tear is also
+// repaired on disk — the damaged segment is truncated at the tear (or
+// removed when nothing useful remains) and later segments are deleted — so
+// the log ends cleanly and frames appended by a reopened Log are never
+// stranded behind old damage at the next recovery. A missing or empty
+// directory recovers to an empty store. After recovering, open the log with
+// Open (which starts a fresh segment) and attach it to the returned store.
+func Recover(dir string, shards int) (*store.Store, RecoverStats, error) {
+	var stats RecoverStats
+	if _, err := os.Stat(dir); errors.Is(err, fs.ErrNotExist) {
+		return store.NewSharded(shards), stats, nil
+	}
+	var st *store.Store
+	snapPath := filepath.Join(dir, SnapshotFile)
+	if _, err := os.Stat(snapPath); err == nil {
+		st, err = store.LoadSharded(snapPath, shards)
+		if err != nil {
+			return nil, stats, fmt.Errorf("wal: snapshot: %w", err)
+		}
+		stats.SnapshotLoaded = true
+	} else {
+		st = store.NewSharded(shards)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, stats, err
+	}
+	for i, seg := range segs {
+		stats.Segments++
+		applied, tornAt, err := replaySegment(seg.path, st)
+		stats.FramesApplied += applied
+		if err != nil {
+			return nil, stats, err
+		}
+		if tornAt >= 0 {
+			// The log's physical prefix ends here; frames in later segments
+			// were written after the damaged one and must not be replayed
+			// over the gap. Repair the log so it ends cleanly at the tear.
+			stats.Torn = true
+			stats.TornSegment = filepath.Base(seg.path)
+			stats.TornOffset = tornAt
+			stats.QuarantinedSegments = len(segs) - i - 1
+			if err := repairTear(seg, tornAt, segs[i+1:]); err != nil {
+				return nil, stats, err
+			}
+			syncDir(dir)
+			break
+		}
+	}
+	return st, stats, nil
+}
+
+// repairTear makes the log end exactly where replay stopped: the damaged
+// segment is truncated at the tear (removed entirely when even its header
+// is damaged — its replayed prefix, if any, stays in the live log), and
+// segments behind the tear are renamed aside with a ".quarantined" suffix.
+// Those later segments hold committed frames a mid-log tear has stranded —
+// they cannot be replayed over the gap, but they are evidence of disk
+// corruption worth keeping, not state to silently destroy.
+func repairTear(seg segmentInfo, tornAt int64, later []segmentInfo) error {
+	if tornAt <= headerSize {
+		if err := os.Remove(seg.path); err != nil {
+			return fmt.Errorf("wal: repair: %w", err)
+		}
+	} else if err := os.Truncate(seg.path, tornAt); err != nil {
+		return fmt.Errorf("wal: repair: %w", err)
+	}
+	for _, s := range later {
+		if err := os.Rename(s.path, s.path+".quarantined"); err != nil {
+			return fmt.Errorf("wal: repair: %w", err)
+		}
+	}
+	return nil
+}
+
+// replaySegment applies one segment's frames to the store. It returns the
+// number of frames applied and, when the segment ends in a torn or corrupt
+// frame, the byte offset of the damage (-1 for a clean end). The returned
+// error reports apply failures only — physical damage is a normal condition
+// expressed through the offset.
+func replaySegment(path string, st *store.Store) (applied int, tornAt int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, -1, fmt.Errorf("wal: open segment: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return 0, 0, nil // truncated header: whole segment is torn
+	}
+	if [4]byte(hdr[0:4]) != segmentMagic || leU32(hdr[4:8]) != formatVersion {
+		return 0, 0, nil // damaged header
+	}
+	offset := int64(headerSize)
+	var frame [frameHeaderSize]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(br, frame[:]); err != nil {
+			if err == io.EOF {
+				return applied, -1, nil // clean end of segment
+			}
+			return applied, offset, nil // torn frame header
+		}
+		n := leU32(frame[0:4])
+		want := leU32(frame[4:8])
+		if n > maxFrame {
+			return applied, offset, nil
+		}
+		if cap(payload) < int(n) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return applied, offset, nil // torn payload
+		}
+		if frameCRC(payload) != want {
+			return applied, offset, nil
+		}
+		m, err := decodeMutation(payload)
+		if err != nil {
+			return applied, offset, nil // CRC-valid but undecodable: corrupt
+		}
+		if err := st.Apply(m); err != nil {
+			return applied, -1, fmt.Errorf("wal: apply %s frame at %d: %w", filepath.Base(path), offset, err)
+		}
+		applied++
+		offset += frameHeaderSize + int64(n)
+	}
+}
+
+func leU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}

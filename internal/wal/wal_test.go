@@ -1,0 +1,351 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"semitri/internal/core"
+	"semitri/internal/episode"
+	"semitri/internal/geo"
+	"semitri/internal/gps"
+	"semitri/internal/store"
+)
+
+func ts(i int) time.Time {
+	return time.Date(2026, 7, 1, 8, 0, 0, 0, time.UTC).Add(time.Duration(i) * time.Second)
+}
+
+func testEpisode(i int) *episode.Episode {
+	return &episode.Episode{
+		TrajectoryID: "t1",
+		ObjectID:     "o1",
+		Kind:         episode.Kind(i % 2),
+		StartIdx:     i,
+		EndIdx:       i + 5,
+		Start:        ts(i),
+		End:          ts(i + 60),
+		Center:       geo.Pt(float64(i), float64(i)+0.5),
+		Bounds:       geo.NewRect(geo.Pt(float64(i), float64(i)), geo.Pt(float64(i)+10, float64(i)+10)),
+		AvgSpeed:     1.25,
+		MaxSpeed:     3.5,
+		Distance:     42.75,
+		RecordCount:  6,
+	}
+}
+
+func testTuple(i int) *core.EpisodeTuple {
+	tp := &core.EpisodeTuple{
+		Kind: episode.Kind(i % 2),
+		Place: &core.Place{
+			ID: "p1", Kind: core.PointPlace, Name: "café", Category: "food",
+			Extent: geo.NewRect(geo.Pt(1, 2), geo.Pt(3, 4)),
+		},
+		TimeIn:  ts(i),
+		TimeOut: ts(i + 30),
+		Episode: testEpisode(i),
+	}
+	tp.Annotations.Add(core.Annotation{Key: "poi_category", Value: "food", Confidence: 0.8, Source: "point"})
+	tp.Annotations.Add(core.Annotation{Key: "landuse", Value: "urban", Confidence: 0.6, Source: "region"})
+	return tp
+}
+
+// testMutations covers every op with rich payloads.
+func testMutations() []store.Mutation {
+	return []store.Mutation{
+		{Op: store.MutPutRecords, ObjectID: "o1", Start: 7, Records: []gps.Record{
+			{ObjectID: "o1", Position: geo.Pt(1.5, -2.5), Time: ts(0)},
+			{ObjectID: "o1", Position: geo.Pt(3, 4), Time: ts(1)},
+		}},
+		{Op: store.MutPutTrajectory, ObjectID: "o1", TrajectoryID: "t1", Trajectory: &gps.RawTrajectory{
+			ID: "t1", ObjectID: "o1", Records: []gps.Record{{ObjectID: "o1", Position: geo.Pt(9, 9), Time: ts(2)}},
+		}},
+		{Op: store.MutPutEpisodes, TrajectoryID: "t1", Episodes: []*episode.Episode{testEpisode(0), testEpisode(1)}},
+		{Op: store.MutAppendEpisodes, TrajectoryID: "t1", Start: 2, Episodes: []*episode.Episode{testEpisode(2)}},
+		{Op: store.MutPutStructured, ObjectID: "o1", TrajectoryID: "t1", Interpretation: "merged",
+			Tuples: []*core.EpisodeTuple{testTuple(0), testTuple(1)}},
+		{Op: store.MutAppendTuples, ObjectID: "o1", TrajectoryID: "t1", Interpretation: "merged",
+			Start: 2, Tuples: []*core.EpisodeTuple{testTuple(2)}},
+		{Op: store.MutAppendTuples, ObjectID: "o1", TrajectoryID: "t1", Interpretation: "line"}, // zero tuples
+		{Op: store.MutMergeTuple, TrajectoryID: "t1", Interpretation: "merged", Start: 1,
+			Place:       &core.Place{ID: "p2", Kind: core.RegionPlace, Extent: geo.NewRect(geo.Pt(0, 0), geo.Pt(1, 1))},
+			Annotations: []core.Annotation{{Key: "activity", Value: "eat", Confidence: 0.9, Source: "point"}}},
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	for i, m := range testMutations() {
+		e := &encoder{}
+		encodeMutation(e, m)
+		got, err := decodeMutation(e.b)
+		if err != nil {
+			t.Fatalf("mutation %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Fatalf("mutation %d round trip mismatch:\n in  %+v\n out %+v", i, m, got)
+		}
+	}
+}
+
+func TestCodecRejectsTrailingBytes(t *testing.T) {
+	e := &encoder{}
+	encodeMutation(e, testMutations()[0])
+	if _, err := decodeMutation(append(e.b, 0)); err == nil {
+		t.Fatal("decode accepted trailing bytes")
+	}
+	if _, err := decodeMutation(e.b[:len(e.b)-1]); err == nil {
+		t.Fatal("decode accepted truncated payload")
+	}
+	if _, err := decodeMutation(nil); err == nil {
+		t.Fatal("decode accepted empty payload")
+	}
+}
+
+// logAll writes every mutation through a store with the log attached and
+// returns that live store.
+func logAll(t *testing.T, l *Log, ms []store.Mutation) *store.Store {
+	t.Helper()
+	live := store.New()
+	live.AttachLog(l)
+	for _, m := range ms {
+		if err := live.Apply(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return live
+}
+
+func TestAppendRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, FlushInterval: time.Hour}) // flush only on Sync
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := logAll(t, l, testMutations())
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, stats, err := Recover(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SnapshotLoaded || stats.Torn {
+		t.Fatalf("unexpected stats %+v", stats)
+	}
+	if stats.FramesApplied == 0 {
+		t.Fatal("no frames replayed")
+	}
+	assertSameContent(t, live, rec)
+}
+
+func TestCheckpointTruncatesAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, FlushInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := testMutations()
+	live := logAll(t, l, ms[:4])
+	if err := l.Checkpoint(live); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, SnapshotFile)); err != nil {
+		t.Fatalf("snapshot missing after checkpoint: %v", err)
+	}
+	// Keep writing after the checkpoint, then recover from snapshot + tail.
+	live.AttachLog(l)
+	for _, m := range ms[4:] {
+		if err := live.Apply(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, stats, err := Recover(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.SnapshotLoaded {
+		t.Fatal("recovery ignored the checkpoint snapshot")
+	}
+	if rec.ShardCount() != 4 {
+		t.Fatalf("recovered shard count %d, want 4", rec.ShardCount())
+	}
+	assertSameContent(t, live, rec)
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, FlushInterval: time.Hour, SegmentSize: 512, Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := store.New()
+	live.AttachLog(l)
+	for i := 0; i < 50; i++ {
+		live.PutRecords([]gps.Record{{ObjectID: "o1", Position: geo.Pt(float64(i), 0), Time: ts(i)}})
+		if err := l.Sync(); err != nil { // force per-record batches so segments fill
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("expected rotation to produce multiple segments, got %d", len(segs))
+	}
+	rec, _, err := Recover(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameContent(t, live, rec)
+}
+
+func TestRecoverMissingAndEmptyDir(t *testing.T) {
+	st, stats, err := Recover(filepath.Join(t.TempDir(), "nope"), 0)
+	if err != nil || st.RecordCount() != 0 || stats.Segments != 0 {
+		t.Fatalf("missing dir: store=%v stats=%+v err=%v", st.RecordCount(), stats, err)
+	}
+	st, stats, err = Recover(t.TempDir(), 0)
+	if err != nil || st.RecordCount() != 0 || stats.Segments != 0 {
+		t.Fatalf("empty dir: store=%v stats=%+v err=%v", st.RecordCount(), stats, err)
+	}
+}
+
+func TestReopenStartsFreshSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := store.New()
+	live.AttachLog(l)
+	live.PutRecords([]gps.Record{{ObjectID: "o1", Position: geo.Pt(1, 1), Time: ts(0)}})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live.AttachLog(l2)
+	live.PutRecords([]gps.Record{{ObjectID: "o1", Position: geo.Pt(2, 2), Time: ts(1)}})
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, stats, err := Recover(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Segments < 2 {
+		t.Fatalf("reopen reused a segment: %+v", stats)
+	}
+	assertSameContent(t, live, rec)
+}
+
+// assertSameContent compares two stores' visible content. Times are
+// compared as instants (the WAL codec restores times in UTC).
+func assertSameContent(t *testing.T, a, b *store.Store) {
+	t.Helper()
+	if a.RecordCount() != b.RecordCount() {
+		t.Fatalf("record count: %d vs %d", a.RecordCount(), b.RecordCount())
+	}
+	as, am := a.EpisodeCounts()
+	bs, bm := b.EpisodeCounts()
+	if as != bs || am != bm {
+		t.Fatalf("episode counts: %d/%d vs %d/%d", as, am, bs, bm)
+	}
+	if a.StructuredCount() != b.StructuredCount() {
+		t.Fatalf("structured count: %d vs %d", a.StructuredCount(), b.StructuredCount())
+	}
+	if !reflect.DeepEqual(a.Objects(), b.Objects()) {
+		t.Fatalf("objects: %v vs %v", a.Objects(), b.Objects())
+	}
+	for _, obj := range a.Objects() {
+		ra, rb := a.Records(obj), b.Records(obj)
+		if len(ra) != len(rb) {
+			t.Fatalf("object %s: %d vs %d records", obj, len(ra), len(rb))
+		}
+		for i := range ra {
+			if !recordsEqual(ra[i], rb[i]) {
+				t.Fatalf("object %s record %d: %+v vs %+v", obj, i, ra[i], rb[i])
+			}
+		}
+	}
+	ids := a.TrajectoryIDs("")
+	if !reflect.DeepEqual(ids, b.TrajectoryIDs("")) {
+		t.Fatalf("trajectory ids: %v vs %v", ids, b.TrajectoryIDs(""))
+	}
+	for _, id := range ids {
+		ta, _ := a.Trajectory(id)
+		tb, ok := b.Trajectory(id)
+		if !ok || len(ta.Records) != len(tb.Records) || ta.ObjectID != tb.ObjectID {
+			t.Fatalf("trajectory %s differs", id)
+		}
+		for i := range ta.Records {
+			if !recordsEqual(ta.Records[i], tb.Records[i]) {
+				t.Fatalf("trajectory %s record %d differs", id, i)
+			}
+		}
+		ea, eb := a.Episodes(id), b.Episodes(id)
+		if len(ea) != len(eb) {
+			t.Fatalf("trajectory %s: %d vs %d episodes", id, len(ea), len(eb))
+		}
+		for i := range ea {
+			if !episodesEqual(ea[i], eb[i]) {
+				t.Fatalf("trajectory %s episode %d:\n %+v\n %+v", id, i, *ea[i], *eb[i])
+			}
+		}
+		if !reflect.DeepEqual(a.Interpretations(id), b.Interpretations(id)) {
+			t.Fatalf("trajectory %s interpretations: %v vs %v", id, a.Interpretations(id), b.Interpretations(id))
+		}
+		for _, interp := range a.Interpretations(id) {
+			oa, tua, _ := a.TupleSnapshot(id, interp)
+			ob, tub, ok := b.TupleSnapshot(id, interp)
+			if !ok || oa != ob || len(tua) != len(tub) {
+				t.Fatalf("%s/%s: object/length mismatch", id, interp)
+			}
+			for i := range tua {
+				if !tuplesEqualValue(&tua[i], &tub[i]) {
+					t.Fatalf("%s/%s tuple %d:\n %+v\n %+v", id, interp, i, tua[i], tub[i])
+				}
+			}
+		}
+	}
+}
+
+func recordsEqual(a, b gps.Record) bool {
+	return a.ObjectID == b.ObjectID && a.Position == b.Position && a.Time.Equal(b.Time)
+}
+
+func episodesEqual(a, b *episode.Episode) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.TrajectoryID == b.TrajectoryID && a.ObjectID == b.ObjectID && a.Kind == b.Kind &&
+		a.StartIdx == b.StartIdx && a.EndIdx == b.EndIdx &&
+		a.Start.Equal(b.Start) && a.End.Equal(b.End) &&
+		a.Center == b.Center && a.Bounds == b.Bounds &&
+		a.AvgSpeed == b.AvgSpeed && a.MaxSpeed == b.MaxSpeed &&
+		a.Distance == b.Distance && a.RecordCount == b.RecordCount
+}
+
+func tuplesEqualValue(a, b *core.EpisodeTuple) bool {
+	if a.Kind != b.Kind || !a.TimeIn.Equal(b.TimeIn) || !a.TimeOut.Equal(b.TimeOut) {
+		return false
+	}
+	if (a.Place == nil) != (b.Place == nil) || (a.Place != nil && *a.Place != *b.Place) {
+		return false
+	}
+	if !reflect.DeepEqual(a.Annotations.All(), b.Annotations.All()) {
+		return false
+	}
+	return episodesEqual(a.Episode, b.Episode)
+}

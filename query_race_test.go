@@ -134,10 +134,18 @@ func TestConcurrentQueryIngest(t *testing.T) {
 			defer readers.Done()
 			qs := raceQueries(objects, base)
 			for i := 0; ; i++ {
-				select {
-				case <-done:
-					return
-				default:
+				// Exit once ingestion finished — but never before completing
+				// one full pass over the query mix: on a slow machine the
+				// writers can outrun the readers entirely, and a race test
+				// that issued no queries exercised nothing. The ingested
+				// episodes are already in the store by then, so the pass
+				// still races the engine against the closing trajectories.
+				if i >= len(qs) {
+					select {
+					case <-done:
+						return
+					default:
+					}
 				}
 				q := qs[(i+g)%len(qs)]
 				ms, err := engine.Execute(q)

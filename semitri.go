@@ -61,6 +61,7 @@ import (
 	"semitri/internal/roadnet"
 	"semitri/internal/stats"
 	"semitri/internal/store"
+	"semitri/internal/wal"
 )
 
 // Interpretation names under which the pipeline stores structured semantic
@@ -124,6 +125,66 @@ type Config struct {
 	// contention between concurrently ingested objects; one stripe
 	// degenerates to a single global store lock.
 	StoreShards int
+	// Durability configures the write-ahead-log durability subsystem. The
+	// zero value keeps the pipeline purely in-memory.
+	Durability Durability
+}
+
+// Durability configures the pipeline's write-ahead log (internal/wal): with
+// a Dir set, New recovers the store from the directory's snapshot + log
+// tail, attaches the WAL to the store's mutation path and (optionally)
+// checkpoints on a schedule. After an ingest, a kill -9 and a restart with
+// the same Dir, the recovered pipeline answers queries exactly as the dead
+// one did at its last durable point.
+type Durability struct {
+	// Dir is the data directory holding the log segments and the checkpoint
+	// snapshot. Empty disables durability entirely.
+	Dir string
+	// FlushInterval is the group-commit window: the WAL batches frames and
+	// pays one write+fsync per interval (default wal.DefaultFlushInterval).
+	// It bounds the data-loss window of a hard crash.
+	FlushInterval time.Duration
+	// Fsync selects the sync policy: "" or "interval" (group commit),
+	// "always" (sync every mutation) or "never" (leave syncing to the OS).
+	Fsync string
+	// SegmentSize is the log-segment rotation threshold in bytes (default
+	// wal.DefaultSegmentSize).
+	SegmentSize int64
+	// CheckpointInterval, when positive, snapshots the store and truncates
+	// obsolete log segments on this schedule. Checkpoints also run on
+	// Pipeline.Close and on demand via Pipeline.Checkpoint.
+	CheckpointInterval time.Duration
+}
+
+// fsyncPolicy maps the config string onto the WAL policy.
+func fsyncPolicy(s string) (wal.FsyncPolicy, error) {
+	switch s {
+	case "", "interval":
+		return wal.FsyncInterval, nil
+	case "always":
+		return wal.FsyncAlways, nil
+	case "never":
+		return wal.FsyncNever, nil
+	}
+	return 0, fmt.Errorf("unknown fsync policy %q (want interval, always or never)", s)
+}
+
+// RecoveryStats summarises what New recovered from a durability directory.
+type RecoveryStats struct {
+	// SnapshotLoaded reports whether a checkpoint snapshot seeded the store.
+	SnapshotLoaded bool
+	// Segments and FramesApplied count the replayed log tail.
+	Segments      int
+	FramesApplied int
+	// Torn reports that the log ended in a torn or corrupt frame (the
+	// expected shape after a hard crash mid-flush); the committed prefix
+	// before it was kept and the tail repaired.
+	Torn bool
+	// Quarantined counts intact log segments stranded behind a mid-log
+	// tear (disk corruption, which a crash cannot produce); recovery
+	// renames them aside as *.quarantined instead of replaying or deleting
+	// them. Zero for the ordinary torn-final-frame case.
+	Quarantined int
 }
 
 // DefaultConfig returns the configuration used throughout the experiments.
@@ -161,9 +222,15 @@ type Pipeline struct {
 
 	st *store.Store
 
+	// wal is the attached durability log (nil without Config.Durability.Dir);
+	// recovery holds what New replayed from its directory.
+	wal      *wal.Log
+	recovery RecoveryStats
+
 	mu      sync.Mutex
 	latency *stats.LatencyBreakdown
 	engine  *query.Engine
+	closed  bool
 }
 
 // New builds a pipeline over the given sources. At least one source must be
@@ -178,26 +245,120 @@ func New(sources Sources, cfg Config) (*Pipeline, error) {
 	p := &Pipeline{
 		cfg:     cfg,
 		sources: sources,
-		st:      store.NewSharded(cfg.StoreShards),
 		latency: stats.NewLatencyBreakdown(),
+	}
+	if cfg.Durability.Dir == "" {
+		p.st = store.NewSharded(cfg.StoreShards)
+	} else {
+		// Durable pipeline: recover the store from the data directory's
+		// snapshot + log tail, then attach a fresh WAL so every mutation
+		// from here on is logged.
+		policy, err := fsyncPolicy(cfg.Durability.Fsync)
+		if err != nil {
+			return nil, fmt.Errorf("semitri: durability: %w", err)
+		}
+		st, rstats, err := wal.Recover(cfg.Durability.Dir, cfg.StoreShards)
+		if err != nil {
+			return nil, fmt.Errorf("semitri: recover: %w", err)
+		}
+		l, err := wal.Open(wal.Options{
+			Dir:           cfg.Durability.Dir,
+			FlushInterval: cfg.Durability.FlushInterval,
+			SegmentSize:   cfg.Durability.SegmentSize,
+			Fsync:         policy,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("semitri: %w", err)
+		}
+		st.AttachLog(l)
+		l.StartAutoCheckpoint(st, cfg.Durability.CheckpointInterval)
+		p.st = st
+		p.wal = l
+		p.recovery = RecoveryStats{
+			SnapshotLoaded: rstats.SnapshotLoaded,
+			Segments:       rstats.Segments,
+			FramesApplied:  rstats.FramesApplied,
+			Torn:           rstats.Torn,
+			Quarantined:    rstats.QuarantinedSegments,
+		}
+	}
+	// fail releases the WAL (stopping its background goroutines) when a
+	// later construction step errors out.
+	fail := func(err error) (*Pipeline, error) {
+		if p.wal != nil {
+			p.st.AttachLog(nil)
+			_ = p.wal.Close()
+		}
+		return nil, err
 	}
 	var err error
 	if sources.Landuse != nil {
 		if p.regionAnnotator, err = region.NewAnnotator(sources.Landuse); err != nil {
-			return nil, fmt.Errorf("semitri: region layer: %w", err)
+			return fail(fmt.Errorf("semitri: region layer: %w", err))
 		}
 	}
 	if sources.Roads != nil {
 		if p.lineAnnotator, err = line.NewAnnotator(sources.Roads, cfg.Line); err != nil {
-			return nil, fmt.Errorf("semitri: line layer: %w", err)
+			return fail(fmt.Errorf("semitri: line layer: %w", err))
 		}
 	}
 	if sources.POIs != nil {
 		if p.pointAnnotator, err = point.NewAnnotator(sources.POIs, cfg.Point); err != nil {
-			return nil, fmt.Errorf("semitri: point layer: %w", err)
+			return fail(fmt.Errorf("semitri: point layer: %w", err))
 		}
 	}
 	return p, nil
+}
+
+// Durable reports whether the pipeline persists its store through a
+// write-ahead log (Config.Durability.Dir was set).
+func (p *Pipeline) Durable() bool { return p.wal != nil }
+
+// Recovery returns what New recovered from the durability directory (the
+// zero value for non-durable pipelines or fresh directories).
+func (p *Pipeline) Recovery() RecoveryStats { return p.recovery }
+
+// SyncDurability forces the WAL's pending frames to stable storage: after
+// it returns nil, every store mutation committed before the call survives a
+// crash. A no-op without durability.
+func (p *Pipeline) SyncDurability() error {
+	if p.wal == nil {
+		return nil
+	}
+	return p.wal.Sync()
+}
+
+// Checkpoint snapshots the store into the durability directory and
+// truncates the log segments the snapshot made obsolete. Safe to call while
+// ingestion is running. A no-op without durability.
+func (p *Pipeline) Checkpoint() error {
+	if p.wal == nil {
+		return nil
+	}
+	return p.wal.Checkpoint(p.st)
+}
+
+// Close shuts the durability subsystem down cleanly: a final checkpoint
+// (snapshot + log truncation) followed by closing the WAL. Close any
+// StreamProcessors first so their tail artefacts are in the store. Safe to
+// call more than once and a no-op for non-durable pipelines.
+func (p *Pipeline) Close() error {
+	if p.wal == nil {
+		return nil
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	cpErr := p.wal.Checkpoint(p.st)
+	p.st.AttachLog(nil)
+	if err := p.wal.Close(); err != nil && cpErr == nil {
+		cpErr = err
+	}
+	return cpErr
 }
 
 // Store returns the semantic trajectory store populated by the pipeline.

@@ -550,6 +550,12 @@ func (sp *StreamProcessor) Close() (*Result, error) {
 			return nil, err
 		}
 	}
+	// A closed stream is a durability boundary: force the WAL's pending
+	// frames to stable storage so everything this stream ingested survives
+	// a crash from here on (no-op for non-durable pipelines).
+	if err := sp.p.SyncDurability(); err != nil {
+		return nil, err
+	}
 	// Mirror the batch path's errors so callers porting from ProcessRecords
 	// keep their misconfiguration detection.
 	result := sp.Result()
