@@ -5,21 +5,28 @@
 //
 // Usage:
 //
-//	semitri-bench [-exp all|table1|table2|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig17|compression|ablation-mapmatch|ablation-hmm|lookup|query|durability]
-//	              [-seed 2026] [-scale 1.0]
+//	semitri-bench [-exp all|table1|table2|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig17|compression|ablation-mapmatch|ablation-hmm|lookup|query|relational|durability]
+//	              [-seed 2026] [-scale 1.0] [-json FILE]
 //
-// Three experiments are not paper figures: "lookup" reports the
+// Four experiments are not paper figures: "lookup" reports the
 // spatial-layer hot path (the per-record candidate lookups of the three
 // annotation layers, cached vs uncached) including a combined ns/record
 // number, "query" reports the read path (typed queries through the query
-// engine's indexes versus the full-scan baseline, ns/query), and
-// "durability" reports what the write-ahead log costs streaming ingestion
-// (WAL-on vs WAL-off ns/record, group-commit fsync) plus crash-recovery
-// timings (log replay and snapshot+tail), verified exact against the live
-// store.
+// engine's indexes versus the full-scan baseline, ns/query), "relational"
+// reports the cross-object layer (ingest ns/record, ns/query per access
+// path, the ns/join of the build/probe co-location join and the parsed
+// query language end to end), and "durability" reports what the write-ahead
+// log costs streaming ingestion (WAL-on vs WAL-off ns/record, group-commit
+// fsync) plus crash-recovery timings (log replay and snapshot+tail),
+// verified exact against the live store.
+//
+// -json additionally writes every regenerated table to FILE as one JSON
+// document ({seed, scale, tables: [...]}) — what the bench-smoke CI job
+// uploads as its artifact.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +41,7 @@ func main() {
 	seed := flag.Int64("seed", 2026, "random seed for the synthetic environment and workloads")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (smaller is faster)")
 	list := flag.Bool("list", false, "list available experiment ids and exit")
+	jsonPath := flag.String("json", "", "also write the results to this file as JSON")
 	flag.Parse()
 
 	if *list {
@@ -61,6 +69,7 @@ func main() {
 	fmt.Printf("environment ready in %v: %d landuse cells, %d road segments, %d POIs\n\n",
 		time.Since(start).Round(time.Millisecond),
 		env.City.Landuse.NumCells(), env.City.Roads.NumSegments(), env.City.POIs.Len())
+	var tables []*experiments.Table
 	for _, id := range ids {
 		fn := experiments.Registry[id]
 		t0 := time.Now()
@@ -71,5 +80,23 @@ func main() {
 		}
 		fmt.Print(tbl.Format())
 		fmt.Printf("(%s regenerated in %v)\n\n", id, time.Since(t0).Round(time.Millisecond))
+		tables = append(tables, tbl)
+	}
+	if *jsonPath != "" {
+		doc := struct {
+			Seed   int64                `json:"seed"`
+			Scale  float64              `json:"scale"`
+			Tables []*experiments.Table `json:"tables"`
+		}{*seed, *scale, tables}
+		data, err := json.MarshalIndent(doc, "", " ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
 	}
 }

@@ -24,7 +24,6 @@ import (
 
 	"semitri"
 	"semitri/internal/core"
-	"semitri/internal/episode"
 	"semitri/internal/geo"
 	"semitri/internal/query"
 	"semitri/internal/serve"
@@ -62,30 +61,31 @@ func main() {
 	}
 	fmt.Printf("ingested %d records for %d users\n\n", len(ds.Records()), len(ds.Objects))
 
-	// 3. Typed queries. Each is one Query value; the engine plans it by
-	//    picking the most selective index and verifies every candidate
-	//    against the store.
-	stop := episode.Stop
+	// 3. Typed queries, each built with the query package's validating
+	//    builder; the engine plans every one by picking the most selective
+	//    index and verifies every candidate against the store.
 	day := ds.Records()[0].Time.Truncate(24 * time.Hour)
-	window := geo.RectAround(geo.Pt(5000, 5000), 3000)
 	queries := []struct {
 		label string
 		q     query.Query
 	}{
-		{"stops at item-sale places", query.Query{
-			Kind: &stop, AnnKey: core.AnnPOICategory, AnnValue: "item sale",
-		}},
-		{"...around lunchtime, in the city centre", query.Query{
-			Kind: &stop, AnnKey: core.AnnPOICategory, AnnValue: "item sale",
-			From: day.Add(11 * time.Hour), To: day.Add(15 * time.Hour),
-			Window: &window,
-		}},
-		{"everything user-001 did today", query.Query{
-			ObjectID: ds.Objects[0], From: day, To: day.Add(24 * time.Hour),
-		}},
-		{"episodes near the map origin", query.Query{
-			Near: &geo.Point{X: 2000, Y: 2000}, Radius: 1500,
-		}},
+		{"stops at item-sale places", query.MustBuild(
+			query.OnlyStops(),
+			query.WithAnnotation(core.AnnPOICategory, "item sale"),
+		)},
+		{"...around lunchtime, in the city centre", query.MustBuild(
+			query.OnlyStops(),
+			query.WithAnnotation(core.AnnPOICategory, "item sale"),
+			query.Between(day.Add(11*time.Hour), day.Add(15*time.Hour)),
+			query.InWindow(geo.RectAround(geo.Pt(5000, 5000), 3000)),
+		)},
+		{"everything user-001 did today", query.MustBuild(
+			query.ForObject(ds.Objects[0]),
+			query.Between(day, day.Add(24*time.Hour)),
+		)},
+		{"episodes near the map origin", query.MustBuild(
+			query.NearPoint(geo.Pt(2000, 2000), 1500),
+		)},
 	}
 	for _, c := range queries {
 		matches, plan, err := engine.ExecuteExplained(c.q)
@@ -105,7 +105,21 @@ func main() {
 		fmt.Println()
 	}
 
-	// 4. The same engine behind HTTP: what cmd/semitri-serve runs.
+	// 4. A relational query: which objects had stop episodes within 200 m
+	//    and one hour of another object's stop? The join planner builds the
+	//    smaller side and probes the indexes for the other.
+	pairs, jp, err := engine.ExecuteJoinExplained(query.Join{
+		Left:  query.MustBuild(query.OnlyStops()),
+		Right: query.MustBuild(query.OnlyStops()),
+		On:    query.JoinOn{Within: time.Hour, MaxDistance: 200, DistinctObjects: true},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("co-location join\n  plan: %s\n  pairs: %d\n\n", jp, len(pairs))
+
+	// 5. The same engine behind HTTP: what cmd/semitri-serve runs. The last
+	//    request is the join above, written in the relational language.
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
@@ -119,10 +133,14 @@ func main() {
 	params.Set("kind", "stop")
 	params.Set("ann", core.AnnPOICategory+"=item sale")
 	params.Set("limit", "2")
+	relational := url.Values{}
+	relational.Set("q", "stops join stops on distance <= 200 and within 1h"+
+		" and distinct objects group by object distinct objects top 5")
 	for _, path := range []string{
 		"/healthz",
 		"/query/episodes?" + params.Encode(),
 		"/stats",
+		"/query/relational?" + relational.Encode(),
 	} {
 		resp, err := http.Get(base + path)
 		if err != nil {

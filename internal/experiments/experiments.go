@@ -59,21 +59,22 @@ func (e *Env) scaleInt(base int) int {
 }
 
 // Row is one printable output row of an experiment: a label plus named
-// numeric columns (printed in the order of Columns).
+// numeric columns (printed in the order of Columns). The JSON form is what
+// cmd/semitri-bench -json emits for CI artifacts.
 type Row struct {
-	Label   string
-	Columns []string
-	Values  map[string]float64
+	Label   string             `json:"label"`
+	Columns []string           `json:"columns"`
+	Values  map[string]float64 `json:"values"`
 }
 
 // Table is a printable experiment result.
 type Table struct {
-	ID    string
-	Title string
-	Rows  []Row
+	ID    string `json:"id"`
+	Title string `json:"title"`
+	Rows  []Row  `json:"rows"`
 	// Notes records the paper-reported reference values or qualitative
 	// expectations that EXPERIMENTS.md compares against.
-	Notes []string
+	Notes []string `json:"notes,omitempty"`
 }
 
 // Format renders the table as aligned text.
@@ -145,6 +146,7 @@ var Registry = map[string]func(*Env) (*Table, error){
 	"ablation-hmm":      AblationHMM,
 	"lookup":            Lookup,
 	"query":             QueryServing,
+	"relational":        Relational,
 	"durability":        DurabilityOverhead,
 }
 
@@ -152,5 +154,5 @@ var Registry = map[string]func(*Env) (*Table, error){
 var Order = []string{
 	"table1", "table2", "fig9", "fig10", "fig11", "fig12", "fig13",
 	"fig14", "fig15", "fig17", "compression", "ablation-mapmatch", "ablation-hmm",
-	"lookup", "query", "durability",
+	"lookup", "query", "relational", "durability",
 }

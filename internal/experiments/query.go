@@ -6,7 +6,6 @@ import (
 
 	"semitri"
 	"semitri/internal/core"
-	"semitri/internal/episode"
 	"semitri/internal/geo"
 	"semitri/internal/poi"
 	"semitri/internal/query"
@@ -36,19 +35,20 @@ func QueryServing(env *Env) (*Table, error) {
 	st := p.Store()
 
 	day := ds.Records()[0].Time.Truncate(24 * time.Hour)
-	stop := episode.Stop
 	annQueries := make([]query.Query, 0, len(poi.AllCategories))
 	for _, cat := range poi.AllCategories {
-		annQueries = append(annQueries, query.Query{
-			Kind: &stop, AnnKey: core.AnnPOICategory, AnnValue: cat.String(),
-		})
+		annQueries = append(annQueries, query.MustBuild(
+			query.OnlyStops(),
+			query.WithAnnotation(core.AnnPOICategory, cat.String()),
+		))
 	}
 	var windowQueries []query.Query
 	for i, obj := range ds.Objects {
 		from := day.Add(time.Duration(6+2*i) * time.Hour)
-		windowQueries = append(windowQueries, query.Query{
-			ObjectID: obj, From: from, To: from.Add(4 * time.Hour),
-		})
+		windowQueries = append(windowQueries, query.MustBuild(
+			query.ForObject(obj),
+			query.Between(from, from.Add(4*time.Hour)),
+		))
 	}
 	// Stops inside a neighbourhood window — the paper's "who stopped inside
 	// this region" shape. The kind tag on the spatial postings is what makes
@@ -57,7 +57,9 @@ func QueryServing(env *Env) (*Table, error) {
 	var spatialQueries []query.Query
 	for i := 0; i < 8; i++ {
 		w := geo.RectAround(geo.Pt(float64(1000+i*1100), float64(9000-i*1100)), 1200)
-		spatialQueries = append(spatialQueries, query.Query{Kind: &stop, Window: &w})
+		spatialQueries = append(spatialQueries, query.MustBuild(
+			query.OnlyStops(), query.InWindow(w),
+		))
 	}
 
 	tbl := &Table{

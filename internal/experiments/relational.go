@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"semitri"
+	"semitri/internal/core"
+	"semitri/internal/geo"
+	"semitri/internal/poi"
+	"semitri/internal/query"
+	"semitri/internal/query/lang"
+	"semitri/internal/workload"
+)
+
+// colocStatement is the canonical cross-object question of the relational
+// layer, in the declarative language: objects with stop episodes within
+// 200 m and one hour of each other.
+const colocStatement = "stops join stops on distance <= 200 and within 1h and distinct objects"
+
+// Relational measures the cross-object relational layer end to end on a
+// people workload: streaming ingestion with live index maintenance
+// (ns/record), single-table queries through each access path of the planner
+// (ns/query), the build/probe co-location join (ns/join) and the same join
+// parsed from the declarative one-liner with a top-K aggregation
+// (ns/statement). Every query row asserts the planner actually chose the
+// access path it claims to measure. This is not a paper figure: the paper
+// delegates relational execution to PostgreSQL; the row documents what the
+// reproduction's own join planner and language layer cost.
+func Relational(env *Env) (*Table, error) {
+	cfg := workload.DefaultPeopleConfig(16, env.scaleInt(5), env.Seed+31)
+	ds, err := workload.GeneratePeople(env.City, cfg)
+	if err != nil {
+		return nil, err
+	}
+	p, err := semitri.New(semitri.Sources{
+		Landuse: env.City.Landuse,
+		Roads:   env.City.Roads,
+		POIs:    env.City.POIs,
+	}, semitri.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	engine := p.QueryEngine() // attach before ingestion: indexes maintained on the append path
+	start := time.Now()
+	if _, err := p.ProcessRecords(ds.Records()); err != nil {
+		return nil, err
+	}
+	ingest := time.Since(start)
+	nrec := len(ds.Records())
+
+	tbl := &Table{
+		ID:    "relational",
+		Title: "relational layer: joins, aggregation and the query language (ns/op)",
+		Notes: []string{
+			"join = stops x stops co-location (within 200 m and 1 h, distinct objects), planned build/probe execution",
+			"language = the same join parsed from the declarative one-liner plus a top-10 aggregation",
+			"each query row asserts the planner chose the access path it measures",
+		},
+	}
+	tbl.Rows = append(tbl.Rows, Row{
+		Label:   "ingest (indexes live)",
+		Columns: []string{"ns_per_record", "records"},
+		Values: map[string]float64{
+			"ns_per_record": float64(ingest.Nanoseconds()) / float64(nrec),
+			"records":       float64(nrec),
+		},
+	})
+
+	day := ds.Records()[0].Time.Truncate(24 * time.Hour)
+	annQueries := make([]query.Query, 0, len(poi.AllCategories))
+	for _, cat := range poi.AllCategories {
+		annQueries = append(annQueries, query.MustBuild(
+			query.OnlyStops(), query.WithAnnotation(core.AnnPOICategory, cat.String())))
+	}
+	var timeQueriesSet []query.Query
+	for i, obj := range ds.Objects {
+		from := day.Add(time.Duration(6+2*i) * time.Hour)
+		timeQueriesSet = append(timeQueriesSet, query.MustBuild(
+			query.ForObject(obj), query.Between(from, from.Add(4*time.Hour))))
+	}
+	var spatialQueries []query.Query
+	for i := 0; i < 8; i++ {
+		w := geo.RectAround(geo.Pt(float64(1000+i*1100), float64(9000-i*1100)), 1200)
+		spatialQueries = append(spatialQueries, query.MustBuild(query.OnlyStops(), query.InWindow(w)))
+	}
+	trajIDs := p.Store().TrajectoryIDs("")
+	if len(trajIDs) > 8 {
+		trajIDs = trajIDs[:8]
+	}
+	var trajQueries []query.Query
+	for _, id := range trajIDs {
+		trajQueries = append(trajQueries, query.MustBuild(query.ForTrajectory(id)))
+	}
+
+	for _, c := range []struct {
+		label   string
+		path    query.Path
+		queries []query.Query
+	}{
+		{"query via annotation index", query.PathAnnotation, annQueries},
+		{"query via object-time index", query.PathObjectTime, timeQueriesSet},
+		{"query via spatial grid", query.PathSpatial, spatialQueries},
+		{"query via trajectory lookup", query.PathTrajectory, trajQueries},
+		{"query via full scan", query.PathScan, []query.Query{{}}},
+	} {
+		for _, q := range c.queries {
+			plan, err := engine.Explain(q)
+			if err != nil {
+				return nil, err
+			}
+			if plan.Path != c.path {
+				return nil, fmt.Errorf("relational: %s planned %s, expected %s (%s)", c.label, plan.Path, c.path, plan)
+			}
+		}
+		ns, hits, err := timeQueries(c.queries, func(q query.Query) (int, error) {
+			ms, err := engine.Execute(q)
+			return len(ms), err
+		})
+		if err != nil {
+			return nil, err
+		}
+		tbl.Rows = append(tbl.Rows, Row{
+			Label:   c.label,
+			Columns: []string{"ns_per_query", "hits"},
+			Values:  map[string]float64{"ns_per_query": ns, "hits": float64(hits)},
+		})
+	}
+
+	// The co-location join through the typed API. timeOp reruns the full
+	// plan+build+probe cycle, so the row prices the join end to end.
+	join := query.Join{
+		Left:  query.MustBuild(query.OnlyStops()),
+		Right: query.MustBuild(query.OnlyStops()),
+		On:    query.JoinOn{Within: time.Hour, MaxDistance: 200, DistinctObjects: true},
+	}
+	pairs := 0
+	nsJoin, err := timeOp(func() error {
+		ps, err := engine.ExecuteJoin(join)
+		pairs = len(ps)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	tbl.Rows = append(tbl.Rows, Row{
+		Label:   "join co-location (200 m, 1 h)",
+		Columns: []string{"ns_per_join", "pairs"},
+		Values:  map[string]float64{"ns_per_join": nsJoin, "pairs": float64(pairs)},
+	})
+
+	// The same join through the parsed language, aggregation included.
+	stmt := colocStatement + " group by object distinct objects top 10"
+	groups := 0
+	nsLang, err := timeOp(func() error {
+		res, err := lang.Run(engine, stmt)
+		groups = len(res.Groups)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	tbl.Rows = append(tbl.Rows, Row{
+		Label:   "language (parse+join+aggregate)",
+		Columns: []string{"ns_per_statement", "groups"},
+		Values:  map[string]float64{"ns_per_statement": nsLang, "groups": float64(groups)},
+	})
+	return tbl, nil
+}
+
+// timeOp runs op repeatedly until it accumulates enough wall-clock for a
+// stable ns/op (the single-operation counterpart of timeQueries).
+func timeOp(op func() error) (float64, error) {
+	const minDuration = 50 * time.Millisecond
+	passes := 0
+	start := time.Now()
+	for {
+		if err := op(); err != nil {
+			return 0, err
+		}
+		passes++
+		if time.Since(start) >= minDuration && passes >= 3 {
+			break
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(passes), nil
+}

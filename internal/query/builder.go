@@ -1,0 +1,91 @@
+package query
+
+import (
+	"time"
+
+	"semitri/internal/episode"
+	"semitri/internal/geo"
+)
+
+// Option configures one predicate of a Query under construction with Build.
+type Option func(*Query)
+
+// ForObject restricts the query to one moving object.
+func ForObject(id string) Option { return func(q *Query) { q.ObjectID = id } }
+
+// ForTrajectory restricts the query to one trajectory.
+func ForTrajectory(id string) Option { return func(q *Query) { q.TrajectoryID = id } }
+
+// InInterpretation selects the structured interpretation to query
+// (DefaultInterpretation when the option is not given).
+func InInterpretation(name string) Option { return func(q *Query) { q.Interpretation = name } }
+
+// OfKind restricts results to one episode kind.
+func OfKind(k episode.Kind) Option {
+	return func(q *Query) { kk := k; q.Kind = &kk }
+}
+
+// OnlyStops restricts results to stop episodes.
+func OnlyStops() Option { return OfKind(episode.Stop) }
+
+// OnlyMoves restricts results to move episodes.
+func OnlyMoves() Option { return OfKind(episode.Move) }
+
+// Since keeps tuples overlapping [t, ...) — the closed window's lower bound.
+func Since(t time.Time) Option { return func(q *Query) { q.From = t } }
+
+// Until keeps tuples overlapping (..., t] — the closed window's upper bound.
+func Until(t time.Time) Option { return func(q *Query) { q.To = t } }
+
+// Between keeps tuples overlapping the closed time window [from, to].
+func Between(from, to time.Time) Option {
+	return func(q *Query) { q.From, q.To = from, to }
+}
+
+// WithAnnotation keeps tuples whose annotation key has the given value (an
+// empty value asks for tuples *without* the key, mirroring
+// AnnotationSet.Value).
+func WithAnnotation(key, value string) Option {
+	return func(q *Query) { q.AnnKey, q.AnnValue = key, value }
+}
+
+// InWindow keeps tuples whose episode bounding rectangle intersects w.
+func InWindow(w geo.Rect) Option {
+	return func(q *Query) { ww := w; q.Window = &ww }
+}
+
+// NearPoint keeps tuples whose episode centre lies within radius metres of p.
+func NearPoint(p geo.Point, radius float64) Option {
+	return func(q *Query) { pp := p; q.Near = &pp; q.Radius = radius }
+}
+
+// WithLimit caps the number of results (after the deterministic sort).
+func WithLimit(n int) Option { return func(q *Query) { q.Limit = n } }
+
+// Build is the validating constructor for Query: it applies the options and
+// checks the structural invariants immediately, so a malformed predicate set
+// (a radius without a centre, a window that ends before it starts, ...) is
+// an error at construction time rather than at the first Execute. Prefer it
+// over composing a Query literal — the engine re-validates on every
+// execution, but a built Query can never carry an invariant violation to a
+// call site far from where it was assembled.
+func Build(opts ...Option) (Query, error) {
+	var q Query
+	for _, o := range opts {
+		o(&q)
+	}
+	if err := q.Validate(); err != nil {
+		return Query{}, err
+	}
+	return q, nil
+}
+
+// MustBuild is Build for statically known predicate sets: it panics on a
+// validation error. Intended for tests, examples and constant query tables.
+func MustBuild(opts ...Option) Query {
+	q, err := Build(opts...)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}

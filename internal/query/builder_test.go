@@ -1,0 +1,74 @@
+package query
+
+import (
+	"testing"
+	"time"
+
+	"semitri/internal/core"
+	"semitri/internal/episode"
+	"semitri/internal/geo"
+)
+
+// TestBuildSetsFields checks the options map one-to-one onto the Query.
+func TestBuildSetsFields(t *testing.T) {
+	w := geo.RectAround(geo.Pt(100, 100), 50)
+	q, err := Build(
+		ForObject("u1"),
+		ForTrajectory("u1-T0"),
+		InInterpretation("merged"),
+		OnlyStops(),
+		Between(t0, t0.Add(time.Hour)),
+		WithAnnotation(core.AnnPOICategory, "restaurant"),
+		InWindow(w),
+		WithLimit(7),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.ObjectID != "u1" || q.TrajectoryID != "u1-T0" || q.Interpretation != "merged" {
+		t.Fatalf("identity predicates not set: %+v", q)
+	}
+	if q.Kind == nil || *q.Kind != episode.Stop {
+		t.Fatalf("kind not set: %+v", q)
+	}
+	if !q.From.Equal(t0) || !q.To.Equal(t0.Add(time.Hour)) {
+		t.Fatalf("window not set: %+v", q)
+	}
+	if q.AnnKey != core.AnnPOICategory || q.AnnValue != "restaurant" {
+		t.Fatalf("annotation not set: %+v", q)
+	}
+	if q.Window == nil || *q.Window != w || q.Limit != 7 {
+		t.Fatalf("window/limit not set: %+v", q)
+	}
+	near, err := Build(NearPoint(geo.Pt(5, 5), 100), OnlyMoves())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if near.Near == nil || near.Radius != 100 || *near.Kind != episode.Move {
+		t.Fatalf("near predicate not set: %+v", near)
+	}
+}
+
+// TestBuildValidates checks that a malformed predicate set fails at
+// construction time, not at the first Execute.
+func TestBuildValidates(t *testing.T) {
+	bad := [][]Option{
+		{NearPoint(geo.Pt(0, 0), 0)},                               // non-positive radius
+		{NearPoint(geo.Pt(0, 0), -5)},                              // negative radius
+		{Between(t0.Add(time.Hour), t0)},                           // window ends before start
+		{WithLimit(-1)},                                            // negative limit
+		{WithAnnotation("", "restaurant")},                         // value without key
+		{InWindow(geo.Rect{Min: geo.Pt(5, 5), Max: geo.Pt(1, 1)})}, // empty window
+	}
+	for i, opts := range bad {
+		if _, err := Build(opts...); err == nil {
+			t.Errorf("case %d: Build accepted a malformed predicate set", i)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild did not panic on a malformed predicate set")
+		}
+	}()
+	MustBuild(WithLimit(-1))
+}

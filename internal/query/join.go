@@ -1,0 +1,361 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// JoinOn is the pairing predicate of a Join: the conjunction of the enabled
+// clauses below, evaluated over a (left, right) pair of episode tuples. At
+// least one of the pairing clauses (time, distance, place, annotation) must
+// be enabled; SameObject/DistinctObjects only constrain which objects may
+// pair and cannot stand alone.
+type JoinOn struct {
+	// TimeOverlap requires the two episodes' closed time intervals to
+	// overlap (touching counts).
+	TimeOverlap bool
+	// Within requires the two intervals to come within the given gap of
+	// each other (overlap counts as a zero gap). It subsumes TimeOverlap.
+	Within time.Duration
+	// MaxDistance requires both episodes to have geometry and their centres
+	// to lie within this many metres of each other. Zero disables.
+	MaxDistance float64
+	// SamePlace requires both tuples to link to the same, non-empty
+	// semantic place.
+	SamePlace bool
+	// SameAnnKey requires both tuples to carry the same, non-empty value
+	// for this annotation key (e.g. road_name: move episodes sharing a
+	// road segment). Empty disables.
+	SameAnnKey string
+	// SameObject restricts pairs to episodes of the same moving object.
+	SameObject bool
+	// DistinctObjects restricts pairs to episodes of different moving
+	// objects (the co-location shape).
+	DistinctObjects bool
+}
+
+// Validate checks the structural invariants of the join predicate.
+func (on JoinOn) Validate() error {
+	if on.Within < 0 {
+		return errors.New("query: join Within must not be negative")
+	}
+	if on.MaxDistance < 0 {
+		return errors.New("query: join MaxDistance must not be negative")
+	}
+	if !on.timeConstrained() && on.MaxDistance == 0 && !on.SamePlace && on.SameAnnKey == "" {
+		return errors.New("query: join needs at least one pairing clause (time, distance, place or annotation)")
+	}
+	if on.SameObject && on.DistinctObjects {
+		return errors.New("query: join cannot require both same and distinct objects")
+	}
+	return nil
+}
+
+// timeConstrained reports whether the predicate has a temporal clause.
+func (on *JoinOn) timeConstrained() bool { return on.TimeOverlap || on.Within > 0 }
+
+// pairMatches evaluates the full predicate on a resolved pair. This is the
+// authoritative check: candidate gathering may over-approximate (see
+// probeQuery), never the other way around.
+func (on *JoinOn) pairMatches(l, r *Match) bool {
+	if on.SameObject && l.Ref.ObjectID != r.Ref.ObjectID {
+		return false
+	}
+	if on.DistinctObjects && l.Ref.ObjectID == r.Ref.ObjectID {
+		return false
+	}
+	if on.timeConstrained() {
+		if l.Tuple.TimeIn.After(r.Tuple.TimeOut.Add(on.Within)) ||
+			r.Tuple.TimeIn.After(l.Tuple.TimeOut.Add(on.Within)) {
+			return false
+		}
+	}
+	if on.MaxDistance > 0 {
+		le, re := l.Tuple.Episode, r.Tuple.Episode
+		if le == nil || re == nil || le.Center.DistanceTo(re.Center) > on.MaxDistance {
+			return false
+		}
+	}
+	if on.SamePlace {
+		lp := l.Tuple.PlaceID()
+		if lp == "" || lp != r.Tuple.PlaceID() {
+			return false
+		}
+	}
+	if k := on.SameAnnKey; k != "" {
+		lv := l.Tuple.Annotations.Value(k)
+		if lv == "" || lv != r.Tuple.Annotations.Value(k) {
+			return false
+		}
+	}
+	return true
+}
+
+// Join is a typed two-sided join: the pairs of (Left, Right) results that
+// satisfy On. Join sides must not set Limit (a per-side cap has no
+// well-defined meaning under probe execution); Limit below caps the number
+// of result pairs after the deterministic sort.
+type Join struct {
+	Left, Right Query
+	On          JoinOn
+	Limit       int
+}
+
+// JoinMatch is one join result pair. Left always comes from Join.Left and
+// Right from Join.Right, regardless of which side the planner built.
+type JoinMatch struct {
+	Left  Match
+	Right Match
+}
+
+// less is the canonical pair order: by the left match, then the right.
+func (a *JoinMatch) less(b *JoinMatch) bool {
+	if a.Left.less(&b.Left) {
+		return true
+	}
+	if b.Left.less(&a.Left) {
+		return false
+	}
+	return a.Right.less(&b.Right)
+}
+
+// Side names one side of a join.
+type Side string
+
+const (
+	SideLeft  Side = "left"
+	SideRight Side = "right"
+)
+
+// JoinPlan records the join planner's decision: the side it chose to
+// materialise fully (the build side — always the one with the smaller
+// estimated cardinality), that side's single-table plan, both sides'
+// estimates, and, after execution, a histogram of the access paths the
+// per-row probes of the other side went through.
+type JoinPlan struct {
+	// BuildSide is the side executed first and materialised in full.
+	BuildSide Side
+	// Build is the single-table plan of the build side.
+	Build Plan
+	// LeftEstimate/RightEstimate are the chosen-path candidate estimates
+	// the build decision compared.
+	LeftEstimate  int
+	RightEstimate int
+	// ProbePaths counts, per access path, how many per-row probes of the
+	// other side executed through it. Nil when the plan was not executed
+	// (ExplainJoin).
+	ProbePaths map[Path]int
+}
+
+// String renders the join plan compactly, e.g.
+// "build=left(*annotation≈3 full-scan≈120) probe=right≈80 via object-time×3".
+func (p JoinPlan) String() string {
+	probe := SideRight
+	probeEst := p.RightEstimate
+	if p.BuildSide == SideRight {
+		probe = SideLeft
+		probeEst = p.LeftEstimate
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "build=%s(%s) probe=%s≈%d", p.BuildSide, p.Build, probe, probeEst)
+	if len(p.ProbePaths) > 0 {
+		paths := make([]Path, 0, len(p.ProbePaths))
+		for path := range p.ProbePaths {
+			paths = append(paths, path)
+		}
+		sort.Slice(paths, func(i, j int) bool { return pathRank(paths[i]) < pathRank(paths[j]) })
+		b.WriteString(" via")
+		for _, path := range paths {
+			fmt.Fprintf(&b, " %s×%d", path, p.ProbePaths[path])
+		}
+	}
+	return b.String()
+}
+
+// validateJoin normalizes both sides and checks every invariant of the join.
+func validateJoin(j *Join) (left, right Query, err error) {
+	left, right = j.Left.normalized(), j.Right.normalized()
+	if err := left.Validate(); err != nil {
+		return left, right, fmt.Errorf("join left: %w", err)
+	}
+	if err := right.Validate(); err != nil {
+		return left, right, fmt.Errorf("join right: %w", err)
+	}
+	if left.Limit != 0 || right.Limit != 0 {
+		return left, right, errors.New("query: join sides must not set Limit; use Join.Limit for the pair cap")
+	}
+	if j.Limit < 0 {
+		return left, right, errors.New("query: negative join limit")
+	}
+	if err := j.On.Validate(); err != nil {
+		return left, right, err
+	}
+	return left, right, nil
+}
+
+// planJoin decides the build side: both sides are planned as single-table
+// queries and the one whose chosen path promises fewer candidates is
+// materialised first, so the (more expensive) per-row probing happens from
+// the smaller set into the larger one's indexes. Ties build left.
+func (e *Engine) planJoin(left, right Query) JoinPlan {
+	lp, rp := e.plan(left), e.plan(right)
+	jp := JoinPlan{
+		BuildSide:     SideLeft,
+		Build:         lp,
+		LeftEstimate:  lp.Estimates[lp.Path],
+		RightEstimate: rp.Estimates[rp.Path],
+	}
+	if jp.RightEstimate < jp.LeftEstimate {
+		jp.BuildSide = SideRight
+		jp.Build = rp
+	}
+	return jp
+}
+
+// ExplainJoin plans the join without executing it.
+func (e *Engine) ExplainJoin(j Join) (JoinPlan, error) {
+	left, right, err := validateJoin(&j)
+	if err != nil {
+		return JoinPlan{}, err
+	}
+	return e.planJoin(left, right), nil
+}
+
+// ExecuteJoin plans and runs the join, returning pairs in the canonical
+// (left, right) order. See ExecuteJoinExplained for the executed plan.
+func (e *Engine) ExecuteJoin(j Join) ([]JoinMatch, error) {
+	out, _, err := e.ExecuteJoinExplained(j)
+	return out, err
+}
+
+// ExecuteJoinExplained runs the join and also returns the plan it executed,
+// probe-path histogram included.
+//
+// Execution materialises the build side through its own planned access path,
+// then probes the other side once per build row with a derived query: the
+// probe side's predicates tightened by what the join predicate pins for that
+// row (the row's time interval widened by Within, a radius disc of
+// MaxDistance around the row's centre, the row's object id or annotation
+// value). Each probe plans independently, so it runs through the time,
+// spatial or annotation index the tightened predicates make available — a
+// nested full scan only happens when the store is small enough that the
+// planner prices a scan below every index. Probed candidates are
+// re-verified against the probe side's original predicates and the full
+// pair predicate, so over-approximation in the derivation never leaks into
+// results.
+func (e *Engine) ExecuteJoinExplained(j Join) ([]JoinMatch, JoinPlan, error) {
+	left, right, err := validateJoin(&j)
+	if err != nil {
+		return nil, JoinPlan{}, err
+	}
+	jp := e.planJoin(left, right)
+	jp.ProbePaths = map[Path]int{}
+
+	build, probe := left, right
+	if jp.BuildSide == SideRight {
+		build, probe = right, left
+	}
+	rows := e.execute(build, jp.Build)
+	var out []JoinMatch
+	for i := range rows {
+		b := &rows[i]
+		pq, ok := probeQuery(probe, b, &j.On)
+		if !ok {
+			continue // the row can pair with nothing (no geometry, contradiction)
+		}
+		pplan := e.plan(pq)
+		jp.ProbePaths[pplan.Path]++
+		for _, c := range e.execute(pq, pplan) {
+			// The derived query may have replaced a spatial predicate with a
+			// tighter disc; re-check the probe side's own predicates exactly.
+			if !probe.matches(c.Ref, &c.Tuple) {
+				continue
+			}
+			pair := JoinMatch{Left: *b, Right: c}
+			if jp.BuildSide == SideRight {
+				pair.Left, pair.Right = c, *b
+			}
+			if !j.On.pairMatches(&pair.Left, &pair.Right) {
+				continue
+			}
+			out = append(out, pair)
+		}
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].less(&out[k]) })
+	if j.Limit > 0 && len(out) > j.Limit {
+		out = out[:j.Limit]
+	}
+	return out, jp, nil
+}
+
+// probeQuery derives the per-row probe: the probe side's query tightened by
+// the clauses of the join predicate that the build row pins down. The
+// derivation must never exclude a tuple the pair predicate would accept —
+// every tightening below keeps the derived predicate weaker than (or equal
+// to) the corresponding pair clause — but it may include extras; those die
+// at the pairMatches re-check. The second return is false when the row
+// provably pairs with nothing.
+func probeQuery(probe Query, b *Match, on *JoinOn) (Query, bool) {
+	pq := probe
+	pq.Limit = 0
+	if on.timeConstrained() {
+		from := b.Tuple.TimeIn.Add(-on.Within)
+		to := b.Tuple.TimeOut.Add(on.Within)
+		nf, nt := pq.From, pq.To
+		if nf.IsZero() || from.After(nf) {
+			nf = from
+		}
+		if nt.IsZero() || to.Before(nt) {
+			nt = to
+		}
+		// Overlap is not containment: when the combined window inverts (the
+		// row's reachable window is disjoint from the probe's own), a long
+		// episode spanning both windows still pairs. Only adopt the combined
+		// window when it is a well-formed interval; otherwise keep the probe's
+		// own window and let pairMatches filter.
+		if !nt.Before(nf) {
+			pq.From, pq.To = nf, nt
+		}
+	}
+	if on.MaxDistance > 0 {
+		ep := b.Tuple.Episode
+		if ep == nil {
+			return pq, false // a spatial join needs geometry on both sides
+		}
+		c := ep.Center
+		switch {
+		case pq.Near == nil:
+			pq.Near = &c
+			pq.Radius = on.MaxDistance
+		case pq.Near.DistanceTo(c) > pq.Radius+on.MaxDistance:
+			return pq, false // the two discs cannot both hold
+		case on.MaxDistance < pq.Radius:
+			// Gather through the tighter disc; the original is re-verified
+			// by probe.matches on every candidate.
+			pq.Near = &c
+			pq.Radius = on.MaxDistance
+		}
+	}
+	if on.SameObject {
+		if pq.ObjectID != "" && pq.ObjectID != b.Ref.ObjectID {
+			return pq, false
+		}
+		pq.ObjectID = b.Ref.ObjectID
+	}
+	if k := on.SameAnnKey; k != "" {
+		v := b.Tuple.Annotations.Value(k)
+		if v == "" {
+			return pq, false // the row has no value to share
+		}
+		switch {
+		case pq.AnnKey == "":
+			pq.AnnKey, pq.AnnValue = k, v
+		case pq.AnnKey == k && pq.AnnValue != v:
+			return pq, false // the probe side pins a different value
+		}
+	}
+	return pq, true
+}

@@ -1,0 +1,573 @@
+// Package lang is the small declarative query language of the relational
+// layer: a SQL-ish one-liner that compiles to the typed Query/Join/Aggregate
+// structs of internal/query, so the HTTP serving layer (and any script
+// poking it with curl) can express cross-object relational questions without
+// constructing JSON-encoded structs. The shape is Datalog in spirit — joins
+// follow from the shared clauses named in `on`, and the engine plans them
+// greedily from cardinality estimates, no statistics — with SQL keywords for
+// readability.
+//
+// Grammar (keywords case-insensitive; values are bare words — which cover
+// ids, RFC 3339 timestamps and Go durations like 90m or 1h30m — or
+// double-quoted strings when they contain spaces):
+//
+//	statement  = source [ "join" source "on" cond { "and" cond } ]
+//	             [ "group" "by" dim [ metric ] [ "top" INT ] ]
+//	             [ "limit" INT ] .
+//	source     = ( "stops" | "moves" | "episodes" )
+//	             [ "where" pred { "and" pred } ] .
+//	pred       = "object" "=" value
+//	           | "trajectory" "=" value
+//	           | "interpretation" "=" value
+//	           | "ann" "." key "=" value
+//	           | "from" "=" value          (RFC 3339)
+//	           | "to" "=" value            (RFC 3339)
+//	           | "near" "(" NUM "," NUM "," NUM ")"       (x, y, radius m)
+//	           | "window" "(" NUM "," NUM "," NUM "," NUM ")" .
+//	cond       = "within" DURATION
+//	           | "overlaps"
+//	           | ( "distance" ) ( "<" | "<=" ) NUM        (metres)
+//	           | "same" ( "object" | "place" )
+//	           | "same" "ann" "." key
+//	           | "distinct" "objects" .
+//	dim        = "object" | "trajectory" | "place" | "kind"
+//	           | "ann" "." key .
+//	metric     = "count" | "distinct" "objects" | "duration" .
+//
+// The canonical co-location question — which objects stopped within 200 m
+// and one hour of each other — reads:
+//
+//	stops join stops on distance <= 200 and within 1h and distinct objects
+//	      group by object distinct objects top 10
+package lang
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+	"unicode"
+
+	"semitri/internal/geo"
+	"semitri/internal/query"
+)
+
+// Statement is a parsed statement: a single-table query, or a join when
+// Join is non-nil (Query is then Join.Left), optionally aggregated.
+type Statement struct {
+	Query query.Query
+	Join  *query.Join
+	Agg   *query.Aggregate
+}
+
+// Parse compiles one statement of the language into the typed structs. The
+// result is fully validated: everything Parse returns, the engine executes.
+func Parse(src string) (Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return Statement{}, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return Statement{}, err
+	}
+	return stmt, nil
+}
+
+// Result is what running a statement produces: exactly one of Matches
+// (single-table, unaggregated), Pairs (join, unaggregated) or Groups
+// (aggregated), plus the plan the engine executed. The produced slice is
+// never nil — an empty result still identifies the statement's shape.
+type Result struct {
+	Plan    string
+	Matches []query.Match
+	Pairs   []query.JoinMatch
+	Groups  []query.Group
+}
+
+// Run parses and executes src against the engine.
+func Run(e *query.Engine, src string) (Result, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return Result{}, err
+	}
+	var res Result
+	if stmt.Join != nil {
+		pairs, plan, err := e.ExecuteJoinExplained(*stmt.Join)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Plan = plan.String()
+		if stmt.Agg != nil {
+			res.Groups, err = query.AggregatePairs(*stmt.Agg, pairs)
+			return res, err
+		}
+		if pairs == nil {
+			pairs = []query.JoinMatch{}
+		}
+		res.Pairs = pairs
+		return res, nil
+	}
+	ms, plan, err := e.ExecuteExplained(stmt.Query)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Plan = plan.String()
+	if stmt.Agg != nil {
+		res.Groups, err = query.AggregateMatches(*stmt.Agg, ms)
+		return res, err
+	}
+	if ms == nil {
+		ms = []query.Match{}
+	}
+	res.Matches = ms
+	return res, nil
+}
+
+// ---- lexer ----
+
+type tokKind int
+
+const (
+	tokWord   tokKind = iota // bare word: keyword, value, number, duration
+	tokString                // "quoted value"
+	tokPunct                 // ( ) , . = < <=
+	tokEOF
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+// isWordRune reports whether r may appear in a bare word. The set covers
+// identifiers, numbers, durations (1h30m) and common ids (u1-T0) — anything
+// richer (RFC 3339 timestamps, values with spaces) must be quoted.
+func isWordRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' || r == ':'
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	rs := []rune(src)
+	for i := 0; i < len(rs); {
+		r := rs[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case r == '"':
+			j := i + 1
+			for j < len(rs) && rs[j] != '"' {
+				j++
+			}
+			if j == len(rs) {
+				return nil, fmt.Errorf("lang: unterminated string at offset %d", i)
+			}
+			toks = append(toks, token{kind: tokString, text: string(rs[i+1 : j]), pos: i})
+			i = j + 1
+		case r == '<':
+			if i+1 < len(rs) && rs[i+1] == '=' {
+				toks = append(toks, token{kind: tokPunct, text: "<=", pos: i})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokPunct, text: "<", pos: i})
+				i++
+			}
+		case r == '(' || r == ')' || r == ',' || r == '.' || r == '=':
+			toks = append(toks, token{kind: tokPunct, text: string(r), pos: i})
+			i++
+		case isWordRune(r) || r == '+':
+			j := i
+			for j < len(rs) && (isWordRune(rs[j]) || rs[j] == '+' || rs[j] == '.') {
+				// A '.' joins a word only between digits (floats like 0.5);
+				// elsewhere it is the ann-key separator.
+				if rs[j] == '.' && !(j > i && unicode.IsDigit(rs[j-1]) && j+1 < len(rs) && unicode.IsDigit(rs[j+1])) {
+					break
+				}
+				j++
+			}
+			toks = append(toks, token{kind: tokWord, text: string(rs[i:j]), pos: i})
+			i = j
+		default:
+			return nil, fmt.Errorf("lang: unexpected character %q at offset %d", r, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(rs)})
+	return toks, nil
+}
+
+// ---- parser ----
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+// keyword reports whether the next token is the given keyword
+// (case-insensitive bare word) and consumes it if so.
+func (p *parser) keyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokWord && strings.EqualFold(t.text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// expectKeyword consumes the keyword or fails.
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		t := p.peek()
+		return fmt.Errorf("lang: expected %q at offset %d, got %q", kw, t.pos, t.text)
+	}
+	return nil
+}
+
+// expectPunct consumes the punctuation token or fails.
+func (p *parser) expectPunct(s string) error {
+	t := p.peek()
+	if t.kind == tokPunct && t.text == s {
+		p.pos++
+		return nil
+	}
+	return fmt.Errorf("lang: expected %q at offset %d, got %q", s, t.pos, t.text)
+}
+
+// value consumes a bare word or quoted string.
+func (p *parser) value() (string, error) {
+	t := p.next()
+	if t.kind != tokWord && t.kind != tokString {
+		return "", fmt.Errorf("lang: expected a value at offset %d, got %q", t.pos, t.text)
+	}
+	return t.text, nil
+}
+
+// number consumes a numeric bare word.
+func (p *parser) number() (float64, error) {
+	t := p.next()
+	if t.kind != tokWord {
+		return 0, fmt.Errorf("lang: expected a number at offset %d, got %q", t.pos, t.text)
+	}
+	f, err := strconv.ParseFloat(t.text, 64)
+	if err != nil {
+		return 0, fmt.Errorf("lang: bad number %q at offset %d", t.text, t.pos)
+	}
+	return f, nil
+}
+
+// intNumber consumes a non-negative integer bare word.
+func (p *parser) intNumber() (int, error) {
+	t := p.next()
+	n, err := strconv.Atoi(t.text)
+	if t.kind != tokWord || err != nil {
+		return 0, fmt.Errorf("lang: expected an integer at offset %d, got %q", t.pos, t.text)
+	}
+	return n, nil
+}
+
+// annKey parses the ".key" suffix after the "ann" keyword.
+func (p *parser) annKey() (string, error) {
+	if err := p.expectPunct("."); err != nil {
+		return "", err
+	}
+	t := p.next()
+	if t.kind != tokWord {
+		return "", fmt.Errorf("lang: expected an annotation key at offset %d, got %q", t.pos, t.text)
+	}
+	return t.text, nil
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	var stmt Statement
+	left, err := p.parseSource()
+	if err != nil {
+		return stmt, err
+	}
+	if p.keyword("join") {
+		right, err := p.parseSource()
+		if err != nil {
+			return stmt, err
+		}
+		if err := p.expectKeyword("on"); err != nil {
+			return stmt, err
+		}
+		var on query.JoinOn
+		for {
+			if err := p.parseCond(&on); err != nil {
+				return stmt, err
+			}
+			if !p.keyword("and") {
+				break
+			}
+		}
+		stmt.Join = &query.Join{Left: left, Right: right, On: on}
+	} else {
+		stmt.Query = left
+	}
+	if p.keyword("group") {
+		if err := p.expectKeyword("by"); err != nil {
+			return stmt, err
+		}
+		agg, err := p.parseAggregate()
+		if err != nil {
+			return stmt, err
+		}
+		stmt.Agg = agg
+	}
+	if p.keyword("limit") {
+		n, err := p.intNumber()
+		if err != nil {
+			return stmt, err
+		}
+		if stmt.Join != nil {
+			stmt.Join.Limit = n
+		} else {
+			stmt.Query.Limit = n
+		}
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return stmt, fmt.Errorf("lang: trailing input at offset %d: %q", t.pos, t.text)
+	}
+	// Validate everything now: a parsed statement must be executable as is.
+	if stmt.Join != nil {
+		if err := stmt.Join.On.Validate(); err != nil {
+			return stmt, err
+		}
+		if stmt.Join.Limit < 0 {
+			return stmt, errors.New("lang: negative limit")
+		}
+	}
+	if stmt.Agg != nil {
+		if err := stmt.Agg.Validate(); err != nil {
+			return stmt, err
+		}
+	}
+	return stmt, nil
+}
+
+// parseSource parses one side of the statement into a validated Query.
+func (p *parser) parseSource() (query.Query, error) {
+	var opts []query.Option
+	switch {
+	case p.keyword("stops"):
+		opts = append(opts, query.OnlyStops())
+	case p.keyword("moves"):
+		opts = append(opts, query.OnlyMoves())
+	case p.keyword("episodes"):
+		// both kinds
+	default:
+		t := p.peek()
+		return query.Query{}, fmt.Errorf("lang: expected stops, moves or episodes at offset %d, got %q", t.pos, t.text)
+	}
+	if p.keyword("where") {
+		for {
+			opt, err := p.parsePred()
+			if err != nil {
+				return query.Query{}, err
+			}
+			opts = append(opts, opt)
+			if !p.keyword("and") {
+				break
+			}
+		}
+	}
+	return query.Build(opts...)
+}
+
+// parsePred parses one where-clause predicate into a builder option.
+func (p *parser) parsePred() (query.Option, error) {
+	t := p.next()
+	if t.kind != tokWord {
+		return nil, fmt.Errorf("lang: expected a predicate at offset %d, got %q", t.pos, t.text)
+	}
+	eqValue := func() (string, error) {
+		if err := p.expectPunct("="); err != nil {
+			return "", err
+		}
+		return p.value()
+	}
+	switch strings.ToLower(t.text) {
+	case "object":
+		v, err := eqValue()
+		return query.ForObject(v), err
+	case "trajectory":
+		v, err := eqValue()
+		return query.ForTrajectory(v), err
+	case "interpretation":
+		v, err := eqValue()
+		return query.InInterpretation(v), err
+	case "ann":
+		key, err := p.annKey()
+		if err != nil {
+			return nil, err
+		}
+		v, err := eqValue()
+		return query.WithAnnotation(key, v), err
+	case "from", "to":
+		v, err := eqValue()
+		if err != nil {
+			return nil, err
+		}
+		ts, err := time.Parse(time.RFC3339, v)
+		if err != nil {
+			return nil, fmt.Errorf("lang: %s wants an RFC 3339 timestamp: %w", t.text, err)
+		}
+		if strings.EqualFold(t.text, "from") {
+			return query.Since(ts), nil
+		}
+		return query.Until(ts), nil
+	case "near":
+		nums, err := p.parenNumbers(3)
+		if err != nil {
+			return nil, err
+		}
+		return query.NearPoint(geo.Pt(nums[0], nums[1]), nums[2]), nil
+	case "window":
+		nums, err := p.parenNumbers(4)
+		if err != nil {
+			return nil, err
+		}
+		return query.InWindow(geo.NewRect(geo.Pt(nums[0], nums[1]), geo.Pt(nums[2], nums[3]))), nil
+	}
+	return nil, fmt.Errorf("lang: unknown predicate %q at offset %d", t.text, t.pos)
+}
+
+// parenNumbers parses "(" NUM { "," NUM } ")" with exactly n numbers.
+func (p *parser) parenNumbers(n int) ([]float64, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			if err := p.expectPunct(","); err != nil {
+				return nil, err
+			}
+		}
+		f, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, p.expectPunct(")")
+}
+
+// parseCond parses one join condition into the JoinOn under construction.
+func (p *parser) parseCond(on *query.JoinOn) error {
+	t := p.next()
+	if t.kind != tokWord {
+		return fmt.Errorf("lang: expected a join condition at offset %d, got %q", t.pos, t.text)
+	}
+	switch strings.ToLower(t.text) {
+	case "within":
+		v := p.next()
+		if v.kind != tokWord {
+			return fmt.Errorf("lang: within wants a duration at offset %d, got %q", v.pos, v.text)
+		}
+		d, err := time.ParseDuration(v.text)
+		if err != nil {
+			return fmt.Errorf("lang: bad duration %q: %w", v.text, err)
+		}
+		on.Within = d
+		return nil
+	case "overlaps":
+		on.TimeOverlap = true
+		return nil
+	case "distance":
+		op := p.next()
+		if op.kind != tokPunct || (op.text != "<" && op.text != "<=") {
+			return fmt.Errorf("lang: distance wants < or <= at offset %d, got %q", op.pos, op.text)
+		}
+		f, err := p.number()
+		if err != nil {
+			return err
+		}
+		on.MaxDistance = f
+		return nil
+	case "same":
+		switch {
+		case p.keyword("object"):
+			on.SameObject = true
+		case p.keyword("place"):
+			on.SamePlace = true
+		case p.keyword("ann"):
+			key, err := p.annKey()
+			if err != nil {
+				return err
+			}
+			on.SameAnnKey = key
+		default:
+			v := p.peek()
+			return fmt.Errorf("lang: same wants object, place or ann.<key> at offset %d, got %q", v.pos, v.text)
+		}
+		return nil
+	case "distinct":
+		if err := p.expectKeyword("objects"); err != nil {
+			return err
+		}
+		on.DistinctObjects = true
+		return nil
+	}
+	return fmt.Errorf("lang: unknown join condition %q at offset %d", t.text, t.pos)
+}
+
+// parseAggregate parses the group-by clause after "group by".
+func (p *parser) parseAggregate() (*query.Aggregate, error) {
+	agg := &query.Aggregate{}
+	t := p.next()
+	if t.kind != tokWord {
+		return nil, fmt.Errorf("lang: expected a grouping dimension at offset %d, got %q", t.pos, t.text)
+	}
+	switch strings.ToLower(t.text) {
+	case "object":
+		agg.By = query.DimObject
+	case "trajectory":
+		agg.By = query.DimTrajectory
+	case "place":
+		agg.By = query.DimPlace
+	case "kind":
+		agg.By = query.DimKind
+	case "ann":
+		key, err := p.annKey()
+		if err != nil {
+			return nil, err
+		}
+		agg.By = query.DimAnnotation
+		agg.AnnKey = key
+	default:
+		return nil, fmt.Errorf("lang: unknown grouping dimension %q at offset %d", t.text, t.pos)
+	}
+	switch {
+	case p.keyword("count"):
+		agg.Metric = query.MetricCount
+	case p.keyword("distinct"):
+		if err := p.expectKeyword("objects"); err != nil {
+			return nil, err
+		}
+		agg.Metric = query.MetricDistinctObjects
+	case p.keyword("duration"):
+		agg.Metric = query.MetricDuration
+	}
+	if p.keyword("top") {
+		k, err := p.intNumber()
+		if err != nil {
+			return nil, err
+		}
+		agg.K = k
+	}
+	return agg, nil
+}

@@ -8,31 +8,33 @@
 // the examples and the tests all share one implementation:
 //
 //	GET /healthz             liveness + store counts
-//	GET /query/episodes      episode tuples matching a Query (see parseQuery)
+//	GET /query/episodes      episode tuples matching a Query (see decodeQuery)
+//	GET /query/relational    a relational-language statement (?q=...): typed
+//	                         joins, aggregation, the parsed one-liner of
+//	                         internal/query/lang, plan echoed back
 //	GET /query/trajectories  per-trajectory summaries (?object= filters)
 //	GET /query/objects       per-object counts (?object= filters)
 //	GET /stats               analytics snapshot (episode/category/mode/
 //	                         compression aggregates + index state)
 //
 // Every endpoint answers JSON; errors answer {"error": ...} with a 4xx/5xx
-// status. Queries run against live data: the engine's indexes are
-// maintained from the store's append path, so results reflect ingestion up
-// to the moment the request resolved.
+// status (all parameters decode through one shared decoder, see decode.go).
+// Queries run against live data: the engine's indexes are maintained from
+// the store's append path, so results reflect ingestion up to the moment
+// the request resolved.
 package serve
 
 import (
 	"encoding/json"
-	"fmt"
+	"errors"
 	"net/http"
-	"strconv"
-	"strings"
 	"time"
 
 	"semitri/internal/analytics"
 	"semitri/internal/core"
 	"semitri/internal/episode"
-	"semitri/internal/geo"
 	"semitri/internal/query"
+	"semitri/internal/query/lang"
 	"semitri/internal/store"
 )
 
@@ -52,6 +54,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /query/episodes", s.handleEpisodes)
+	mux.HandleFunc("GET /query/relational", s.handleRelational)
 	mux.HandleFunc("GET /query/trajectories", s.handleTrajectories)
 	mux.HandleFunc("GET /query/objects", s.handleObjects)
 	mux.HandleFunc("GET /stats", s.handleStats)
@@ -70,101 +73,6 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // writeError writes an {"error": ...} body.
 func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
-}
-
-// parseQuery maps URL parameters onto a query.Query:
-//
-//	object, trajectory, interpretation, kind=stop|move, limit
-//	from, to            RFC 3339 timestamps (closed window, open sides)
-//	ann=key=value       annotation equality (alias: annkey + annvalue)
-//	minx,miny,maxx,maxy spatial window over episode geometry
-//	nearx,neary,radius  radius (metres) around a point
-func parseQuery(r *http.Request) (query.Query, error) {
-	var q query.Query
-	p := r.URL.Query()
-	q.ObjectID = p.Get("object")
-	q.TrajectoryID = p.Get("trajectory")
-	q.Interpretation = p.Get("interpretation")
-	switch kind := p.Get("kind"); kind {
-	case "":
-	case "stop":
-		k := episode.Stop
-		q.Kind = &k
-	case "move":
-		k := episode.Move
-		q.Kind = &k
-	default:
-		return q, fmt.Errorf("unknown kind %q (want stop or move)", kind)
-	}
-	for name, dst := range map[string]*time.Time{"from": &q.From, "to": &q.To} {
-		if v := p.Get(name); v != "" {
-			ts, err := time.Parse(time.RFC3339, v)
-			if err != nil {
-				return q, fmt.Errorf("%s: %w", name, err)
-			}
-			*dst = ts
-		}
-	}
-	if ann := p.Get("ann"); ann != "" {
-		key, value, ok := strings.Cut(ann, "=")
-		if !ok || key == "" {
-			return q, fmt.Errorf("ann must be key=value, got %q", ann)
-		}
-		q.AnnKey, q.AnnValue = key, value
-	}
-	if k := p.Get("annkey"); k != "" {
-		q.AnnKey, q.AnnValue = k, p.Get("annvalue")
-	}
-	coords := map[string]float64{}
-	for _, name := range []string{"minx", "miny", "maxx", "maxy", "nearx", "neary", "radius"} {
-		if v := p.Get(name); v != "" {
-			f, err := strconv.ParseFloat(v, 64)
-			if err != nil {
-				return q, fmt.Errorf("%s: %w", name, err)
-			}
-			coords[name] = f
-		}
-	}
-	// Spatial parameters come in complete groups: a partial window (or a
-	// radius with no centre) is a malformed query, not a query with the
-	// missing coordinate read as zero.
-	if err := allOrNone(coords, "minx", "miny", "maxx", "maxy"); err != nil {
-		return q, err
-	}
-	if err := allOrNone(coords, "nearx", "neary", "radius"); err != nil {
-		return q, err
-	}
-	if _, ok := coords["minx"]; ok {
-		w := geo.NewRect(geo.Pt(coords["minx"], coords["miny"]), geo.Pt(coords["maxx"], coords["maxy"]))
-		q.Window = &w
-	}
-	if _, ok := coords["nearx"]; ok {
-		pnt := geo.Pt(coords["nearx"], coords["neary"])
-		q.Near = &pnt
-		q.Radius = coords["radius"]
-	}
-	if v := p.Get("limit"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil {
-			return q, fmt.Errorf("limit: %w", err)
-		}
-		q.Limit = n
-	}
-	return q, nil
-}
-
-// allOrNone rejects a parameter group that is only partially present.
-func allOrNone(coords map[string]float64, names ...string) error {
-	present := 0
-	for _, n := range names {
-		if _, ok := coords[n]; ok {
-			present++
-		}
-	}
-	if present != 0 && present != len(names) {
-		return fmt.Errorf("parameters %s must be given together", strings.Join(names, ", "))
-	}
-	return nil
 }
 
 // jsonMatch is the wire form of one query result.
@@ -217,7 +125,7 @@ func toJSONMatch(m query.Match) jsonMatch {
 // parsed Query, plus the plan the engine executed (estimates per access
 // path, chosen path first in the "plan" string).
 func (s *Server) handleEpisodes(w http.ResponseWriter, r *http.Request) {
-	q, err := parseQuery(r)
+	q, err := decodeQuery(newDecoder(r))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -239,6 +147,58 @@ func (s *Server) handleEpisodes(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// jsonPair is the wire form of one join result pair.
+type jsonPair struct {
+	Left  jsonMatch `json:"left"`
+	Right jsonMatch `json:"right"`
+}
+
+// handleRelational answers GET /query/relational: one statement of the
+// relational query language (?q=..., see internal/query/lang for the
+// grammar) compiled to the typed Query/Join/Aggregate structs and executed
+// by the engine. The response carries the executed plan — for joins, the
+// build side the planner picked, both cardinality estimates and the access
+// paths the probes ran through — plus matches, pairs or groups depending on
+// the statement shape.
+func (s *Server) handleRelational(w http.ResponseWriter, r *http.Request) {
+	d := newDecoder(r)
+	src := d.str("q")
+	if err := d.Err(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if src == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing q parameter (a relational query string)"))
+		return
+	}
+	res, err := lang.Run(s.engine, src)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	body := map[string]any{"query": src, "plan": res.Plan}
+	switch {
+	case res.Groups != nil:
+		body["count"] = len(res.Groups)
+		body["groups"] = res.Groups
+	case res.Pairs != nil:
+		pairs := make([]jsonPair, len(res.Pairs))
+		for i, p := range res.Pairs {
+			pairs[i] = jsonPair{Left: toJSONMatch(p.Left), Right: toJSONMatch(p.Right)}
+		}
+		body["count"] = len(pairs)
+		body["pairs"] = pairs
+	default:
+		matches := make([]jsonMatch, len(res.Matches))
+		for i, m := range res.Matches {
+			matches[i] = toJSONMatch(m)
+		}
+		body["count"] = len(matches)
+		body["matches"] = matches
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
 // jsonTrajectory is the wire form of one trajectory summary.
 type jsonTrajectory struct {
 	ID              string    `json:"id"`
@@ -254,7 +214,7 @@ type jsonTrajectory struct {
 // handleTrajectories answers GET /query/trajectories: summaries of the
 // stored trajectories, all of them or one object's (?object=).
 func (s *Server) handleTrajectories(w http.ResponseWriter, r *http.Request) {
-	object := r.URL.Query().Get("object")
+	object := newDecoder(r).str("object")
 	ids := s.st.TrajectoryIDs(object)
 	out := make([]jsonTrajectory, 0, len(ids))
 	for _, id := range ids {
@@ -283,7 +243,7 @@ func (s *Server) handleTrajectories(w http.ResponseWriter, r *http.Request) {
 // aggregation), all objects or one (?object=).
 func (s *Server) handleObjects(w http.ResponseWriter, r *http.Request) {
 	objects := s.st.Objects()
-	if filter := r.URL.Query().Get("object"); filter != "" {
+	if filter := newDecoder(r).str("object"); filter != "" {
 		objects = []string{filter}
 	}
 	counts := analytics.PerUserCounts(s.st, objects)

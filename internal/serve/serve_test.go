@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"strings"
 	"testing"
 	"time"
 
@@ -143,9 +144,77 @@ func TestEndpoints(t *testing.T) {
 	}
 }
 
+// TestRelationalEndpoint drives /query/relational through every statement
+// shape and checks the response against the same statement executed directly
+// on the engine.
+func TestRelationalEndpoint(t *testing.T) {
+	srv, engine := newTestServer(t)
+	rel := func(stmt string) string {
+		v := url.Values{}
+		v.Set("q", stmt)
+		return "/query/relational?" + v.Encode()
+	}
+
+	single := getJSON(t, srv, rel("stops where ann.poi_category = \"item sale\" limit 4"), http.StatusOK)
+	if single["plan"].(string) == "" || single["query"].(string) == "" {
+		t.Fatalf("plan/query echo missing: %v", single)
+	}
+	if ms := single["matches"].([]any); len(ms) == 0 || len(ms) > 4 {
+		t.Fatalf("single-table statement matches = %d", len(ms))
+	} else if ms[0].(map[string]any)["kind"] != "stop" {
+		t.Fatalf("match shape: %v", ms[0])
+	}
+
+	coloc := "stops join stops on distance <= 200 and within 1h and distinct objects"
+	pairs := getJSON(t, srv, rel(coloc), http.StatusOK)
+	plan := pairs["plan"].(string)
+	if !strings.Contains(plan, "build=") || !strings.Contains(plan, "probe=") {
+		t.Fatalf("join plan not echoed: %q", plan)
+	}
+	want, err := engine.ExecuteJoin(query.Join{
+		Left:  query.MustBuild(query.OnlyStops()),
+		Right: query.MustBuild(query.OnlyStops()),
+		On:    query.JoinOn{MaxDistance: 200, Within: time.Hour, DistinctObjects: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := pairs["pairs"].([]any) // present (possibly empty) — the join shape
+	if len(got) != len(want) {
+		t.Fatalf("endpoint returned %d pairs, engine %d", len(got), len(want))
+	}
+	for i, raw := range got {
+		p := raw.(map[string]any)
+		l := p["left"].(map[string]any)
+		r := p["right"].(map[string]any)
+		if l["object"] != want[i].Left.Ref.ObjectID || r["object"] != want[i].Right.Ref.ObjectID {
+			t.Fatalf("pair %d: endpoint %v/%v, engine %v/%v",
+				i, l["object"], r["object"], want[i].Left.Ref.ObjectID, want[i].Right.Ref.ObjectID)
+		}
+	}
+
+	groups := getJSON(t, srv, rel(coloc+" group by object distinct objects top 3"), http.StatusOK)
+	gs := groups["groups"].([]any)
+	if len(gs) > 3 {
+		t.Fatalf("top 3 returned %d groups", len(gs))
+	}
+	if len(want) > 0 && len(gs) == 0 {
+		t.Fatal("join found pairs but the aggregate found no groups")
+	}
+	for _, raw := range gs {
+		g := raw.(map[string]any)
+		if g["key"] == "" || g["value"].(float64) <= 0 {
+			t.Fatalf("group shape: %v", g)
+		}
+	}
+}
+
 func TestEndpointErrors(t *testing.T) {
 	srv, _ := newTestServer(t)
 	for _, path := range []string{
+		"/query/relational", // missing q
+		"/query/relational?q=" + url.QueryEscape("stops join stops on gravity"),
+		"/query/relational?q=" + url.QueryEscape("stops join stops on same object"),
 		"/query/episodes?kind=hover",
 		"/query/episodes?from=yesterday",
 		"/query/episodes?ann=poi_category",

@@ -442,6 +442,12 @@ func (s *Store) StructuredCount() int {
 // call is a thin wrapper over the index's inverted annotation list instead
 // of the full-table scan below. An empty value asks for tuples *without* the
 // key, which no inverted index can answer, so it always scans.
+//
+// Deprecated: use the query engine directly — query.Build(query.OnlyStops(),
+// query.WithAnnotation(key, value)) executed by query.Engine — which plans
+// across every access path, composes with the other predicates and feeds
+// joins and aggregation. This wrapper predates the engine, survives for the
+// engine-less store, and will not grow new capabilities.
 func (s *Store) QueryStopsByAnnotation(interpretation, key, value string) []*core.EpisodeTuple {
 	if value != "" {
 		if b := s.queryBackend(); b != nil {
@@ -483,6 +489,11 @@ func (s *Store) QueryStopsByAnnotation(interpretation, key, value string) []*cor
 // QueryTuplesInWindow returns the tuples of a trajectory's interpretation
 // overlapping the [from, to] time window. With a secondary index attached it
 // delegates to the index's per-object time-ordered list.
+//
+// Deprecated: use the query engine directly — query.Build(
+// query.ForTrajectory(id), query.Between(from, to)) executed by
+// query.Engine. This wrapper predates the engine, survives for the
+// engine-less store, and will not grow new capabilities.
 func (s *Store) QueryTuplesInWindow(trajectoryID, interpretation string, from, to time.Time) []*core.EpisodeTuple {
 	if b := s.queryBackend(); b != nil {
 		return b.TuplesInWindow(trajectoryID, interpretation, from, to)

@@ -133,6 +133,10 @@ func TestConcurrentQueryIngest(t *testing.T) {
 		go func(g int) {
 			defer readers.Done()
 			qs := raceQueries(objects, base)
+			saleStops := query.MustBuild(
+				query.OnlyStops(),
+				query.WithAnnotation(core.AnnPOICategory, "item sale"),
+			)
 			for i := 0; ; i++ {
 				// Exit once ingestion finished — but never before completing
 				// one full pass over the query mix: on a slow machine the
@@ -153,8 +157,12 @@ func TestConcurrentQueryIngest(t *testing.T) {
 					t.Error(err)
 					return
 				}
-				// Interleave the store's wrapper queries too.
-				pipeline.Store().QueryStopsByAnnotation("merged", core.AnnPOICategory, "item sale")
+				// Interleave a builder-built query too (the typed
+				// replacement of the deprecated store wrapper).
+				if _, err := engine.Execute(saleStops); err != nil {
+					t.Error(err)
+					return
+				}
 				hitsMu.Lock()
 				for _, m := range ms {
 					hits = append(hits, hit{q: q, m: m})
@@ -246,8 +254,8 @@ func bruteMatchesQuery(q query.Query, ref store.TupleRef, tp core.EpisodeTuple) 
 }
 
 // TestQueryEngineLazyAttach checks the other construction order: batch
-// ingest first, engine second (backfill), and that the engine serves the
-// store wrappers afterwards.
+// ingest first, engine second (backfill), and that the backfilled engine
+// answers exactly what the engine-less store's scan path answered.
 func TestQueryEngineLazyAttach(t *testing.T) {
 	city := newTestCity(t, 1, 3000)
 	records := peopleRecords(t, city, 2, 1, 5)
@@ -255,31 +263,39 @@ func TestQueryEngineLazyAttach(t *testing.T) {
 	if _, err := pipeline.ProcessRecords(records); err != nil {
 		t.Fatal(err)
 	}
+	// Pre-engine there is no engine surface yet; the deprecated wrapper's
+	// full scan is the baseline the backfill is checked against.
+	//lint:ignore SA1019 the engine-less scan is exactly what backfill must reproduce
 	before := pipeline.Store().QueryStopsByAnnotation("merged", core.AnnPOICategory, "item sale")
 	engine := pipeline.QueryEngine()
 	if engine != pipeline.QueryEngine() {
 		t.Fatal("QueryEngine must be a singleton per pipeline")
 	}
-	after := pipeline.Store().QueryStopsByAnnotation("merged", core.AnnPOICategory, "item sale")
-	if len(before) != len(after) {
-		t.Fatalf("indexed wrapper returned %d stops, scan returned %d", len(after), len(before))
-	}
-	for i := range before {
-		if before[i].TimeIn != after[i].TimeIn || before[i].Annotations.String() != after[i].Annotations.String() {
-			t.Fatalf("wrapper hit %d differs from scan: %v vs %v", i, after[i], before[i])
-		}
-	}
 	stats := engine.IndexStats()
 	if stats.IndexedTuples == 0 || stats.Objects == 0 {
 		t.Fatalf("backfill indexed nothing: %+v", stats)
 	}
-	// The engine answers a typed query equivalently to the wrapper.
-	stop := episode.Stop
-	ms, err := engine.Execute(query.Query{Kind: &stop, AnnKey: core.AnnPOICategory, AnnValue: "item sale"})
+	// The backfilled engine answers the typed equivalent identically.
+	ms, err := engine.Execute(query.MustBuild(
+		query.OnlyStops(),
+		query.InInterpretation("merged"),
+		query.WithAnnotation(core.AnnPOICategory, "item sale"),
+	))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ms) != len(after) {
-		t.Fatalf("typed query found %d, wrapper %d", len(ms), len(after))
+	if len(ms) != len(before) {
+		t.Fatalf("typed query found %d, pre-engine scan %d", len(ms), len(before))
+	}
+	want := map[string]int{}
+	for _, tp := range before {
+		want[tp.TimeIn.String()+"|"+tp.Annotations.String()]++
+	}
+	for _, m := range ms {
+		k := m.Tuple.TimeIn.String() + "|" + m.Tuple.Annotations.String()
+		if want[k] == 0 {
+			t.Fatalf("engine hit %v not in pre-engine scan", m.Tuple)
+		}
+		want[k]--
 	}
 }

@@ -56,6 +56,27 @@ probe "/query/trajectories" "trajectories"
 probe "/query/objects" "objects"
 probe "/stats" "index"
 
+# The relational endpoint: a declarative statement must come back with its
+# plan echoed, and a join+aggregate statement must return the group shape.
+probe_rel() {
+	local stmt=$1 want=$2
+	local body
+	body=$(curl -fsS -G --data-urlencode "q=$stmt" "http://$addr/query/relational")
+	if [ -z "$body" ]; then
+		echo "FAIL /query/relational [$stmt]: empty body" >&2
+		exit 1
+	fi
+	if ! printf '%s' "$body" | grep -q "\"$want\""; then
+		echo "FAIL /query/relational [$stmt]: body lacks \"$want\": $body" >&2
+		exit 1
+	fi
+	echo "ok GET /query/relational [$stmt]"
+}
+
+probe_rel 'stops where ann.poi_category = "item sale" limit 5' "matches"
+probe_rel 'stops join stops on distance <= 200 and within 1h and distinct objects' "pairs"
+probe_rel 'stops join stops on distance <= 200 and within 1h and distinct objects group by object distinct objects top 5' "groups"
+
 # A malformed query must answer 400 with an error body, not 200 or a crash.
 status=$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/query/episodes?kind=hover")
 if [ "$status" != "400" ]; then
@@ -63,5 +84,21 @@ if [ "$status" != "400" ]; then
 	exit 1
 fi
 echo "ok GET /query/episodes?kind=hover -> 400"
+
+# Same for a malformed relational statement: 400 plus a structured
+# {"error": ...} body.
+bad=$(curl -s -G --data-urlencode 'q=stops join stops on gravity' \
+	-w '\n%{http_code}' "http://$addr/query/relational")
+status=${bad##*$'\n'}
+body=${bad%$'\n'*}
+if [ "$status" != "400" ]; then
+	echo "FAIL bad relational statement: status $status, want 400" >&2
+	exit 1
+fi
+if ! printf '%s' "$body" | grep -q '"error"'; then
+	echo "FAIL bad relational statement: body lacks \"error\": $body" >&2
+	exit 1
+fi
+echo "ok GET /query/relational [bad statement] -> 400 with error body"
 
 echo "serve smoke passed"
