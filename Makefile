@@ -14,8 +14,10 @@ test:
 # Race-detector pass focused on the concurrency surface: the batch/stream
 # parity suite (sequential + concurrent-interleaving variants), the fan-in
 # driver, the lock-striped store, the query engine's concurrent read path
-# (queries racing live ingestion) and the durability parity suite
-# (checkpoints racing concurrent WAL-logged ingestion).
+# (queries racing live ingestion — including the parallel executor, forced
+# on via QueryParallelism in the relational ingest test), the parallel
+# determinism property tests and the durability parity suite (checkpoints
+# racing concurrent WAL-logged ingestion).
 race:
 	$(GO) test -race -count=1 -run 'TestBatchStreamParity|TestAddBatchConcurrent|TestConcurrent|TestStream|TestQuery|TestDurable' .
 	$(GO) test -race -count=1 ./internal/store/ ./internal/query/ ./internal/wal/

@@ -1,24 +1,28 @@
 // Command semitri-bench regenerates the tables and figures of the SeMiTri
 // paper's evaluation (§5) on synthetic stand-in datasets and prints the
-// resulting rows. Use -exp to run a single experiment or "all" (default) to
-// run the full suite in the order of the paper.
+// resulting rows. Use -exp with one id, a comma-separated list of ids, or
+// "all" (default) to run the full suite in the order of the paper.
 //
 // Usage:
 //
-//	semitri-bench [-exp all|table1|table2|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig17|compression|ablation-mapmatch|ablation-hmm|lookup|query|relational|durability]
+//	semitri-bench [-exp all|table1|table2|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig17|compression|ablation-mapmatch|ablation-hmm|stream|lookup|query|relational|durability|parallel]
 //	              [-seed 2026] [-scale 1.0] [-json FILE]
 //
-// Four experiments are not paper figures: "lookup" reports the
-// spatial-layer hot path (the per-record candidate lookups of the three
-// annotation layers, cached vs uncached) including a combined ns/record
-// number, "query" reports the read path (typed queries through the query
-// engine's indexes versus the full-scan baseline, ns/query), "relational"
-// reports the cross-object layer (ingest ns/record, ns/query per access
-// path, the ns/join of the build/probe co-location join and the parsed
-// query language end to end), and "durability" reports what the write-ahead
-// log costs streaming ingestion (WAL-on vs WAL-off ns/record, group-commit
-// fsync) plus crash-recovery timings (log replay and snapshot+tail),
-// verified exact against the live store.
+// Six experiments are not paper figures: "stream" reports streaming
+// ingestion itself (serial ns/record vs the object-sharded concurrent
+// fan-in), "lookup" reports the spatial-layer hot path (the per-record
+// candidate lookups of the three annotation layers, cached vs uncached)
+// including a combined ns/record number, "query" reports the read path
+// (typed queries through the query engine's indexes versus the full-scan
+// baseline, ns/query), "relational" reports the cross-object layer (ingest
+// ns/record, ns/query per access path, the ns/join of the build/probe
+// co-location join and the parsed query language end to end), "durability"
+// reports what the write-ahead log costs streaming ingestion (WAL-on vs
+// WAL-off ns/record, group-commit fsync) plus crash-recovery timings (log
+// replay and snapshot+tail), verified exact against the live store, and
+// "parallel" reports the parallel query executor (ns/join and ns/query at
+// workers=1 vs workers=N, byte-identical results asserted, plus allocs/op
+// of the probe hot path).
 //
 // -json additionally writes every regenerated table to FILE as one JSON
 // document ({seed, scale, tables: [...]}) — what the bench-smoke CI job
@@ -37,7 +41,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id to run, or 'all'")
+	exp := flag.String("exp", "all", "comma-separated experiment ids to run, or 'all'")
 	seed := flag.Int64("seed", 2026, "random seed for the synthetic environment and workloads")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (smaller is faster)")
 	list := flag.Bool("list", false, "list available experiment ids and exit")
@@ -53,11 +57,22 @@ func main() {
 	}
 	ids := experiments.Order
 	if *exp != "all" {
-		if _, ok := experiments.Registry[*exp]; !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; known ids: %s\n", *exp, strings.Join(experiments.Order, ", "))
+		ids = nil
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			if _, ok := experiments.Registry[id]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; known ids: %s\n", id, strings.Join(experiments.Order, ", "))
+				os.Exit(2)
+			}
+			ids = append(ids, id)
+		}
+		if len(ids) == 0 {
+			fmt.Fprintf(os.Stderr, "no experiment ids given; known ids: %s\n", strings.Join(experiments.Order, ", "))
 			os.Exit(2)
 		}
-		ids = []string{*exp}
 	}
 	fmt.Printf("building synthetic environment (seed=%d, scale=%.2f)...\n", *seed, *scale)
 	start := time.Now()

@@ -13,6 +13,7 @@
 //	              [-stream-workers 4] [-wait] [-progress 20000]
 //	              [-data-dir dir] [-flush-interval 50ms]
 //	              [-fsync interval|always|never] [-checkpoint-interval 1m]
+//	              [-query-parallelism 0] [-pprof]
 //
 // With -in omitted a small people dataset is generated, sized by -users and
 // -days. With -wait the server only starts listening once ingestion has
@@ -44,6 +45,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sync/atomic"
@@ -71,6 +73,8 @@ func main() {
 	flushInterval := flag.Duration("flush-interval", 50*time.Millisecond, "WAL group-commit window (with -data-dir)")
 	fsync := flag.String("fsync", "interval", "WAL fsync policy: interval | always | never (with -data-dir)")
 	checkpointInterval := flag.Duration("checkpoint-interval", time.Minute, "checkpoint schedule, 0 disables (with -data-dir)")
+	queryParallelism := flag.Int("query-parallelism", 0, "query engine worker cap (0 = GOMAXPROCS, 1 = serial)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the serving mux")
 	flag.Parse()
 
 	city, err := workload.NewCity(workload.DefaultCityConfig(*seed, *pois))
@@ -82,6 +86,7 @@ func main() {
 		cfg = semitri.VehicleConfig()
 		cfg.DailySplit = false
 	}
+	cfg.QueryParallelism = *queryParallelism
 	if *dataDir != "" {
 		cfg.Durability = semitri.Durability{
 			Dir:                *dataDir,
@@ -164,7 +169,22 @@ func main() {
 		}
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: server.Handler()}
+	handler := server.Handler()
+	if *pprofOn {
+		// Wrap the API mux in an outer one that also mounts the pprof
+		// handlers, so profiles of the live parallel executor are one curl
+		// away without exposing them by default.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		fmt.Fprintf(os.Stderr, "pprof mounted at %s/debug/pprof/\n", *addr)
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "serving on %s\n", *addr)

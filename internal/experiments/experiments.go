@@ -144,15 +144,17 @@ var Registry = map[string]func(*Env) (*Table, error){
 	"compression":       Compression,
 	"ablation-mapmatch": AblationMapMatching,
 	"ablation-hmm":      AblationHMM,
+	"stream":            Stream,
 	"lookup":            Lookup,
 	"query":             QueryServing,
 	"relational":        Relational,
 	"durability":        DurabilityOverhead,
+	"parallel":          Parallel,
 }
 
 // Order lists the experiment ids in presentation order (the order of §5).
 var Order = []string{
 	"table1", "table2", "fig9", "fig10", "fig11", "fig12", "fig13",
 	"fig14", "fig15", "fig17", "compression", "ablation-mapmatch", "ablation-hmm",
-	"lookup", "query", "relational", "durability",
+	"stream", "lookup", "query", "relational", "durability", "parallel",
 }

@@ -3,7 +3,9 @@ package query
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"semitri/internal/core"
@@ -57,6 +59,12 @@ type Aggregate struct {
 	// K caps the number of groups returned (after the deterministic
 	// ranking); 0 means all.
 	K int
+	// Workers caps the fold's worker pool. Values below 1 mean
+	// runtime.GOMAXPROCS(0); folds under DefaultSerialThreshold rows stay
+	// serial regardless. The result is byte-identical at any worker count:
+	// per-worker partial group maps merge by exact integer sums and set
+	// unions, then rank deterministically.
+	Workers int
 }
 
 // Validate checks the structural invariants of the aggregate.
@@ -174,26 +182,44 @@ func overlap(l, r *core.EpisodeTuple) time.Duration {
 }
 
 // fold runs the shared accumulation: n rows described by row(i) → (group
-// key, keep, object id for distinct counting, duration contribution).
+// key, keep, object id for distinct counting, duration contribution). Large
+// folds split the row range statically across workers, each folding into a
+// private partial map; the partials merge by integer sums and set unions —
+// exact and order-independent — so the ranked output is byte-identical to a
+// serial fold.
 func fold(a Aggregate, n int, row func(i int) (string, bool, string, time.Duration)) ([]Group, error) {
+	workers := a.foldWorkers(n)
 	groups := map[string]*accum{}
-	for i := 0; i < n; i++ {
-		key, ok, obj, dur := row(i)
-		if !ok {
-			continue
+	if workers <= 1 {
+		foldRange(&a, 0, n, row, groups)
+	} else {
+		parts := make([]map[string]*accum, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			parts[w] = map[string]*accum{}
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				foldRange(&a, w*n/workers, (w+1)*n/workers, row, parts[w])
+			}(w)
 		}
-		g := groups[key]
-		if g == nil {
-			g = &accum{}
-			groups[key] = g
-		}
-		g.count++
-		g.dur += dur
-		if a.metric() == MetricDistinctObjects {
-			if g.objects == nil {
-				g.objects = map[string]bool{}
+		wg.Wait()
+		for _, part := range parts {
+			for key, p := range part {
+				g := groups[key]
+				if g == nil {
+					groups[key] = p
+					continue
+				}
+				g.count += p.count
+				g.dur += p.dur
+				for obj := range p.objects {
+					if g.objects == nil {
+						g.objects = map[string]bool{}
+					}
+					g.objects[obj] = true
+				}
 			}
-			g.objects[obj] = true
 		}
 	}
 	out := make([]Group, 0, len(groups))
@@ -219,4 +245,40 @@ func fold(a Aggregate, n int, row func(i int) (string, bool, string, time.Durati
 		out = out[:a.K]
 	}
 	return out, nil
+}
+
+// foldWorkers sizes the fold's pool for n rows.
+func (a *Aggregate) foldWorkers(n int) int {
+	w := a.Workers
+	if w < 1 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w <= 1 || n < DefaultSerialThreshold {
+		return 1
+	}
+	return min(w, n)
+}
+
+// foldRange folds rows [lo, hi) into groups.
+func foldRange(a *Aggregate, lo, hi int, row func(i int) (string, bool, string, time.Duration), groups map[string]*accum) {
+	distinct := a.metric() == MetricDistinctObjects
+	for i := lo; i < hi; i++ {
+		key, ok, obj, dur := row(i)
+		if !ok {
+			continue
+		}
+		g := groups[key]
+		if g == nil {
+			g = &accum{}
+			groups[key] = g
+		}
+		g.count++
+		g.dur += dur
+		if distinct {
+			if g.objects == nil {
+				g.objects = map[string]bool{}
+			}
+			g.objects[obj] = true
+		}
+	}
 }

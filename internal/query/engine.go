@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -47,6 +48,10 @@ type Engine struct {
 	// total counts indexed tuple positions — the full-scan cost estimate,
 	// atomic so planning never locks for it.
 	total atomic.Int64
+	// par and serialThreshold hold the Options knobs (see parallel.go);
+	// atomic so SetParallelism is safe against in-flight queries.
+	par             atomic.Int32
+	serialThreshold atomic.Int32
 }
 
 // objectShard is one object-routed stripe: time postings and the indexed
@@ -94,9 +99,24 @@ type annKey struct {
 	value  string
 }
 
-// hash routes the key to an annotation stripe.
+// hash routes the key to an annotation stripe: FNV-1a over the three fields
+// with NUL separators, folded incrementally so no joined string is ever
+// allocated — this runs once per annotation on the ingest path and once per
+// estimate/gather on the query path.
 func (k annKey) hash() uint32 {
-	return store.KeyHash(k.interp + "\x00" + k.key + "\x00" + k.value)
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for _, s := range [...]string{k.interp, k.key, k.value} {
+		for i := 0; i < len(s); i++ {
+			h ^= uint32(s[i])
+			h *= prime32
+		}
+		h *= prime32 // the NUL separator: h ^= 0 is a no-op
+	}
+	return h
 }
 
 // stKey addresses one structured trajectory.
@@ -119,17 +139,24 @@ type timedRef struct {
 // city-scale episode geometry (a few hundred metres per stop/move).
 const SpatialCellSize = 250.0
 
-// NewEngine builds an engine over the store, attaches it to the store's
-// append path and backfills the indexes from the store's current content.
-// Creating a second engine over the same store detaches the first from
-// future updates.
+// NewEngine builds an engine over the store with default Options, attaches
+// it to the store's append path and backfills the indexes from the store's
+// current content. Creating a second engine over the same store detaches the
+// first from future updates.
 func NewEngine(st *store.Store) *Engine {
+	return NewEngineWith(st, Options{})
+}
+
+// NewEngineWith is NewEngine with explicit execution Options.
+func NewEngineWith(st *store.Store, opts Options) *Engine {
 	n := st.ShardCount()
 	e := &Engine{
 		st:        st,
 		objShards: make([]*objectShard, n),
 		annShards: make([]*annShard, n),
 	}
+	e.par.Store(int32(opts.Parallelism))
+	e.serialThreshold.Store(int32(opts.SerialThreshold))
 	for i := 0; i < n; i++ {
 		e.objShards[i] = &objectShard{
 			objects: map[string][]timedRef{},
@@ -294,7 +321,7 @@ func (e *Engine) Execute(q Query) ([]Match, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	return e.execute(q, e.plan(q)), nil
+	return e.executeBuf(&q, e.planLean(&q, &estimates{}), nil, 0), nil
 }
 
 // ExecuteExplained runs the query and also returns the plan it executed.
@@ -304,18 +331,24 @@ func (e *Engine) ExecuteExplained(q Query) ([]Match, Plan, error) {
 		return nil, Plan{}, err
 	}
 	p := e.plan(q)
-	return e.execute(q, p), p, nil
+	return e.executeBuf(&q, p.Path, nil, 0), p, nil
 }
 
-// execute gathers the chosen path's candidates, resolves them against the
-// store and verifies every predicate. q is normalized and valid.
-func (e *Engine) execute(q Query, p Plan) []Match {
-	var out []Match
-	switch p.Path {
+// executeBuf gathers the chosen path's candidates, resolves them against the
+// store, verifies every predicate and appends the matches to out (reusing
+// its capacity), returning them in canonical order with Limit applied. q is
+// normalized and valid, and must not escape — callers may reuse it.
+// maxWorkers further caps the engine's parallelism for this execution; join
+// probes pass 1 so the per-row fan-out (already parallel across rows) never
+// nests goroutine pools.
+func (e *Engine) executeBuf(q *Query, path Path, out []Match, maxWorkers int) []Match {
+	switch path {
 	case PathTrajectory:
+		// Stored order is canonical order (one object, one trajectory,
+		// ascending positions), so the limit stops the walk early.
 		objectID, tuples, ok := e.st.TupleSnapshot(q.TrajectoryID, q.Interpretation)
 		if !ok {
-			return nil
+			return out
 		}
 		for i := range tuples {
 			ref := store.TupleRef{
@@ -326,30 +359,34 @@ func (e *Engine) execute(q Query, p Plan) []Match {
 			}
 			if q.matches(ref, &tuples[i]) {
 				out = append(out, Match{Ref: ref, Tuple: tuples[i]})
+				if q.Limit > 0 && len(out) >= q.Limit {
+					break
+				}
 			}
 		}
+		return out
 	case PathScan:
-		e.st.VisitStructuredTuples(q.Interpretation, func(ref store.TupleRef, t core.EpisodeTuple) bool {
-			if q.matches(ref, &t) {
-				out = append(out, Match{Ref: ref, Tuple: t})
-			}
-			return true
-		})
-	default:
-		out = e.resolve(q, e.gather(q, p.Path))
+		// Stripe order is not canonical, so the scan collects everything and
+		// sorts; the comparator is a total order on the unique ref key, so
+		// the stripe interleaving of a parallel scan cannot show.
+		out = e.scanMatches(q, out, maxWorkers)
+		sort.Slice(out, func(i, j int) bool { return out[i].less(&out[j]) })
+		if q.Limit > 0 && len(out) > q.Limit {
+			out = out[:q.Limit]
+		}
+		return out
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].less(&out[j]) })
-	if q.Limit > 0 && len(out) > q.Limit {
-		out = out[:q.Limit]
-	}
+	sc := getScratch()
+	sc.refs = e.gatherInto(q, path, sc.refs[:0])
+	out = e.resolveRefs(q, sc, out, maxWorkers)
+	putScratch(sc)
 	return out
 }
 
-// gather collects candidate refs from one indexed access path. Prefilters
+// gatherInto appends candidate refs from one indexed access path. Prefilters
 // use only immutable posting fields; the authoritative check happens at
 // resolution.
-func (e *Engine) gather(q Query, path Path) []store.TupleRef {
-	var refs []store.TupleRef
+func (e *Engine) gatherInto(q *Query, path Path, refs []store.TupleRef) []store.TupleRef {
 	switch path {
 	case PathAnnotation:
 		k := annKey{interp: q.Interpretation, key: q.AnnKey, value: q.AnnValue}
@@ -412,19 +449,27 @@ func (q *Query) spatialRect() geo.Rect {
 	return r
 }
 
-// resolve turns candidate refs into verified matches: dedup (paths can
+// resolveRefs turns candidate refs into verified matches: dedup (paths can
 // nominate a ref more than once — stale postings, re-annotation), resolve
-// against the store, re-check every predicate. The refs are sorted —
-// which both deduplicates (adjacent equals) and groups by trajectory with
-// no map allocations — and each trajectory's run resolves with one store
-// lock (Store.TuplesAt). This is what makes indexed execution cheaper per
-// candidate than a scan is per tuple. refs is consumed (sorted in place).
-func (e *Engine) resolve(q Query, refs []store.TupleRef) []Match {
+// against the store, re-check every predicate. The refs in sc are sorted into
+// the canonical *output* order — (object, trajectory, interpretation,
+// position) — which deduplicates (adjacent equals), groups by trajectory
+// with no map allocations, and means resolution emits matches already in
+// final order: a limit stops the work as soon as it is met instead of after
+// resolving everything, and parallel chunks concatenate without a merge
+// sort. Each trajectory's run resolves with one store lock (one
+// Store.AppendTuplesAt batch) — this is what makes indexed execution cheaper
+// per candidate than a scan is per tuple.
+func (e *Engine) resolveRefs(q *Query, sc *scratch, out []Match, maxWorkers int) []Match {
+	refs := sc.refs
 	if len(refs) == 0 {
-		return nil
+		return out
 	}
 	sort.Slice(refs, func(i, j int) bool {
 		a, b := &refs[i], &refs[j]
+		if a.ObjectID != b.ObjectID {
+			return a.ObjectID < b.ObjectID
+		}
 		if a.TrajectoryID != b.TrajectoryID {
 			return a.TrajectoryID < b.TrajectoryID
 		}
@@ -433,23 +478,46 @@ func (e *Engine) resolve(q Query, refs []store.TupleRef) []Match {
 		}
 		return a.Index < b.Index
 	})
-	out := make([]Match, 0, len(refs))
-	indexes := make([]int, 0, 16)
+	workers := e.workersFor(len(refs))
+	if maxWorkers >= 1 {
+		workers = min(workers, maxWorkers)
+	}
+	if workers <= 1 {
+		return e.resolveChunk(nil, q, refs, out, sc)
+	}
+	return e.resolveParallel(q, refs, out, workers)
+}
+
+// resolveChunk resolves one contiguous range of canonically sorted refs,
+// appending verified matches to out in that same order. It stops early once
+// q.Limit matches are appended (the range's output prefix is the final
+// output prefix), and, when ctx is non-nil, abandons the range between
+// trajectory groups if a parallel sibling already satisfied the limit.
+func (e *Engine) resolveChunk(ctx context.Context, q *Query, refs []store.TupleRef, out []Match, sc *scratch) []Match {
+	base := len(out)
 	for lo := 0; lo < len(refs); {
+		if ctx != nil {
+			select {
+			case <-ctx.Done():
+				return out
+			default:
+			}
+		}
 		hi := lo + 1
 		for hi < len(refs) &&
 			refs[hi].TrajectoryID == refs[lo].TrajectoryID &&
 			refs[hi].Interpretation == refs[lo].Interpretation {
 			hi++
 		}
-		indexes = indexes[:0]
+		indexes := sc.indexes[:0]
 		for i := lo; i < hi; i++ {
 			if i > lo && refs[i].Index == refs[i-1].Index {
 				continue // duplicate posting
 			}
 			indexes = append(indexes, refs[i].Index)
 		}
-		tuples, ok := e.st.TuplesAt(refs[lo].TrajectoryID, refs[lo].Interpretation, indexes)
+		tuples, ok := e.st.AppendTuplesAt(refs[lo].TrajectoryID, refs[lo].Interpretation, indexes, sc.tuples[:0], sc.ok[:0])
+		sc.indexes, sc.tuples, sc.ok = indexes, tuples, ok
 		for i, idx := range indexes {
 			if !ok[i] {
 				continue // stale posting: the interpretation shrank on replace
@@ -460,6 +528,9 @@ func (e *Engine) resolve(q Query, refs []store.TupleRef) []Match {
 				continue
 			}
 			out = append(out, Match{Ref: ref, Tuple: tuples[i]})
+			if q.Limit > 0 && len(out)-base >= q.Limit {
+				return out
+			}
 		}
 		lo = hi
 	}
@@ -478,11 +549,17 @@ type Stats struct {
 	SpatialItems int
 	// Shards is the number of stripes per index.
 	Shards int
+	// Parallelism is the effective worker cap of parallel execution.
+	Parallelism int
 }
 
 // IndexStats returns a snapshot of the engine's index state.
 func (e *Engine) IndexStats() Stats {
-	st := Stats{Shards: len(e.objShards), IndexedTuples: int(e.total.Load())}
+	st := Stats{
+		Shards:        len(e.objShards),
+		IndexedTuples: int(e.total.Load()),
+		Parallelism:   e.Parallelism(),
+	}
 	for _, sh := range e.objShards {
 		sh.mu.RLock()
 		st.Objects += len(sh.objects)

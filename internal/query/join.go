@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -144,10 +146,19 @@ type JoinPlan struct {
 	// the build decision compared.
 	LeftEstimate  int
 	RightEstimate int
+	// Workers is the probe worker-pool size the plan calls for, derived from
+	// the engine's parallelism and the build-side estimate (1 = serial).
+	// After execution it reports the pool size actually used.
+	Workers int
 	// ProbePaths counts, per access path, how many per-row probes of the
 	// other side executed through it. Nil when the plan was not executed
 	// (ExplainJoin).
 	ProbePaths map[Path]int
+	// WorkerProbes is the per-worker probe histogram of an executed parallel
+	// join: WorkerProbes[w] counts the build rows worker w probed. Rows are
+	// handed out dynamically, so the spread shows the pool's load balance.
+	// Nil when the plan was not executed or execution was serial.
+	WorkerProbes []int
 }
 
 // String renders the join plan compactly, e.g.
@@ -161,6 +172,18 @@ func (p JoinPlan) String() string {
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "build=%s(%s) probe=%s≈%d", p.BuildSide, p.Build, probe, probeEst)
+	if p.Workers > 1 {
+		fmt.Fprintf(&b, " workers=%d", p.Workers)
+	}
+	if len(p.WorkerProbes) > 0 {
+		b.WriteString(" probes/worker=")
+		for i, n := range p.WorkerProbes {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", n)
+		}
+	}
 	if len(p.ProbePaths) > 0 {
 		paths := make([]Path, 0, len(p.ProbePaths))
 		for path := range p.ProbePaths {
@@ -212,6 +235,8 @@ func (e *Engine) planJoin(left, right Query) JoinPlan {
 		jp.BuildSide = SideRight
 		jp.Build = rp
 	}
+	// The probe pool is sized by the build estimate: one row = one probe task.
+	jp.Workers = e.workersFor(jp.Build.Estimates[jp.Build.Path])
 	return jp
 }
 
@@ -232,7 +257,8 @@ func (e *Engine) ExecuteJoin(j Join) ([]JoinMatch, error) {
 }
 
 // ExecuteJoinExplained runs the join and also returns the plan it executed,
-// probe-path histogram included.
+// probe-path histogram (and, when parallel, per-worker probe counts)
+// included.
 //
 // Execution materialises the build side through its own planned access path,
 // then probes the other side once per build row with a derived query: the
@@ -246,42 +272,79 @@ func (e *Engine) ExecuteJoin(j Join) ([]JoinMatch, error) {
 // re-verified against the probe side's original predicates and the full
 // pair predicate, so over-approximation in the derivation never leaks into
 // results.
+//
+// Build rows are independent probe tasks, so they fan out over a bounded
+// worker pool (JoinPlan.Workers; serial under the engine's threshold). Rows
+// are handed out dynamically for load balance, each worker appends pairs to
+// its own buffer, and per-row spans re-assemble the pairs in build-row order
+// before the canonical sort — the result is byte-identical to serial
+// execution at any worker count.
 func (e *Engine) ExecuteJoinExplained(j Join) ([]JoinMatch, JoinPlan, error) {
 	left, right, err := validateJoin(&j)
 	if err != nil {
 		return nil, JoinPlan{}, err
 	}
 	jp := e.planJoin(left, right)
-	jp.ProbePaths = map[Path]int{}
 
 	build, probe := left, right
 	if jp.BuildSide == SideRight {
 		build, probe = right, left
 	}
-	rows := e.execute(build, jp.Build)
+	rows := e.executeBuf(&build, jp.Build.Path, nil, 0)
+	workers := e.workersFor(len(rows))
+	jp.Workers = workers
+
 	var out []JoinMatch
-	for i := range rows {
-		b := &rows[i]
-		pq, ok := probeQuery(probe, b, &j.On)
-		if !ok {
-			continue // the row can pair with nothing (no geometry, contradiction)
+	var hist [numPaths]int
+	if workers <= 1 {
+		w := probeWorker{e: e}
+		for i := range rows {
+			w.probeRow(&rows[i], &probe, &j.On, jp.BuildSide)
 		}
-		pplan := e.plan(pq)
-		jp.ProbePaths[pplan.Path]++
-		for _, c := range e.execute(pq, pplan) {
-			// The derived query may have replaced a spatial predicate with a
-			// tighter disc; re-check the probe side's own predicates exactly.
-			if !probe.matches(c.Ref, &c.Tuple) {
-				continue
+		out = w.pairs
+		hist = w.hist
+	} else {
+		pool := make([]probeWorker, workers)
+		spans := make([]pairSpan, len(rows))
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for wi := 0; wi < workers; wi++ {
+			wg.Add(1)
+			go func(wi int) {
+				defer wg.Done()
+				w := &pool[wi]
+				w.e = e
+				for {
+					ri := int(next.Add(1)) - 1
+					if ri >= len(rows) {
+						return
+					}
+					lo, hi := w.probeRow(&rows[ri], &probe, &j.On, jp.BuildSide)
+					spans[ri] = pairSpan{worker: wi, lo: lo, hi: hi}
+				}
+			}(wi)
+		}
+		wg.Wait()
+		total := 0
+		jp.WorkerProbes = make([]int, workers)
+		for wi := range pool {
+			total += len(pool[wi].pairs)
+			jp.WorkerProbes[wi] = pool[wi].probes
+			for r := 0; r < numPaths; r++ {
+				hist[r] += pool[wi].hist[r]
 			}
-			pair := JoinMatch{Left: *b, Right: c}
-			if jp.BuildSide == SideRight {
-				pair.Left, pair.Right = c, *b
+		}
+		if total > 0 {
+			out = make([]JoinMatch, 0, total)
+			for _, sp := range spans {
+				out = append(out, pool[sp.worker].pairs[sp.lo:sp.hi]...)
 			}
-			if !j.On.pairMatches(&pair.Left, &pair.Right) {
-				continue
-			}
-			out = append(out, pair)
+		}
+	}
+	jp.ProbePaths = map[Path]int{}
+	for r := 0; r < numPaths; r++ {
+		if hist[r] > 0 {
+			jp.ProbePaths[rankedPaths[r]] = hist[r]
 		}
 	}
 	sort.Slice(out, func(i, k int) bool { return out[i].less(&out[k]) })
@@ -289,6 +352,58 @@ func (e *Engine) ExecuteJoinExplained(j Join) ([]JoinMatch, JoinPlan, error) {
 		out = out[:j.Limit]
 	}
 	return out, jp, nil
+}
+
+// pairSpan locates one build row's pairs inside its worker's buffer.
+type pairSpan struct {
+	worker, lo, hi int
+}
+
+// probeWorker is one probe-pool worker's private state: the pair buffer its
+// rows append into, a reusable match buffer for probe execution, a reusable
+// estimates block for lean planning, and its share of the probe-path
+// histogram. Nothing here is shared, so the probe loop runs lock-free and,
+// at steady state, allocation-free.
+type probeWorker struct {
+	e      *Engine
+	pairs  []JoinMatch
+	mbuf   []Match
+	est    estimates
+	hist   [numPaths]int
+	probes int
+}
+
+// probeRow derives, plans and executes the probe of one build row, appending
+// the verified pairs to w.pairs and returning their span. Probe execution is
+// capped at one worker: the fan-out across rows already owns the pool, so
+// per-probe parallelism would only oversubscribe it.
+func (w *probeWorker) probeRow(b *Match, probe *Query, on *JoinOn, buildSide Side) (lo, hi int) {
+	lo = len(w.pairs)
+	pq, ok := probeQuery(*probe, b, on)
+	if !ok {
+		return lo, lo // the row can pair with nothing (no geometry, contradiction)
+	}
+	path := w.e.planLean(&pq, &w.est)
+	w.hist[pathRank(path)]++
+	w.probes++
+	w.mbuf = w.e.executeBuf(&pq, path, w.mbuf[:0], 1)
+	for i := range w.mbuf {
+		c := &w.mbuf[i]
+		// The derived query may have replaced a spatial predicate with a
+		// tighter disc; re-check the probe side's own predicates exactly.
+		if !probe.matches(c.Ref, &c.Tuple) {
+			continue
+		}
+		pair := JoinMatch{Left: *b, Right: *c}
+		if buildSide == SideRight {
+			pair.Left, pair.Right = *c, *b
+		}
+		if !on.pairMatches(&pair.Left, &pair.Right) {
+			continue
+		}
+		w.pairs = append(w.pairs, pair)
+	}
+	return lo, len(w.pairs)
 }
 
 // probeQuery derives the per-row probe: the probe side's query tightened by

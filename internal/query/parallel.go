@@ -1,0 +1,248 @@
+// Parallel execution: the worker-pool machinery behind Execute, ExecuteJoin
+// and Aggregate.
+//
+// Every parallel path in this package preserves one invariant: the result is
+// byte-identical — order included — to what serial execution produces. The
+// techniques are:
+//
+//   - candidate resolution sorts refs into the canonical output order first,
+//     splits them into contiguous chunks at trajectory-group boundaries
+//     (duplicate postings stay adjacent inside one chunk, and each
+//     trajectory's batch resolves under one stripe lock), resolves chunks
+//     concurrently and concatenates the per-chunk outputs in chunk order;
+//   - full scans fan out over the store's own lock stripes, and the caller
+//     sorts the concatenation by the unique canonical key, so the merge
+//     order cannot matter;
+//   - join probes run one build row per task with per-worker pair buffers,
+//     re-assembled in build-row order before the final canonical sort;
+//   - aggregation folds per-worker partial group maps whose merge is a sum
+//     of integers and a union of sets — exact and order-independent.
+//
+// Below a cardinality threshold execution stays serial: for small results
+// goroutine handoff costs more than the work.
+package query
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"semitri/internal/core"
+	"semitri/internal/store"
+)
+
+// DefaultSerialThreshold is the candidate/row count below which execution
+// stays serial. Sized so that point lookups and narrow probes never pay for
+// goroutine handoff, while scans and joins large enough to matter fan out.
+const DefaultSerialThreshold = 64
+
+// Options configures an Engine's execution behaviour.
+type Options struct {
+	// Parallelism caps the worker pool of scans, candidate resolution and
+	// join probing. Values below 1 mean runtime.GOMAXPROCS(0).
+	Parallelism int
+	// SerialThreshold is the candidate/row count below which execution stays
+	// serial. Values below 1 mean DefaultSerialThreshold.
+	SerialThreshold int
+}
+
+// SetParallelism changes the engine's worker cap at runtime (values below 1
+// mean runtime.GOMAXPROCS(0)). Safe to call concurrently with queries;
+// in-flight executions keep the value they started with.
+func (e *Engine) SetParallelism(n int) { e.par.Store(int32(n)) }
+
+// Parallelism reports the effective worker cap.
+func (e *Engine) Parallelism() int {
+	if n := int(e.par.Load()); n >= 1 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetSerialThreshold changes the serial-execution cutoff at runtime (values
+// below 1 mean DefaultSerialThreshold). Exposed so tests and benchmarks can
+// force the parallel paths onto small workloads.
+func (e *Engine) SetSerialThreshold(n int) { e.serialThreshold.Store(int32(n)) }
+
+// serialCutoff is the effective serial-execution cutoff.
+func (e *Engine) serialCutoff() int {
+	if n := int(e.serialThreshold.Load()); n >= 1 {
+		return n
+	}
+	return DefaultSerialThreshold
+}
+
+// workersFor sizes the worker pool for n independent work items: 1 (serial)
+// when parallelism is off or n is under the cutoff, otherwise min(cap, n).
+func (e *Engine) workersFor(n int) int {
+	p := e.Parallelism()
+	if p <= 1 || n < e.serialCutoff() {
+		return 1
+	}
+	return min(p, n)
+}
+
+// scratch is the pooled per-execution working set: the candidate ref buffer,
+// the per-trajectory index batch and the resolution result buffers. One
+// scratch serves one goroutine at a time; the pool keeps steady-state query
+// execution allocation-free on the gather/resolve path.
+type scratch struct {
+	refs    []store.TupleRef
+	indexes []int
+	tuples  []core.EpisodeTuple
+	ok      []bool
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func getScratch() *scratch   { return scratchPool.Get().(*scratch) }
+func putScratch(sc *scratch) { scratchPool.Put(sc) }
+
+// chunkBounds splits sorted refs into at most `chunks` contiguous ranges,
+// never splitting a (trajectory, interpretation) group: bounds[i]:bounds[i+1]
+// is chunk i. Group integrity is what keeps parallel resolution identical to
+// serial — duplicate postings (adjacent equals) dedup inside one chunk, and
+// each trajectory batch still resolves under a single stripe lock.
+func chunkBounds(refs []store.TupleRef, chunks int) []int {
+	target := (len(refs) + chunks - 1) / chunks
+	bounds := make([]int, 1, chunks+1)
+	for pos := 0; pos < len(refs); {
+		end := pos + target
+		if end >= len(refs) {
+			bounds = append(bounds, len(refs))
+			break
+		}
+		for end < len(refs) &&
+			refs[end].TrajectoryID == refs[end-1].TrajectoryID &&
+			refs[end].Interpretation == refs[end-1].Interpretation {
+			end++
+		}
+		bounds = append(bounds, end)
+		pos = end
+	}
+	return bounds
+}
+
+// resolveParallel fans sorted candidate refs out over a worker pool and
+// appends the verified matches to out in the exact order serial resolution
+// would produce: chunks are contiguous ranges of the sorted refs, each
+// chunk's output is internally ordered, and outputs concatenate in chunk
+// order. With a limit, each chunk resolves at most limit matches, and a
+// worker that completes a chunk checks whether the complete prefix of chunks
+// already covers the limit — if so the context cancels and the remaining
+// chunks (whose output the merge would discard) are abandoned mid-flight.
+func (e *Engine) resolveParallel(q *Query, refs []store.TupleRef, out []Match, workers int) []Match {
+	bounds := chunkBounds(refs, workers)
+	n := len(bounds) - 1
+	if n <= 1 || workers <= 1 {
+		sc := getScratch()
+		out = e.resolveChunk(nil, q, refs, out, sc)
+		putScratch(sc)
+		return out
+	}
+	outs := make([][]Match, n)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var (
+		mu       sync.Mutex
+		complete = make([]bool, n)
+		filled   int // chunks 0..filled-1 are complete
+		prefix   int // total matches in that complete prefix
+	)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < min(workers, n); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := getScratch()
+			defer putScratch(sc)
+			for {
+				ci := int(next.Add(1)) - 1
+				if ci >= n {
+					return
+				}
+				select {
+				case <-ctx.Done():
+					return
+				default:
+				}
+				outs[ci] = e.resolveChunk(ctx, q, refs[bounds[ci]:bounds[ci+1]], nil, sc)
+				if q.Limit <= 0 {
+					continue
+				}
+				mu.Lock()
+				complete[ci] = true
+				for filled < n && complete[filled] {
+					prefix += len(outs[filled])
+					filled++
+					if prefix >= q.Limit {
+						cancel()
+						break
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	for _, chunk := range outs {
+		out = append(out, chunk...)
+		if q.Limit > 0 && len(out) >= q.Limit {
+			out = out[:q.Limit]
+			break
+		}
+	}
+	return out
+}
+
+// scanMatches runs the full-scan path, appending raw (unsorted) matches to
+// out. Large scans partition by the store's lock stripes and visit them
+// concurrently; the caller's canonical sort makes the stripe interleaving
+// unobservable. Small stores stay on the serial single-pass visit.
+func (e *Engine) scanMatches(q *Query, out []Match, maxWorkers int) []Match {
+	workers := e.workersFor(int(e.total.Load()))
+	if maxWorkers >= 1 {
+		workers = min(workers, maxWorkers)
+	}
+	shards := e.st.ShardCount()
+	workers = min(workers, shards)
+	if workers <= 1 {
+		e.st.VisitStructuredTuples(q.Interpretation, func(ref store.TupleRef, t core.EpisodeTuple) bool {
+			if q.matches(ref, &t) {
+				out = append(out, Match{Ref: ref, Tuple: t})
+			}
+			return true
+		})
+		return out
+	}
+	outs := make([][]Match, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := outs[w]
+			for {
+				si := int(next.Add(1)) - 1
+				if si >= shards {
+					break
+				}
+				e.st.VisitShardTuples(si, q.Interpretation, func(ref store.TupleRef, t core.EpisodeTuple) bool {
+					if q.matches(ref, &t) {
+						local = append(local, Match{Ref: ref, Tuple: t})
+					}
+					return true
+				})
+			}
+			outs[w] = local
+		}(w)
+	}
+	wg.Wait()
+	for _, chunk := range outs {
+		out = append(out, chunk...)
+	}
+	return out
+}

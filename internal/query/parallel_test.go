@@ -1,0 +1,194 @@
+package query
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"semitri/internal/store"
+)
+
+// TestParallelDeterminism is the parallel executor's property test: over a
+// randomized workload and randomized queries, execution at workers ∈
+// {2, 4, 8} must return results byte-identical — order included — to
+// workers=1, for Execute, ExecuteJoin and Aggregate. The serial threshold is
+// forced to 1 so even tiny candidate sets take the parallel paths.
+func TestParallelDeterminism(t *testing.T) {
+	st := store.NewSharded(8)
+	e := NewEngineWith(st, Options{Parallelism: 1, SerialThreshold: 1})
+	populate(t, st, 7, 6, 3, 14)
+	rng := rand.New(rand.NewSource(99))
+
+	queries := make([]Query, 0, 40)
+	for i := 0; i < 38; i++ {
+		queries = append(queries, randomQuery(rng))
+	}
+	// Always include the two extremes: the unconstrained full scan and a
+	// limited query (limit pushdown must not change results either).
+	queries = append(queries, Query{}, Query{Limit: 5})
+
+	joins := []Join{
+		{
+			Left:  MustBuild(OnlyStops()),
+			Right: MustBuild(OnlyStops()),
+			On:    JoinOn{Within: time.Hour, MaxDistance: 400, DistinctObjects: true},
+		},
+		{
+			Left:  MustBuild(),
+			Right: MustBuild(OnlyMoves()),
+			On:    JoinOn{TimeOverlap: true, SameObject: true},
+			Limit: 20,
+		},
+	}
+	aggs := []Aggregate{
+		{By: DimObject, Metric: MetricCount},
+		{By: DimAnnotation, AnnKey: "poi_category", Metric: MetricDistinctObjects, K: 3},
+		{By: DimKind, Metric: MetricDuration},
+	}
+
+	// Serial references.
+	refMatches := make([][]Match, len(queries))
+	for i, q := range queries {
+		ms, err := e.Execute(q)
+		if err != nil {
+			t.Fatalf("serial Execute(%+v): %v", q, err)
+		}
+		refMatches[i] = ms
+	}
+	refPairs := make([][]JoinMatch, len(joins))
+	for i, j := range joins {
+		ps, err := e.ExecuteJoin(j)
+		if err != nil {
+			t.Fatalf("serial ExecuteJoin: %v", err)
+		}
+		refPairs[i] = ps
+	}
+	refGroups := make([][]Group, len(aggs))
+	for i, a := range aggs {
+		a.Workers = 1
+		gs, err := AggregateMatches(a, refMatches[len(queries)-2]) // the full scan
+		if err != nil {
+			t.Fatalf("serial Aggregate: %v", err)
+		}
+		refGroups[i] = gs
+	}
+
+	for _, workers := range []int{2, 4, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			e.SetParallelism(workers)
+			defer e.SetParallelism(1)
+			for i, q := range queries {
+				got, err := e.Execute(q)
+				if err != nil {
+					t.Fatalf("Execute(%+v): %v", q, err)
+				}
+				if !reflect.DeepEqual(got, refMatches[i]) {
+					t.Fatalf("Execute(%+v) diverges at workers=%d: %d vs %d matches",
+						q, workers, len(got), len(refMatches[i]))
+				}
+			}
+			for i, j := range joins {
+				got, jp, err := e.ExecuteJoinExplained(j)
+				if err != nil {
+					t.Fatalf("ExecuteJoin: %v", err)
+				}
+				if !reflect.DeepEqual(got, refPairs[i]) {
+					t.Fatalf("ExecuteJoin diverges at workers=%d: %d vs %d pairs",
+						workers, len(got), len(refPairs[i]))
+				}
+				if jp.Workers > workers {
+					t.Fatalf("join plan reports %d workers, cap is %d", jp.Workers, workers)
+				}
+			}
+			for i, a := range aggs {
+				a.Workers = workers
+				got, err := AggregateMatches(a, refMatches[len(queries)-2])
+				if err != nil {
+					t.Fatalf("Aggregate: %v", err)
+				}
+				if !reflect.DeepEqual(got, refGroups[i]) {
+					t.Fatalf("Aggregate %+v diverges at workers=%d", a, workers)
+				}
+			}
+		})
+	}
+}
+
+// TestLimitPushdown asserts that a limited query returns exactly the prefix
+// of the unlimited result — the limit satellite's contract: pushing the
+// limit into candidate resolution (and cancelling parallel siblings) must
+// not change what the first Limit matches are, serial or parallel.
+func TestLimitPushdown(t *testing.T) {
+	st := store.NewSharded(8)
+	e := NewEngineWith(st, Options{Parallelism: 1, SerialThreshold: 1})
+	populate(t, st, 11, 5, 2, 12)
+	rng := rand.New(rand.NewSource(42))
+
+	check := func(q Query) {
+		t.Helper()
+		full, err := e.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, limit := range []int{1, 3, len(full), len(full) + 5} {
+			lq := q
+			lq.Limit = limit
+			got, err := e.Execute(lq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := full
+			if limit < len(full) {
+				want = full[:limit]
+			}
+			if len(got) != len(want) {
+				t.Fatalf("limit %d: got %d matches, want %d (query %+v)", limit, len(got), len(want), q)
+			}
+			if len(want) > 0 && !reflect.DeepEqual(got, want) {
+				t.Fatalf("limit %d: results are not the unlimited prefix (query %+v)", limit, q)
+			}
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		e.SetParallelism(workers)
+		check(Query{}) // full scan
+		for i := 0; i < 25; i++ {
+			check(randomQuery(rng))
+		}
+	}
+}
+
+// TestChunkBounds pins the chunking invariants parallel resolution relies
+// on: bounds cover the refs exactly, chunks are non-empty, and no
+// (trajectory, interpretation) group ever splits across a boundary.
+func TestChunkBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		var refs []store.TupleRef
+		groups := 1 + rng.Intn(12)
+		for g := 0; g < groups; g++ {
+			id := fmt.Sprintf("T%03d", g)
+			for i := 0; i < 1+rng.Intn(9); i++ {
+				refs = append(refs, store.TupleRef{TrajectoryID: id, Interpretation: "merged", Index: i})
+			}
+		}
+		chunks := 1 + rng.Intn(8)
+		bounds := chunkBounds(refs, chunks)
+		if bounds[0] != 0 || bounds[len(bounds)-1] != len(refs) {
+			t.Fatalf("bounds %v do not cover %d refs", bounds, len(refs))
+		}
+		if len(bounds)-1 > chunks {
+			t.Fatalf("%d chunks produced, cap was %d", len(bounds)-1, chunks)
+		}
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] {
+				t.Fatalf("empty or inverted chunk in %v", bounds)
+			}
+			if b := bounds[i]; b < len(refs) && refs[b].TrajectoryID == refs[b-1].TrajectoryID {
+				t.Fatalf("boundary %d splits trajectory %s", b, refs[b].TrajectoryID)
+			}
+		}
+	}
+}

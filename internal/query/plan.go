@@ -74,6 +74,12 @@ func pathRank(p Path) int {
 	return 4
 }
 
+// numPaths is the number of access paths (the size of rank-indexed tables).
+const numPaths = 5
+
+// rankedPaths inverts pathRank: the path at each rank.
+var rankedPaths = [numPaths]Path{PathTrajectory, PathAnnotation, PathObjectTime, PathSpatial, PathScan}
+
 // Explain plans the query without executing it.
 func (e *Engine) Explain(q Query) (Plan, error) {
 	q = q.normalized()
@@ -83,21 +89,27 @@ func (e *Engine) Explain(q Query) (Plan, error) {
 	return e.plan(q), nil
 }
 
-// plan ranks the available access paths by estimated candidate count and
-// picks the cheapest. Estimates read per-shard index cardinalities (posting
-// list lengths, binary-searched window prefixes, grid occupancy) — O(shards)
-// work, never a data scan. q is normalized and valid.
-func (e *Engine) plan(q Query) Plan {
-	est := map[Path]int{}
+// estimates holds per-path candidate-count estimates in fixed rank-indexed
+// arrays, so the probe hot path can plan without allocating a map.
+type estimates struct {
+	n     [numPaths]int
+	avail [numPaths]bool
+}
 
+// estimatePaths fills est with the candidate-count estimate of every path the
+// query's predicates make available. Estimates read per-shard index
+// cardinalities (posting list lengths, binary-searched window prefixes, grid
+// occupancy) — O(shards) work, never a data scan. q is normalized and valid.
+func (e *Engine) estimatePaths(q *Query, est *estimates) {
+	*est = estimates{}
 	if q.TrajectoryID != "" {
-		est[PathTrajectory] = e.st.TupleCount(q.TrajectoryID, q.Interpretation)
+		est.set(PathTrajectory, e.st.TupleCount(q.TrajectoryID, q.Interpretation))
 	}
 	if q.AnnKey != "" && q.AnnValue != "" {
 		k := annKey{interp: q.Interpretation, key: q.AnnKey, value: q.AnnValue}
 		sh := e.annShardFor(k)
 		sh.mu.RLock()
-		est[PathAnnotation] = len(sh.ann[k])
+		est.set(PathAnnotation, len(sh.ann[k]))
 		sh.mu.RUnlock()
 	}
 	if q.ObjectID != "" {
@@ -117,22 +129,53 @@ func (e *Engine) plan(q Query) Plan {
 			lo = lo / 2 // split the difference on the straddling prefix
 		}
 		sh.mu.RUnlock()
-		est[PathObjectTime] = hi - lo
+		est.set(PathObjectTime, hi-lo)
 	}
 	if q.Window != nil || q.Near != nil {
 		rect := q.spatialRect()
 		e.spatial.mu.RLock()
-		est[PathSpatial] = e.spatial.grid.EstimateWithin(rect)
+		est.set(PathSpatial, e.spatial.grid.EstimateWithin(rect))
 		e.spatial.mu.RUnlock()
 	}
-	est[PathScan] = int(e.total.Load())
+	est.set(PathScan, int(e.total.Load()))
+}
 
-	best := PathScan
-	for _, path := range []Path{PathSpatial, PathObjectTime, PathAnnotation, PathTrajectory} {
-		n, ok := est[path]
-		if ok && n <= est[best] {
-			best = path
+func (est *estimates) set(p Path, n int) {
+	r := pathRank(p)
+	est.n[r] = n
+	est.avail[r] = true
+}
+
+// best picks the cheapest available path; ties break toward the more
+// precise path (lower rank).
+func (est *estimates) best() Path {
+	best := pathRank(PathScan)
+	for _, path := range [...]Path{PathSpatial, PathObjectTime, PathAnnotation, PathTrajectory} {
+		r := pathRank(path)
+		if est.avail[r] && est.n[r] <= est.n[best] {
+			best = r
 		}
 	}
-	return Plan{Path: best, Estimates: est}
+	return rankedPaths[best]
+}
+
+// plan ranks the available access paths by estimated candidate count and
+// picks the cheapest. q is normalized and valid.
+func (e *Engine) plan(q Query) Plan {
+	var est estimates
+	e.estimatePaths(&q, &est)
+	m := make(map[Path]int, numPaths)
+	for r := 0; r < numPaths; r++ {
+		if est.avail[r] {
+			m[rankedPaths[r]] = est.n[r]
+		}
+	}
+	return Plan{Path: est.best(), Estimates: m}
+}
+
+// planLean is the allocation-free planner used on the join probe hot path:
+// same estimates, same tie-break, no Estimates map.
+func (e *Engine) planLean(q *Query, est *estimates) Path {
+	e.estimatePaths(q, est)
+	return est.best()
 }

@@ -165,8 +165,19 @@ func (s *Store) TupleAt(trajectoryID, interpretation string, index int) (core.Ep
 // keeps indexed query execution cheap — candidates cluster by trajectory,
 // so the executor pays one lock per trajectory instead of one per tuple.
 func (s *Store) TuplesAt(trajectoryID, interpretation string, indexes []int) (tuples []core.EpisodeTuple, ok []bool) {
-	tuples = make([]core.EpisodeTuple, len(indexes))
-	ok = make([]bool, len(indexes))
+	return s.AppendTuplesAt(trajectoryID, interpretation, indexes, nil, nil)
+}
+
+// AppendTuplesAt is TuplesAt with caller-owned result buffers: one resolved
+// entry per index is appended to tuples and ok, reusing their capacity, so a
+// query executor resolving many candidate batches can run the whole
+// resolution loop without allocating per batch.
+func (s *Store) AppendTuplesAt(trajectoryID, interpretation string, indexes []int, tuples []core.EpisodeTuple, ok []bool) ([]core.EpisodeTuple, []bool) {
+	base := len(tuples)
+	for range indexes {
+		tuples = append(tuples, core.EpisodeTuple{})
+		ok = append(ok, false)
+	}
 	sh := s.shardFor(trajectoryID)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
@@ -176,8 +187,8 @@ func (s *Store) TuplesAt(trajectoryID, interpretation string, indexes []int) (tu
 	}
 	for i, idx := range indexes {
 		if idx >= 0 && idx < len(st.Tuples) {
-			tuples[i] = copyTuple(st.Tuples[idx])
-			ok[i] = true
+			tuples[base+i] = copyTuple(st.Tuples[idx])
+			ok[base+i] = true
 		}
 	}
 	return tuples, ok
@@ -281,23 +292,51 @@ func (s *Store) MergeTupleAnnotations(trajectoryID, interpretation string, index
 func (s *Store) VisitStructuredTuples(interpretation string, fn func(ref TupleRef, t core.EpisodeTuple) bool) {
 	var buf []TupleEvent
 	for _, sh := range s.shards {
-		buf = buf[:0]
-		sh.mu.RLock()
-		for _, byInterp := range sh.structured {
-			for interp, st := range byInterp {
-				if interpretation != "" && interp != interpretation {
-					continue
-				}
-				buf = append(buf, tupleEvents(st, 0)...)
-			}
-		}
-		sh.mu.RUnlock()
-		for _, ev := range buf {
-			if !fn(ev.Ref, ev.Tuple) {
-				return
-			}
+		var more bool
+		buf, more = visitShard(sh, buf, interpretation, fn)
+		if !more {
+			return
 		}
 	}
+}
+
+// VisitShardTuples is the single-stripe slice of VisitStructuredTuples: it
+// visits only the tuples stored in lock stripe `shard` (0 ≤ shard <
+// ShardCount), with the same copy-then-call locking discipline. It reports
+// false when fn stopped the visit early. Because the stripes partition the
+// trajectories, visiting every shard index visits every tuple exactly once —
+// the partitioning a parallel scan fans out over, one stripe lock per worker
+// at a time.
+func (s *Store) VisitShardTuples(shard int, interpretation string, fn func(ref TupleRef, t core.EpisodeTuple) bool) bool {
+	if shard < 0 || shard >= len(s.shards) {
+		return true
+	}
+	_, more := visitShard(s.shards[shard], nil, interpretation, fn)
+	return more
+}
+
+// visitShard copies one stripe's tuples of the interpretation into buf under
+// the stripe's read lock, then calls fn for each with no lock held. It
+// returns the (possibly grown) buffer for reuse and whether the visit should
+// continue.
+func visitShard(sh *shard, buf []TupleEvent, interpretation string, fn func(ref TupleRef, t core.EpisodeTuple) bool) ([]TupleEvent, bool) {
+	buf = buf[:0]
+	sh.mu.RLock()
+	for _, byInterp := range sh.structured {
+		for interp, st := range byInterp {
+			if interpretation != "" && interp != interpretation {
+				continue
+			}
+			buf = append(buf, tupleEvents(st, 0)...)
+		}
+	}
+	sh.mu.RUnlock()
+	for _, ev := range buf {
+		if !fn(ev.Ref, ev.Tuple) {
+			return buf, false
+		}
+	}
+	return buf, true
 }
 
 // Objects returns the ids of every moving object present in the store

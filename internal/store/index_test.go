@@ -178,3 +178,57 @@ func TestSaveAtomic(t *testing.T) {
 		t.Fatalf("snapshot dir should hold exactly the snapshot, got %d entries", len(entries))
 	}
 }
+
+// TestVisitShardTuples asserts the per-shard visitor the parallel scan
+// fan-out uses is an exact partition of VisitStructuredTuples: visiting every
+// shard yields each tuple exactly once, out-of-range shards are inert, and an
+// early stop propagates as false.
+func TestVisitShardTuples(t *testing.T) {
+	s := NewSharded(8)
+	for i := 0; i < 40; i++ {
+		traj := string(rune('a'+i%11)) + "-traj"
+		obj := "o" + string(rune('0'+i%5))
+		if err := s.AppendStructuredTuples(traj, obj, "merged",
+			mkStopTuple(t0.Add(time.Duration(i)*time.Minute), t0.Add(time.Duration(i+1)*time.Minute))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	whole := map[TupleRef]int{}
+	s.VisitStructuredTuples("merged", func(ref TupleRef, _ core.EpisodeTuple) bool {
+		whole[ref]++
+		return true
+	})
+	if len(whole) == 0 {
+		t.Fatal("workload produced no tuples")
+	}
+	sharded := map[TupleRef]int{}
+	for sh := 0; sh < s.ShardCount(); sh++ {
+		if !s.VisitShardTuples(sh, "merged", func(ref TupleRef, _ core.EpisodeTuple) bool {
+			sharded[ref]++
+			return true
+		}) {
+			t.Fatalf("shard %d visitor reported early stop without one", sh)
+		}
+	}
+	if len(sharded) != len(whole) {
+		t.Fatalf("shard visitors saw %d refs, whole-store visitor %d", len(sharded), len(whole))
+	}
+	for ref, n := range whole {
+		if sharded[ref] != n {
+			t.Fatalf("ref %+v seen %d times across shards, want %d", ref, sharded[ref], n)
+		}
+	}
+	if s.VisitShardTuples(-1, "merged", func(TupleRef, core.EpisodeTuple) bool { return true }) != true {
+		t.Fatal("out-of-range shard should be a complete (empty) visit")
+	}
+	stopped := 0
+	if s.VisitShardTuples(0, "merged", func(TupleRef, core.EpisodeTuple) bool {
+		stopped++
+		return false
+	}) {
+		t.Fatal("early stop not propagated")
+	}
+	if stopped != 1 {
+		t.Fatalf("visitor called %d times after stop, want 1", stopped)
+	}
+}

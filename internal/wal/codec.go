@@ -205,7 +205,15 @@ type decoder struct {
 	b   []byte
 	off int
 	err error
+	// interned deduplicates decoded strings across frames (see strShared).
+	// Nil disables interning.
+	interned map[string]string
 }
+
+// maxInterned bounds the intern table so a log full of unique strings (or a
+// crafted one) cannot grow it without limit; once full, later misses simply
+// allocate as before.
+const maxInterned = 1 << 16
 
 func (d *decoder) fail() {
 	if d.err == nil {
@@ -273,6 +281,30 @@ func (d *decoder) str() string {
 	}
 	s := string(d.b[d.off : d.off+n])
 	d.off += n
+	return s
+}
+
+// strShared decodes a string through the intern table: the many repeats of
+// low-cardinality strings in a log — object and trajectory ids,
+// interpretation names, annotation keys and sources, place metadata — decode
+// to one shared backing string instead of one heap copy per frame. The
+// map[string(bytes)] probe compiles to a no-allocation lookup; only a miss
+// pays for the copy.
+func (d *decoder) strShared() string {
+	n := int(d.uv())
+	if d.err != nil || n < 0 || n > d.remaining() {
+		d.fail()
+		return ""
+	}
+	b := d.b[d.off : d.off+n]
+	d.off += n
+	if s, ok := d.interned[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	if d.interned != nil && len(d.interned) < maxInterned {
+		d.interned[s] = s
+	}
 	return s
 }
 
@@ -394,10 +426,10 @@ func (d *decoder) place() *core.Place {
 		return nil
 	}
 	p := &core.Place{
-		ID:       d.str(),
+		ID:       d.strShared(),
 		Kind:     core.PlaceKind(d.u8()),
-		Name:     d.str(),
-		Category: d.str(),
+		Name:     d.strShared(),
+		Category: d.strShared(),
 		Extent:   d.rect(),
 	}
 	if p.Kind != core.RegionPlace && p.Kind != core.LinePlace && p.Kind != core.PointPlace {
@@ -413,7 +445,7 @@ func (d *decoder) annotations() []core.Annotation {
 	}
 	anns := make([]core.Annotation, 0, n)
 	for i := 0; i < n && d.err == nil; i++ {
-		anns = append(anns, core.Annotation{Key: d.str(), Value: d.str(), Confidence: d.f64(), Source: d.str()})
+		anns = append(anns, core.Annotation{Key: d.strShared(), Value: d.strShared(), Confidence: d.f64(), Source: d.strShared()})
 	}
 	return anns
 }
@@ -448,14 +480,18 @@ func (d *decoder) tuples() []*core.EpisodeTuple {
 
 // decodeMutation decodes one frame payload. Any structural problem —
 // truncated field, impossible count, unknown op, trailing bytes — returns
-// errCorrupt; the function never panics on arbitrary input.
-func decodeMutation(payload []byte) (store.Mutation, error) {
-	d := &decoder{b: payload}
+// errCorrupt; the function never panics on arbitrary input. interned, when
+// non-nil, is a string table shared across calls (one per replayed segment):
+// ids, interpretation names and annotation keys repeat in nearly every
+// frame, and interning them keeps recovery's allocation volume proportional
+// to distinct strings, not to frames.
+func decodeMutation(payload []byte, interned map[string]string) (store.Mutation, error) {
+	d := &decoder{b: payload, interned: interned}
 	m := store.Mutation{
 		Op:             store.MutationOp(d.u8()),
-		ObjectID:       d.str(),
-		TrajectoryID:   d.str(),
-		Interpretation: d.str(),
+		ObjectID:       d.strShared(),
+		TrajectoryID:   d.strShared(),
+		Interpretation: d.strShared(),
 	}
 	start := d.uv()
 	if start > uint64(math.MaxInt32)<<16 {

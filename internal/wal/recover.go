@@ -141,6 +141,7 @@ func replaySegment(path string, st *store.Store) (applied int, tornAt int64, err
 	offset := int64(headerSize)
 	var frame [frameHeaderSize]byte
 	var payload []byte
+	interned := make(map[string]string)
 	for {
 		if _, err := io.ReadFull(br, frame[:]); err != nil {
 			if err == io.EOF {
@@ -163,7 +164,7 @@ func replaySegment(path string, st *store.Store) (applied int, tornAt int64, err
 		if frameCRC(payload) != want {
 			return applied, offset, nil
 		}
-		m, err := decodeMutation(payload)
+		m, err := decodeMutation(payload, interned)
 		if err != nil {
 			return applied, offset, nil // CRC-valid but undecodable: corrupt
 		}

@@ -79,7 +79,7 @@ func TestCodecRoundTrip(t *testing.T) {
 	for i, m := range testMutations() {
 		e := &encoder{}
 		encodeMutation(e, m)
-		got, err := decodeMutation(e.b)
+		got, err := decodeMutation(e.b, nil)
 		if err != nil {
 			t.Fatalf("mutation %d: decode: %v", i, err)
 		}
@@ -92,13 +92,13 @@ func TestCodecRoundTrip(t *testing.T) {
 func TestCodecRejectsTrailingBytes(t *testing.T) {
 	e := &encoder{}
 	encodeMutation(e, testMutations()[0])
-	if _, err := decodeMutation(append(e.b, 0)); err == nil {
+	if _, err := decodeMutation(append(e.b, 0), nil); err == nil {
 		t.Fatal("decode accepted trailing bytes")
 	}
-	if _, err := decodeMutation(e.b[:len(e.b)-1]); err == nil {
+	if _, err := decodeMutation(e.b[:len(e.b)-1], nil); err == nil {
 		t.Fatal("decode accepted truncated payload")
 	}
-	if _, err := decodeMutation(nil); err == nil {
+	if _, err := decodeMutation(nil, nil); err == nil {
 		t.Fatal("decode accepted empty payload")
 	}
 }

@@ -53,8 +53,11 @@ func TestConcurrentRelationalIngest(t *testing.T) {
 		t.Fatalf("workload produced %d objects, want >= 8", len(byObject))
 	}
 
-	pipeline := newTestPipeline(t, city, semitri.DefaultConfig())
+	cfg := semitri.DefaultConfig()
+	cfg.QueryParallelism = 4 // race the parallel executor against live ingestion
+	pipeline := newTestPipeline(t, city, cfg)
 	engine := pipeline.QueryEngine() // attach before ingestion: purely incremental build
+	engine.SetSerialThreshold(1)     // force the parallel paths even on small candidate sets
 	sp := pipeline.NewStream()
 
 	stmts := []string{

@@ -21,8 +21,9 @@ go build -o "$tmp/semitri-serve" ./cmd/semitri-serve
 
 "$tmp/semitri-gen" -kind people -users 2 -days 1 -pois 3000 -out "$tmp/people.csv"
 # -wait: only start listening once ingestion finished, so every probe sees
-# the fully annotated store.
-"$tmp/semitri-serve" -addr "$addr" -in "$tmp/people.csv" -pois 3000 -wait -progress 0 &
+# the fully annotated store. -pprof + -query-parallelism cover the profiling
+# endpoints and the parallel executor in the same pass.
+"$tmp/semitri-serve" -addr "$addr" -in "$tmp/people.csv" -pois 3000 -wait -progress 0 -pprof -query-parallelism 4 &
 server_pid=$!
 
 for _ in $(seq 1 100); do
@@ -55,6 +56,15 @@ probe "/query/episodes?minx=0&miny=0&maxx=10000&maxy=10000&kind=stop" "matches"
 probe "/query/trajectories" "trajectories"
 probe "/query/objects" "objects"
 probe "/stats" "index"
+
+# -pprof must expose the standard profiling index (plain HTML, not JSON —
+# just assert it answers 200 with a recognisable body).
+pprof_body=$(curl -fsS "http://$addr/debug/pprof/")
+if ! printf '%s' "$pprof_body" | grep -qi "profile"; then
+	echo "FAIL /debug/pprof/: unexpected body" >&2
+	exit 1
+fi
+echo "ok GET /debug/pprof/"
 
 # The relational endpoint: a declarative statement must come back with its
 # plan echoed, and a join+aggregate statement must return the group shape.

@@ -125,6 +125,11 @@ type Config struct {
 	// contention between concurrently ingested objects; one stripe
 	// degenerates to a single global store lock.
 	StoreShards int
+	// QueryParallelism caps the query engine's worker pool (parallel join
+	// probing, sharded scans, concurrent candidate resolution). Values below
+	// 1 mean runtime.GOMAXPROCS(0); 1 forces serial execution. Results are
+	// byte-identical at any setting.
+	QueryParallelism int
 	// Durability configures the write-ahead-log durability subsystem. The
 	// zero value keeps the pipeline purely in-memory.
 	Durability Durability
@@ -375,7 +380,7 @@ func (p *Pipeline) QueryEngine() *query.Engine {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.engine == nil {
-		p.engine = query.NewEngine(p.st)
+		p.engine = query.NewEngineWith(p.st, query.Options{Parallelism: p.cfg.QueryParallelism})
 	}
 	return p.engine
 }
