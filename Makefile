@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench lint serve-smoke recovery-smoke ci fmt
+.PHONY: build test race bench lint serve-smoke recovery-smoke coldstore-smoke ci fmt
 
 build:
 	$(GO) build ./...
@@ -56,7 +56,14 @@ serve-smoke:
 recovery-smoke:
 	./scripts/recovery-smoke.sh
 
+# End-to-end tiered-storage probe: ingest under a tight GOMEMLIMIT with
+# -storage segments and forced freezes, kill -9, restart from segments+WAL
+# alone and assert identical counts and query answers (what CI's
+# coldstore-smoke job runs).
+coldstore-smoke:
+	./scripts/coldstore-smoke.sh
+
 # What CI runs: build, lint, tests, a one-iteration bench smoke pass and
-# the serving-layer + crash-recovery smokes.
-ci: build lint test serve-smoke recovery-smoke
+# the serving-layer + crash-recovery + cold-store smokes.
+ci: build lint test serve-smoke recovery-smoke coldstore-smoke
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .

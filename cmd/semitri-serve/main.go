@@ -70,6 +70,7 @@ func main() {
 	wait := flag.Bool("wait", false, "finish ingestion before the server starts listening")
 	progress := flag.Int("progress", 20000, "report ingestion progress every N records (0 = silent)")
 	dataDir := flag.String("data-dir", "", "durability directory (WAL + checkpoints); empty = in-memory only")
+	storage := flag.String("storage", "json", "checkpoint base format: json (whole-store snapshot) | segments (tiered storage engine, incremental freezes, mmap cold reads) (with -data-dir)")
 	flushInterval := flag.Duration("flush-interval", 50*time.Millisecond, "WAL group-commit window (with -data-dir)")
 	fsync := flag.String("fsync", "interval", "WAL fsync policy: interval | always | never (with -data-dir)")
 	checkpointInterval := flag.Duration("checkpoint-interval", time.Minute, "checkpoint schedule, 0 disables (with -data-dir)")
@@ -90,6 +91,7 @@ func main() {
 	if *dataDir != "" {
 		cfg.Durability = semitri.Durability{
 			Dir:                *dataDir,
+			Storage:            *storage,
 			FlushInterval:      *flushInterval,
 			Fsync:              *fsync,
 			CheckpointInterval: *checkpointInterval,
@@ -105,9 +107,9 @@ func main() {
 		rs := pipeline.Recovery()
 		st := pipeline.Store()
 		fmt.Fprintf(os.Stderr,
-			"data dir %s: recovered %d records, %d trajectories, %d structured (snapshot=%v, segments=%d, frames=%d)\n",
+			"data dir %s: recovered %d records, %d trajectories, %d structured (snapshot=%v, cold-segments=%d, wal-segments=%d, frames=%d)\n",
 			*dataDir, st.RecordCount(), st.TrajectoryCount(), st.StructuredCount(),
-			rs.SnapshotLoaded, rs.Segments, rs.FramesApplied)
+			rs.SnapshotLoaded, rs.ColdSegments, rs.Segments, rs.FramesApplied)
 		if rs.Torn && rs.Quarantined == 0 {
 			fmt.Fprintln(os.Stderr, "wal tail was torn (crash mid-flush); kept the committed prefix and repaired the log")
 		} else if rs.Torn {

@@ -150,6 +150,7 @@ var Registry = map[string]func(*Env) (*Table, error){
 	"relational":        Relational,
 	"durability":        DurabilityOverhead,
 	"parallel":          Parallel,
+	"storage":           StorageEngine,
 }
 
 // Order lists the experiment ids in presentation order (the order of §5).
@@ -157,4 +158,5 @@ var Order = []string{
 	"table1", "table2", "fig9", "fig10", "fig11", "fig12", "fig13",
 	"fig14", "fig15", "fig17", "compression", "ablation-mapmatch", "ablation-hmm",
 	"stream", "lookup", "query", "relational", "durability", "parallel",
+	"storage",
 }

@@ -1,0 +1,15 @@
+//go:build linux
+
+package experiments
+
+import "syscall"
+
+// peakRSSBytes reports the process's peak resident set size. On Linux,
+// ru_maxrss is in KiB.
+func peakRSSBytes() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return float64(ru.Maxrss) * 1024
+}

@@ -368,9 +368,22 @@ func (e *Engine) executeBuf(q *Query, path Path, out []Match, maxWorkers int) []
 	case PathScan:
 		// Stripe order is not canonical, so the scan collects everything and
 		// sorts; the comparator is a total order on the unique ref key, so
-		// the stripe interleaving of a parallel scan cannot show.
+		// the unit interleaving of a parallel scan cannot show. A freeze
+		// racing the scan can emit one logical ref from both the segment and
+		// the still-unevicted heap (never neither), so adjacent duplicate
+		// refs collapse after the sort.
+		base := len(out)
 		out = e.scanMatches(q, out, maxWorkers)
 		sort.Slice(out, func(i, j int) bool { return out[i].less(&out[j]) })
+		dst := base
+		for i := base; i < len(out); i++ {
+			if i > base && out[i].Ref == out[dst-1].Ref {
+				continue
+			}
+			out[dst] = out[i]
+			dst++
+		}
+		out = out[:dst]
 		if q.Limit > 0 && len(out) > q.Limit {
 			out = out[:q.Limit]
 		}
@@ -576,59 +589,4 @@ func (e *Engine) IndexStats() Stats {
 		sh.mu.RUnlock()
 	}
 	return st
-}
-
-// StopsByAnnotation implements store.QueryBackend: the indexed form of
-// Store.QueryStopsByAnnotation, preserving its ordering contract (by
-// trajectory id, then stored tuple order).
-func (e *Engine) StopsByAnnotation(interpretation, key, value string) []*core.EpisodeTuple {
-	kind := episode.Stop
-	ms, err := e.Execute(Query{
-		Interpretation: interpretation,
-		Kind:           &kind,
-		AnnKey:         key,
-		AnnValue:       value,
-	})
-	if err != nil || len(ms) == 0 {
-		return nil
-	}
-	sort.Slice(ms, func(i, j int) bool {
-		if ms[i].Ref.TrajectoryID != ms[j].Ref.TrajectoryID {
-			return ms[i].Ref.TrajectoryID < ms[j].Ref.TrajectoryID
-		}
-		return ms[i].Ref.Index < ms[j].Ref.Index
-	})
-	out := make([]*core.EpisodeTuple, len(ms))
-	for i := range ms {
-		t := ms[i].Tuple
-		out[i] = &t
-	}
-	return out
-}
-
-// TuplesInWindow implements store.QueryBackend: the indexed form of
-// Store.QueryTuplesInWindow (one trajectory's tuples overlapping [from,
-// to], in stored order; nil when the trajectory or window is empty).
-func (e *Engine) TuplesInWindow(trajectoryID, interpretation string, from, to time.Time) []*core.EpisodeTuple {
-	// The scan this replaces applies its bounds literally: a zero `to` lies
-	// before every tuple, so it matches nothing. Query treats a zero bound
-	// as open, so reproduce the degenerate case explicitly.
-	if to.IsZero() {
-		return nil
-	}
-	ms, err := e.Execute(Query{
-		TrajectoryID:   trajectoryID,
-		Interpretation: interpretation,
-		From:           from,
-		To:             to,
-	})
-	if err != nil || len(ms) == 0 {
-		return nil
-	}
-	out := make([]*core.EpisodeTuple, len(ms))
-	for i := range ms {
-		t := ms[i].Tuple
-		out[i] = &t
-	}
-	return out
 }

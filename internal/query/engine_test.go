@@ -273,53 +273,6 @@ func TestEngineReplaceAndUpdate(t *testing.T) {
 	}
 }
 
-// TestEngineAsStoreBackend checks the thin-wrapper contract: a store with an
-// engine attached answers the deprecated QueryStopsByAnnotation /
-// QueryTuplesInWindow wrappers exactly like a plain store, ordering
-// included. The wrappers survive for engine-less stores, so this pin stays.
-func TestEngineAsStoreBackend(t *testing.T) {
-	plain := store.NewSharded(4)
-	indexed := store.NewSharded(4)
-	NewEngine(indexed)
-	populate(t, plain, 9, 4, 2, 10)
-	populate(t, indexed, 9, 4, 2, 10)
-
-	for _, cat := range []string{"restaurant", "shop", "office", "park", "station", "nothing"} {
-		//lint:ignore SA1019 this test pins the deprecated wrapper's contract
-		want := plain.QueryStopsByAnnotation("merged", core.AnnPOICategory, cat)
-		//lint:ignore SA1019 this test pins the deprecated wrapper's contract
-		got := indexed.QueryStopsByAnnotation("merged", core.AnnPOICategory, cat)
-		if len(got) != len(want) {
-			t.Fatalf("%s: %d hits, want %d", cat, len(got), len(want))
-		}
-		for i := range got {
-			if got[i].TimeIn != want[i].TimeIn || got[i].Annotations.String() != want[i].Annotations.String() {
-				t.Fatalf("%s: hit %d differs: %v vs %v", cat, i, got[i], want[i])
-			}
-		}
-	}
-	for _, win := range [][2]time.Time{
-		{t0.Add(30 * time.Minute), t0.Add(4 * time.Hour)},
-		{time.Time{}, t0.Add(4 * time.Hour)}, // zero from: open on that side
-		{t0, time.Time{}},                    // zero to: the scan matches nothing
-	} {
-		for _, id := range []string{"u0-T0", "u2-T1", "missing"} {
-			//lint:ignore SA1019 this test pins the deprecated wrapper's contract
-			want := plain.QueryTuplesInWindow(id, "merged", win[0], win[1])
-			//lint:ignore SA1019 this test pins the deprecated wrapper's contract
-			got := indexed.QueryTuplesInWindow(id, "merged", win[0], win[1])
-			if (got == nil) != (want == nil) || len(got) != len(want) {
-				t.Fatalf("%s %v: %d tuples, want %d (nil parity %v/%v)", id, win, len(got), len(want), got == nil, want == nil)
-			}
-			for i := range got {
-				if got[i].TimeIn != want[i].TimeIn {
-					t.Fatalf("%s %v: tuple %d differs", id, win, i)
-				}
-			}
-		}
-	}
-}
-
 // TestPlannerPicksSelectivePath pins the access-path selection on a
 // workload where the right answer is unambiguous.
 func TestPlannerPicksSelectivePath(t *testing.T) {

@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 
 	"semitri/internal/core"
+	"semitri/internal/episode"
 	"semitri/internal/store"
 )
 
@@ -198,23 +199,42 @@ func (e *Engine) resolveParallel(q *Query, refs []store.TupleRef, out []Match, w
 }
 
 // scanMatches runs the full-scan path, appending raw (unsorted) matches to
-// out. Large scans partition by the store's lock stripes and visit them
-// concurrently; the caller's canonical sort makes the stripe interleaving
-// unobservable. Small stores stay on the serial single-pass visit.
+// out. The scan units are the store's lock stripes (the heap tail) plus the
+// cold segments whose footer summary survives pruning against the query
+// (see pruneSegments); large scans visit the units concurrently, and the
+// caller's canonical sort makes the interleaving unobservable. Small stores
+// stay on the serial single-pass visit.
+//
+// The segment list is captured before any stripe is visited and the tier
+// registers a freezing segment's runs before the store evicts the matching
+// heap prefixes, so a freeze racing the scan can duplicate a tuple (same
+// logical ref from both sides) but never hide one; the caller's post-sort
+// dedup collapses the duplicates.
 func (e *Engine) scanMatches(q *Query, out []Match, maxWorkers int) []Match {
+	segs := e.pruneSegments(q)
+	shards := e.st.ShardCount()
+	units := shards + len(segs)
+	visitUnit := func(u int, fn func(ref store.TupleRef, t core.EpisodeTuple) bool) {
+		if u < len(segs) {
+			e.st.VisitColdSegmentTuples(segs[u], q.Interpretation, fn)
+			return
+		}
+		e.st.VisitShardTuples(u-len(segs), q.Interpretation, fn)
+	}
 	workers := e.workersFor(int(e.total.Load()))
 	if maxWorkers >= 1 {
 		workers = min(workers, maxWorkers)
 	}
-	shards := e.st.ShardCount()
-	workers = min(workers, shards)
+	workers = min(workers, units)
 	if workers <= 1 {
-		e.st.VisitStructuredTuples(q.Interpretation, func(ref store.TupleRef, t core.EpisodeTuple) bool {
-			if q.matches(ref, &t) {
-				out = append(out, Match{Ref: ref, Tuple: t})
-			}
-			return true
-		})
+		for u := 0; u < units; u++ {
+			visitUnit(u, func(ref store.TupleRef, t core.EpisodeTuple) bool {
+				if q.matches(ref, &t) {
+					out = append(out, Match{Ref: ref, Tuple: t})
+				}
+				return true
+			})
+		}
 		return out
 	}
 	outs := make([][]Match, workers)
@@ -226,11 +246,11 @@ func (e *Engine) scanMatches(q *Query, out []Match, maxWorkers int) []Match {
 			defer wg.Done()
 			local := outs[w]
 			for {
-				si := int(next.Add(1)) - 1
-				if si >= shards {
+				u := int(next.Add(1)) - 1
+				if u >= units {
 					break
 				}
-				e.st.VisitShardTuples(si, q.Interpretation, func(ref store.TupleRef, t core.EpisodeTuple) bool {
+				visitUnit(u, func(ref store.TupleRef, t core.EpisodeTuple) bool {
 					if q.matches(ref, &t) {
 						local = append(local, Match{Ref: ref, Tuple: t})
 					}
@@ -245,4 +265,67 @@ func (e *Engine) scanMatches(q *Query, out []Match, maxWorkers int) []Match {
 		out = append(out, chunk...)
 	}
 	return out
+}
+
+// pruneSegments returns the indexes of the cold segments a scan of q must
+// visit: a segment is skipped only when its footer summary proves no tuple
+// inside can match. Untiered stores return nil. Every rule errs open — a
+// kept segment costs a decode, a wrongly pruned one costs correctness.
+func (e *Engine) pruneSegments(q *Query) []int {
+	sums := e.st.ColdSummaries(nil)
+	if len(sums) == 0 {
+		return nil
+	}
+	segs := make([]int, 0, len(sums))
+	for i := range sums {
+		if e.segmentCanMatch(q, &sums[i]) {
+			segs = append(segs, i)
+		}
+	}
+	return segs
+}
+
+// segmentCanMatch reports whether a segment's footer summary admits any
+// match for q.
+func (e *Engine) segmentCanMatch(q *Query, s *store.SegmentSummary) bool {
+	if q.Interpretation != "" && s.Tuples[q.Interpretation] == 0 {
+		return false
+	}
+	if q.Kind != nil {
+		if *q.Kind == episode.Stop && s.Stops == 0 {
+			return false
+		}
+		if *q.Kind == episode.Move && s.Moves == 0 {
+			return false
+		}
+	}
+	// Time-span overlap. The footer folds zero TimeIns into TimeMin, so a
+	// segment holding untimed tuples is never pruned by an upper bound; a
+	// zero TimeOut keeps the tuple unmatched by any From filter, exactly as
+	// the per-tuple check would decide.
+	if !q.To.IsZero() && s.TimeMin.After(q.To) {
+		return false
+	}
+	if !q.From.IsZero() && s.TimeMax.Before(q.From) {
+		return false
+	}
+	if q.ObjectID != "" && !s.Objects.MayContain(q.ObjectID) {
+		return false
+	}
+	// An empty AnnValue asks for tuples *without* the key, which the key
+	// cardinality cannot refute. A live merge overlay can add keys the
+	// footer never counted, so the rule only applies when no overlay exists.
+	if q.AnnKey != "" && q.AnnValue != "" && s.AnnKeys[q.AnnKey] == 0 &&
+		e.st.OverlayCount() == 0 {
+		return false
+	}
+	if q.Window != nil || q.Near != nil {
+		if s.GeomCount == 0 {
+			return false // spatial predicates only match episode-backed tuples
+		}
+		if !q.spatialRect().Intersects(s.GeomBounds) {
+			return false
+		}
+	}
+	return true
 }

@@ -1,0 +1,275 @@
+package query
+
+// Property tests for the tiered storage engine's query surface: a store with
+// frozen segments must answer every query exactly like an all-heap store —
+// same refs, same tuple bytes, same order — at every worker count, with the
+// freeze points chosen at random and the merge overlay in play.
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"semitri/internal/core"
+	"semitri/internal/episode"
+	"semitri/internal/geo"
+	"semitri/internal/segment"
+	"semitri/internal/store"
+)
+
+// cloneTuple deep-copies a tuple so the heap and tiered stores never share
+// mutable state (heap merges mutate annotations in place).
+func cloneTuple(tp *core.EpisodeTuple) *core.EpisodeTuple {
+	cp := *tp
+	cp.Annotations = tp.Annotations.Clone()
+	if tp.Place != nil {
+		p := *tp.Place
+		cp.Place = &p
+	}
+	if tp.Episode != nil {
+		e := *tp.Episode
+		cp.Episode = &e
+	}
+	return &cp
+}
+
+// TestTieredEngineMatchesHeap replays one workload into an all-heap store
+// and into a tiered store with random freeze points, merges annotations into
+// frozen and hot tuples on both, then checks that every random query returns
+// reflect.DeepEqual answers at workers 1, 2, 4 and 8.
+func TestTieredEngineMatchesHeap(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	heap := store.NewSharded(8)
+	heapEng := NewEngine(heap)
+	all := populate(t, heap, 42, 6, 3, 12)
+
+	tiered, tier, _, err := segment.Recover(t.TempDir(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tier.Close()
+	tieredEng := NewEngine(tiered) // live maintenance across freezes
+	for _, s := range all {
+		if err := tiered.AppendStructuredTuples(s.ref.TrajectoryID, s.ref.ObjectID,
+			s.ref.Interpretation, cloneTuple(s.tp)); err != nil {
+			t.Fatal(err)
+		}
+		if rng.Intn(30) == 0 {
+			if err := tier.Freeze(tiered); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Identical merges on both stores: on the tiered one, merges into frozen
+	// positions land in the overlay rather than the heap.
+	for i := 0; i < 25; i++ {
+		s := all[rng.Intn(len(all))]
+		anns := []core.Annotation{{Key: "activity", Value: fmt.Sprintf("act%d", i%4),
+			Confidence: 0.5, Source: "prop"}}
+		if err := heap.MergeTupleAnnotations(s.ref.TrajectoryID, s.ref.Interpretation, s.ref.Index, nil, anns); err != nil {
+			t.Fatal(err)
+		}
+		if err := tiered.MergeTupleAnnotations(s.ref.TrajectoryID, s.ref.Interpretation, s.ref.Index, nil, anns); err != nil {
+			t.Fatal(err)
+		}
+		if i == 12 {
+			// Mid-merge freeze: earlier overlay entries get written out as
+			// merge frames, later ones overlay the new segment.
+			if err := tier.Freeze(tiered); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := tier.Freeze(tiered); err != nil {
+		t.Fatal(err)
+	}
+	if tier.SegmentCount() == 0 {
+		t.Fatal("workload never froze a segment")
+	}
+
+	for i := 0; i < 150; i++ {
+		q := randomQuery(rng)
+		want, err := heapEng.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{1, 2, 4, 8} {
+			tieredEng.SetParallelism(w)
+			got, err := tieredEng.Execute(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("query %d (%+v) workers=%d: tiered answer diverges from heap\nheap   %d matches\ntiered %d matches",
+					i, q, w, len(want), len(got))
+			}
+		}
+	}
+}
+
+// TestTieredRecoveredEngineMatchesHeap closes the tier mid-life and recovers
+// from segments + nothing else, then re-checks query equality — the recovered
+// store must be indistinguishable from the one that never restarted.
+func TestTieredRecoveredEngineMatchesHeap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	heap := store.NewSharded(4)
+	heapEng := NewEngine(heap)
+	all := populate(t, heap, 41, 6, 3, 10)
+
+	dir := t.TempDir()
+	tiered, tier, _, err := segment.Recover(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range all {
+		if err := tiered.AppendStructuredTuples(s.ref.TrajectoryID, s.ref.ObjectID,
+			s.ref.Interpretation, cloneTuple(s.tp)); err != nil {
+			t.Fatal(err)
+		}
+		if rng.Intn(40) == 0 {
+			if err := tier.Freeze(tiered); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := tier.Freeze(tiered); err != nil {
+		t.Fatal(err)
+	}
+	if err := tier.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recovered, tier2, _, err := segment.Recover(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tier2.Close()
+	recEng := NewEngine(recovered) // backfill from cold segments
+	for i := 0; i < 80; i++ {
+		q := randomQuery(rng)
+		want, err := heapEng.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{1, 4} {
+			recEng.SetParallelism(w)
+			got, err := recEng.Execute(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("query %d (%+v) workers=%d after recovery: %d matches, want %d",
+					i, q, w, len(got), len(want))
+			}
+		}
+	}
+}
+
+// TestTieredFreezeQueryRace runs ingestion, freezes and queries concurrently
+// (meant for -race): results must stay strictly ordered and duplicate-free
+// throughout, and after quiescence a full scan must equal brute force.
+func TestTieredFreezeQueryRace(t *testing.T) {
+	st, tier, _, err := segment.Recover(t.TempDir(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tier.Close()
+	e := NewEngine(st)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // writer: live ingestion during freezes and queries
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(3))
+		at := t0
+		for i := 0; i < 4000; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			obj := fmt.Sprintf("u%d", i%4)
+			id := fmt.Sprintf("%s-T%d", obj, i%2)
+			kind := episode.Stop
+			anns := []core.Annotation{ann(core.AnnPOICategory, "shop")}
+			if i%2 == 1 {
+				kind = episode.Move
+				anns = []core.Annotation{ann(core.AnnTransportMode, "walk")}
+			}
+			end := at.Add(time.Duration(1+rng.Intn(10)) * time.Minute)
+			tp := mkTuple(kind, at, end, geo.Pt(rng.Float64()*2000, rng.Float64()*2000), anns...)
+			if err := st.AppendStructuredTuples(id, obj, DefaultInterpretation, tp); err != nil {
+				t.Error(err)
+				return
+			}
+			at = end
+		}
+	}()
+	wg.Add(1)
+	go func() { // freezer
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := tier.Freeze(st); err != nil {
+				t.Error(err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(seed int64) { // queriers
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ms, err := e.Execute(randomQuery(rng))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for j := 1; j < len(ms); j++ {
+					if !ms[j-1].less(&ms[j]) {
+						t.Errorf("results unordered or duplicated at %d", j)
+						return
+					}
+				}
+			}
+		}(int64(100 + g))
+	}
+	time.Sleep(250 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Quiescent check: one more freeze, then a full scan must match a
+	// brute-force walk of the store exactly.
+	if err := tier.Freeze(st); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := e.Execute(Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []store.TupleRef
+	st.VisitStructuredTuples(DefaultInterpretation, func(ref store.TupleRef, _ core.EpisodeTuple) bool {
+		want = append(want, ref)
+		return true
+	})
+	sameRefSet(t, "post-race full scan", gotRefs(ms), want)
+}

@@ -1,0 +1,77 @@
+//go:build unix && !semitri_nommap
+
+package segment
+
+import (
+	"os"
+	"syscall"
+
+	"semitri/internal/wal"
+)
+
+// blob abstracts how a sealed segment's bytes are read: a read-only memory
+// map on unix (cold data occupies page cache, not Go heap, and unread runs
+// cost nothing), or positional reads everywhere else (and under the
+// semitri_nommap build tag, which forces the fallback onto unix for testing).
+type blob interface {
+	// frame parses the frame starting at off. The returned payload aliases
+	// either the mapping or buf — valid until the next frame call with the
+	// same buf or close.
+	frame(off int64, buf *[]byte) (payload []byte, size int, err error)
+	// bytes returns n raw bytes at off (header/trailer probes).
+	bytes(off, n int64, buf *[]byte) ([]byte, error)
+	size() int64
+	close() error
+}
+
+// mmapBlob serves frames straight out of a read-only mapping.
+type mmapBlob struct {
+	data []byte
+}
+
+// openBlob maps the file read-only. The descriptor is closed immediately —
+// the mapping outlives it.
+func openBlob(path string) (blob, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if fi.Size() == 0 {
+		return &mmapBlob{}, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(fi.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, err
+	}
+	return &mmapBlob{data: data}, nil
+}
+
+func (m *mmapBlob) frame(off int64, _ *[]byte) ([]byte, int, error) {
+	if off < 0 || off > int64(len(m.data)) {
+		return nil, 0, wal.ErrFrame
+	}
+	return wal.ParseFrame(m.data[off:])
+}
+
+func (m *mmapBlob) bytes(off, n int64, _ *[]byte) ([]byte, error) {
+	if off < 0 || n < 0 || off+n > int64(len(m.data)) {
+		return nil, wal.ErrFrame
+	}
+	return m.data[off : off+n], nil
+}
+
+func (m *mmapBlob) size() int64 { return int64(len(m.data)) }
+
+func (m *mmapBlob) close() error {
+	if m.data == nil {
+		return nil
+	}
+	data := m.data
+	m.data = nil
+	return syscall.Munmap(data)
+}

@@ -1,0 +1,85 @@
+//go:build !unix || semitri_nommap
+
+package segment
+
+import (
+	"encoding/binary"
+	"os"
+
+	"semitri/internal/wal"
+)
+
+// blob abstracts how a sealed segment's bytes are read; this build uses
+// positional reads against the open file. See blob_mmap.go for the mapped
+// variant and the interface contract.
+type blob interface {
+	frame(off int64, buf *[]byte) (payload []byte, size int, err error)
+	bytes(off, n int64, buf *[]byte) ([]byte, error)
+	size() int64
+	close() error
+}
+
+// preadBlob reads each frame with two positional reads: the 8-byte header
+// for the length, then the whole frame into the caller's reusable buffer.
+type preadBlob struct {
+	f  *os.File
+	sz int64
+}
+
+func openBlob(path string) (blob, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &preadBlob{f: f, sz: fi.Size()}, nil
+}
+
+func (p *preadBlob) frame(off int64, buf *[]byte) ([]byte, int, error) {
+	if off < 0 || off+wal.FrameHeaderSize > p.sz {
+		return nil, 0, wal.ErrFrame
+	}
+	var hdr [wal.FrameHeaderSize]byte
+	if _, err := p.f.ReadAt(hdr[:], off); err != nil {
+		return nil, 0, wal.ErrFrame
+	}
+	n := int64(binary.LittleEndian.Uint32(hdr[0:4]))
+	total := wal.FrameHeaderSize + n
+	if n > wal.MaxFramePayload || off+total > p.sz {
+		return nil, 0, wal.ErrFrame
+	}
+	b := *buf
+	if int64(cap(b)) < total {
+		b = make([]byte, total)
+		*buf = b
+	}
+	b = b[:total]
+	if _, err := p.f.ReadAt(b, off); err != nil {
+		return nil, 0, wal.ErrFrame
+	}
+	return wal.ParseFrame(b)
+}
+
+func (p *preadBlob) bytes(off, n int64, buf *[]byte) ([]byte, error) {
+	if off < 0 || n < 0 || off+n > p.sz {
+		return nil, wal.ErrFrame
+	}
+	b := *buf
+	if int64(cap(b)) < n {
+		b = make([]byte, n)
+		*buf = b
+	}
+	b = b[:n]
+	if _, err := p.f.ReadAt(b, off); err != nil {
+		return nil, wal.ErrFrame
+	}
+	return b, nil
+}
+
+func (p *preadBlob) size() int64 { return p.sz }
+
+func (p *preadBlob) close() error { return p.f.Close() }

@@ -1,0 +1,130 @@
+package segment
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"semitri/internal/store"
+	"semitri/internal/wal"
+)
+
+// Reader is one open, validated segment file. Open verifies the whole file —
+// header, trailer, footer CRC and every data frame's CRC — so a torn or
+// bit-flipped segment is rejected up front and later decode calls operate on
+// known-good bytes. Decoding itself stays lazy: runs are materialised one
+// frame at a time, on demand, through a pooled cursor.
+type Reader struct {
+	path string
+	blob blob
+	foot *Footer
+}
+
+// cursor is the pooled per-call decode state: the pread frame buffer and the
+// decoder's string-interning table. Pooling keeps steady-state cold reads
+// allocation-lean — repeated ids and annotation keys collapse onto shared
+// strings instead of reallocating per frame.
+type cursor struct {
+	buf      []byte
+	interned map[string]string
+}
+
+var cursorPool = sync.Pool{New: func() any {
+	return &cursor{interned: make(map[string]string)}
+}}
+
+func getCursor() *cursor  { return cursorPool.Get().(*cursor) }
+func putCursor(c *cursor) { cursorPool.Put(c) }
+
+// Open opens and fully validates a segment file.
+func Open(path string) (*Reader, error) {
+	b, err := openBlob(path)
+	if err != nil {
+		return nil, err
+	}
+	r := &Reader{path: path, blob: b}
+	if err := r.validate(); err != nil {
+		b.close()
+		return nil, err
+	}
+	return r, nil
+}
+
+// validate checks the file end to end and decodes the footer.
+func (r *Reader) validate() error {
+	sz := r.blob.size()
+	if sz < headerSize+wal.FrameHeaderSize+trailerSize {
+		return corruptf(r.path, "file too short (%d bytes)", sz)
+	}
+	cur := getCursor()
+	defer putCursor(cur)
+
+	// Header and trailer first: both are fixed-size probes.
+	hdr, err := r.readAt(0, headerSize, cur)
+	if err != nil {
+		return corruptf(r.path, "unreadable header")
+	}
+	if [4]byte(hdr[0:4]) != fileMagic || binary.LittleEndian.Uint32(hdr[4:8]) != formatVersion {
+		return corruptf(r.path, "bad magic or version")
+	}
+	tr, err := r.readAt(sz-trailerSize, trailerSize, cur)
+	if err != nil {
+		return corruptf(r.path, "unreadable trailer")
+	}
+	if [4]byte(tr[4:8]) != trailerMagic {
+		return corruptf(r.path, "bad trailer magic")
+	}
+	footSize := int64(binary.LittleEndian.Uint32(tr[0:4]))
+	footOff := sz - trailerSize - footSize
+	if footSize < wal.FrameHeaderSize || footOff < headerSize {
+		return corruptf(r.path, "impossible footer size %d", footSize)
+	}
+	payload, n, err := r.blob.frame(footOff, &cur.buf)
+	if err != nil || int64(n) != footSize {
+		return corruptf(r.path, "footer frame checksum mismatch")
+	}
+	foot, err := decodeFooter(payload)
+	if err != nil {
+		return corruptf(r.path, "%v", err)
+	}
+
+	// Scrub every data frame's CRC and check the directory lines up with the
+	// physical frames one to one.
+	off := int64(headerSize)
+	for i := range foot.Runs {
+		if foot.Runs[i].Off != off {
+			return corruptf(r.path, "run %d offset %d, frame found at %d", i, foot.Runs[i].Off, off)
+		}
+		_, n, err := r.blob.frame(off, &cur.buf)
+		if err != nil {
+			return corruptf(r.path, "data frame at %d fails checksum", off)
+		}
+		off += int64(n)
+	}
+	if off != footOff {
+		return corruptf(r.path, "trailing bytes between data frames and footer")
+	}
+	r.foot = foot
+	return nil
+}
+
+// readAt returns n raw bytes at off, for the fixed header/trailer probes.
+func (r *Reader) readAt(off, n int64, cur *cursor) ([]byte, error) {
+	return r.blob.bytes(off, n, &cur.buf)
+}
+
+// Footer exposes the decoded footer (summary + run directory). Immutable
+// after Open.
+func (r *Reader) Footer() *Footer { return r.foot }
+
+// mutationAt decodes the run frame at off. The returned mutation owns its
+// memory (the decoder copies strings and payloads out of the frame buffer).
+func (r *Reader) mutationAt(off int64, cur *cursor) (store.Mutation, error) {
+	payload, _, err := r.blob.frame(off, &cur.buf)
+	if err != nil {
+		return store.Mutation{}, err
+	}
+	return wal.DecodeMutation(payload, cur.interned)
+}
+
+// Close releases the mapping or file handle.
+func (r *Reader) Close() error { return r.blob.close() }

@@ -1,0 +1,541 @@
+package segment
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"semitri/internal/core"
+	"semitri/internal/episode"
+	"semitri/internal/geo"
+	"semitri/internal/gps"
+	"semitri/internal/store"
+	"semitri/internal/wal"
+)
+
+func ts(i int) time.Time {
+	return time.Date(2026, 7, 1, 8, 0, 0, 0, time.UTC).Add(time.Duration(i) * time.Second)
+}
+
+func testEpisode(traj string, i int) *episode.Episode {
+	return &episode.Episode{
+		TrajectoryID: traj,
+		ObjectID:     "o-" + traj,
+		Kind:         episode.Kind(i % 2),
+		StartIdx:     i,
+		EndIdx:       i + 5,
+		Start:        ts(i),
+		End:          ts(i + 60),
+		Center:       geo.Pt(float64(i), float64(i)+0.5),
+		Bounds:       geo.NewRect(geo.Pt(float64(i), float64(i)), geo.Pt(float64(i)+10, float64(i)+10)),
+		AvgSpeed:     1.25,
+		Distance:     42.75,
+		RecordCount:  6,
+	}
+}
+
+func testTuple(traj string, i int) *core.EpisodeTuple {
+	tp := &core.EpisodeTuple{
+		Kind:    episode.Kind(i % 2),
+		TimeIn:  ts(i),
+		TimeOut: ts(i + 30),
+		Episode: testEpisode(traj, i),
+	}
+	tp.Annotations.Add(core.Annotation{Key: "landuse", Value: "urban", Confidence: 0.6, Source: "region"})
+	if i%2 == 0 {
+		tp.Annotations.Add(core.Annotation{Key: "poi_category", Value: "food", Confidence: 0.8, Source: "point"})
+		tp.Place = &core.Place{ID: fmt.Sprintf("p%d", i), Kind: core.PointPlace, Name: "café",
+			Category: "food", Extent: geo.NewRect(geo.Pt(1, 2), geo.Pt(3, 4))}
+	}
+	return tp
+}
+
+// populate fills a store with n objects worth of every table.
+func populate(t *testing.T, st *store.Store, objects, perObj int) {
+	t.Helper()
+	for o := 0; o < objects; o++ {
+		obj := fmt.Sprintf("obj-%d", o)
+		recs := make([]gps.Record, 0, perObj)
+		for i := 0; i < perObj; i++ {
+			recs = append(recs, gps.Record{ObjectID: obj, Position: geo.Pt(float64(i), float64(o)), Time: ts(i)})
+		}
+		st.PutRecords(recs)
+		traj := fmt.Sprintf("t-%d", o)
+		if err := st.PutTrajectory(&gps.RawTrajectory{ID: traj, ObjectID: obj, Records: recs}); err != nil {
+			t.Fatal(err)
+		}
+		eps := make([]*episode.Episode, 0, perObj/2)
+		tups := make([]*core.EpisodeTuple, 0, perObj/2)
+		for i := 0; i < perObj/2; i++ {
+			ep := testEpisode(traj, i)
+			ep.ObjectID = obj
+			eps = append(eps, ep)
+			tp := testTuple(traj, i)
+			tp.Episode.ObjectID = obj
+			tups = append(tups, tp)
+		}
+		if err := st.PutEpisodes(traj, eps); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.PutStructured(&core.StructuredTrajectory{
+			ID: traj, ObjectID: obj, Interpretation: "merged", Tuples: tups,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// storeState captures a store's full logical content for equality checks.
+type storeState struct {
+	Records    map[string][]gps.Record
+	Trajs      map[string]*gps.RawTrajectory
+	TrajIDs    map[string][]string
+	Episodes   map[string][]*episode.Episode
+	Structured map[string]*core.StructuredTrajectory
+	RecordN    int
+	Stops      int
+	Moves      int
+	TrajN      int
+	StructN    int
+}
+
+func capture(st *store.Store) *storeState {
+	s := &storeState{
+		Records:    map[string][]gps.Record{},
+		Trajs:      map[string]*gps.RawTrajectory{},
+		TrajIDs:    map[string][]string{},
+		Episodes:   map[string][]*episode.Episode{},
+		Structured: map[string]*core.StructuredTrajectory{},
+	}
+	for _, obj := range st.Objects() {
+		s.Records[obj] = st.Records(obj)
+		s.TrajIDs[obj] = st.TrajectoryIDs(obj)
+		for _, id := range s.TrajIDs[obj] {
+			if tr, ok := st.Trajectory(id); ok {
+				s.Trajs[id] = tr
+			}
+			s.Episodes[id] = st.Episodes(id)
+			for _, interp := range st.Interpretations(id) {
+				if sst, ok := st.Structured(id, interp); ok {
+					// The all-heap fast path returns the live internal
+					// struct; detach the slice header so a later freeze's
+					// eviction cannot truncate this capture.
+					cp := *sst
+					cp.Tuples = append([]*core.EpisodeTuple(nil), sst.Tuples...)
+					s.Structured[id+"/"+interp] = &cp
+				}
+			}
+		}
+	}
+	s.RecordN = st.RecordCount()
+	s.Stops, s.Moves = st.EpisodeCounts()
+	s.TrajN = st.TrajectoryCount()
+	s.StructN = st.StructuredCount()
+	return s
+}
+
+func mustEqualState(t *testing.T, want, got *storeState, label string) {
+	t.Helper()
+	if !reflect.DeepEqual(want, got) {
+		for id, w := range want.Structured {
+			if g := got.Structured[id]; !reflect.DeepEqual(w, g) {
+				t.Fatalf("%s: structured %s differs:\nwant %+v\ngot  %+v", label, id, w, g)
+			}
+		}
+		t.Fatalf("%s: store state differs (records/episodes/counts)", label)
+	}
+}
+
+// freezeOnce runs one freeze cycle through a fresh tiered store.
+func newTiered(t *testing.T, dir string, shards int) (*store.Store, *Tier) {
+	t.Helper()
+	st, tier, _, err := Recover(dir, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, tier
+}
+
+func TestFreezeServesIdenticalContent(t *testing.T) {
+	dir := t.TempDir()
+	st, tier := newTiered(t, dir, 4)
+	populate(t, st, 5, 20)
+	before := capture(st)
+
+	if err := tier.Freeze(st); err != nil {
+		t.Fatal(err)
+	}
+	if got := tier.SegmentCount(); got != 1 {
+		t.Fatalf("segments = %d, want 1", got)
+	}
+	mustEqualState(t, before, capture(st), "after freeze")
+
+	// A second freeze with nothing new writes nothing.
+	if err := tier.Freeze(st); err != nil {
+		t.Fatal(err)
+	}
+	if got := tier.SegmentCount(); got != 1 {
+		t.Fatalf("segments after empty freeze = %d, want 1", got)
+	}
+
+	// New data after the freeze lands in a second, delta-only segment.
+	populate(t, st, 2, 10) // obj-0, obj-1 again: records append, others replace
+	after := capture(st)
+	if err := tier.Freeze(st); err != nil {
+		t.Fatal(err)
+	}
+	if got := tier.SegmentCount(); got != 2 {
+		t.Fatalf("segments = %d, want 2", got)
+	}
+	mustEqualState(t, after, capture(st), "after second freeze")
+}
+
+func TestFreezeEvictsHeap(t *testing.T) {
+	dir := t.TempDir()
+	st, tier := newTiered(t, dir, 4)
+	populate(t, st, 3, 30)
+	if err := tier.Freeze(st); err != nil {
+		t.Fatal(err)
+	}
+	// The heap tail must be empty now: a second collect sees nothing.
+	mark, err := st.CollectTail(func(store.Mutation) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mark.Runs() != 0 {
+		t.Fatalf("post-freeze heap tail has %d runs, want 0", mark.Runs())
+	}
+}
+
+func TestRecoverFromSegments(t *testing.T) {
+	dir := t.TempDir()
+	st, tier := newTiered(t, dir, 4)
+	populate(t, st, 4, 16)
+	if err := tier.Freeze(st); err != nil {
+		t.Fatal(err)
+	}
+	populate(t, st, 6, 8) // partially overlapping: replaces + fresh objects
+	if err := tier.Freeze(st); err != nil {
+		t.Fatal(err)
+	}
+	want := capture(st)
+	if err := tier.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, tier2, stats, err := Recover(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tier2.Close()
+	if stats.Segments != 2 {
+		t.Fatalf("recovered %d segments, want 2", stats.Segments)
+	}
+	mustEqualState(t, want, capture(st2), "after recovery")
+}
+
+func TestRecoverSegmentsPlusWALTail(t *testing.T) {
+	dir := t.TempDir()
+	st, tier := newTiered(t, dir, 4)
+	l, err := wal.Open(wal.Options{Dir: dir, Fsync: wal.FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.AttachLog(l)
+	populate(t, st, 3, 12)
+	if err := tier.Checkpoint(l, st); err != nil {
+		t.Fatal(err)
+	}
+	populate(t, st, 5, 6) // tail beyond the checkpoint, only in the WAL
+	if err := st.MergeTupleAnnotations("t-1", "merged", 0, nil,
+		[]core.Annotation{{Key: "activity", Value: "eat", Confidence: 0.95, Source: "x"}}); err != nil {
+		t.Fatal(err)
+	}
+	want := capture(st)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tier.Close()
+
+	st2, tier2, stats, err := Recover(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tier2.Close()
+	if stats.Segments != 1 {
+		t.Fatalf("recovered %d segments, want 1", stats.Segments)
+	}
+	if stats.WAL.FramesApplied == 0 {
+		t.Fatal("expected a WAL tail to replay over the segment base")
+	}
+	mustEqualState(t, want, capture(st2), "after segment+tail recovery")
+}
+
+func TestCheckpointTruncatesWAL(t *testing.T) {
+	dir := t.TempDir()
+	st, tier := newTiered(t, dir, 4)
+	l, err := wal.Open(wal.Options{Dir: dir, Fsync: wal.FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.AttachLog(l)
+	populate(t, st, 3, 40)
+	if err := tier.Checkpoint(l, st); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tier.Close()
+	// Everything lives in the segment: the remaining WAL files must be
+	// (nearly) empty — only headers.
+	var walBytes int64
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) == ".log" {
+			fi, _ := e.Info()
+			walBytes += fi.Size()
+		}
+	}
+	if walBytes > 64 {
+		t.Fatalf("post-checkpoint WAL still holds %d bytes", walBytes)
+	}
+}
+
+func TestMergeOverlaySurvivesFreezeAndRecovery(t *testing.T) {
+	dir := t.TempDir()
+	st, tier := newTiered(t, dir, 4)
+	populate(t, st, 2, 10)
+	if err := tier.Freeze(st); err != nil {
+		t.Fatal(err)
+	}
+	// Merge into a frozen tuple: lands in the overlay, not the segment.
+	anns := []core.Annotation{{Key: "activity", Value: "shop", Confidence: 0.9, Source: "hmm"}}
+	if err := st.MergeTupleAnnotations("t-0", "merged", 1, nil, anns); err != nil {
+		t.Fatal(err)
+	}
+	want := capture(st)
+	got, ok := st.Structured("t-0", "merged")
+	if !ok || len(got.Tuples) < 2 {
+		t.Fatal("merged interpretation missing after freeze")
+	}
+	if v := got.Tuples[1].Annotations.Value("activity"); v != "shop" {
+		t.Fatalf("overlay merge not visible: activity=%q", v)
+	}
+
+	// The next freeze writes the overlay out as a merge frame; recovery
+	// rebuilds the overlay from it.
+	if err := tier.Freeze(st); err != nil {
+		t.Fatal(err)
+	}
+	mustEqualState(t, want, capture(st), "after overlay freeze")
+	tier.Close()
+
+	st2, tier2, _, err := Recover(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tier2.Close()
+	mustEqualState(t, want, capture(st2), "after overlay recovery")
+	if st2.OverlayCount() == 0 {
+		t.Fatal("recovered store has no overlay entries")
+	}
+}
+
+func TestFooterSummary(t *testing.T) {
+	dir := t.TempDir()
+	st, tier := newTiered(t, dir, 4)
+	populate(t, st, 3, 10)
+	if err := tier.Freeze(st); err != nil {
+		t.Fatal(err)
+	}
+	sums := st.ColdSummaries(nil)
+	if len(sums) != 1 {
+		t.Fatalf("got %d summaries, want 1", len(sums))
+	}
+	s := sums[0]
+	stops, moves := st.EpisodeCounts()
+	_ = stops
+	_ = moves
+	if s.Stops+s.Moves != 15 { // 3 objects × 5 tuples
+		t.Fatalf("summary counts %d tuples, want 15", s.Stops+s.Moves)
+	}
+	if s.Tuples["merged"] != 15 {
+		t.Fatalf("summary merged count = %d, want 15", s.Tuples["merged"])
+	}
+	if s.AnnKeys["landuse"] != 15 {
+		t.Fatalf("summary landuse cardinality = %d, want 15", s.AnnKeys["landuse"])
+	}
+	if !s.Objects.MayContain("obj-0") || !s.Objects.MayContain("obj-2") {
+		t.Fatal("object bloom misses a present object")
+	}
+	if s.TimeMin.IsZero() || s.TimeMax.Before(s.TimeMin) {
+		t.Fatalf("summary time span [%v, %v] malformed", s.TimeMin, s.TimeMax)
+	}
+	if s.GeomCount != 15 {
+		t.Fatalf("summary geometry count = %d, want 15", s.GeomCount)
+	}
+}
+
+func TestFooterRoundTrip(t *testing.T) {
+	foot := &Footer{
+		Summary: store.SegmentSummary{
+			TimeMin: ts(0), TimeMax: ts(99),
+			Stops: 3, Moves: 4,
+			Tuples:     map[string]int{"merged": 7, "line": 2},
+			AnnKeys:    map[string]int{"landuse": 7},
+			GeomBounds: geo.NewRect(geo.Pt(-1, -2), geo.Pt(3, 4)),
+			GeomCount:  5,
+			Objects:    store.NewObjectFilter(3),
+		},
+		Runs: []RunMeta{
+			{Op: store.MutPutRecords, Object: "o1", Start: 0, Count: 12, Off: 8},
+			{Op: store.MutAppendTuples, Object: "o1", Traj: "t1", Interp: "merged",
+				Start: 4, Count: 3, Off: 640},
+			{Op: store.MutPutEpisodes, Traj: "t1", Count: 6, Stops: 2, Off: 99},
+		},
+	}
+	foot.Summary.Objects.Add("o1")
+	got, err := decodeFooter(encodeFooter(foot))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(foot, got) {
+		t.Fatalf("footer round trip:\nwant %+v\ngot  %+v", foot, got)
+	}
+	// Arbitrary truncations must error, never panic.
+	full := encodeFooter(foot)
+	for i := 0; i < len(full); i++ {
+		if _, err := decodeFooter(full[:i]); err == nil {
+			t.Fatalf("truncated footer at %d decoded without error", i)
+		}
+	}
+}
+
+func TestCorruptSegmentFailsCleanly(t *testing.T) {
+	dir := t.TempDir()
+	st, tier := newTiered(t, dir, 4)
+	populate(t, st, 2, 10)
+	if err := tier.Freeze(st); err != nil {
+		t.Fatal(err)
+	}
+	tier.Close()
+	paths, _, err := listSegmentFiles(dir)
+	if err != nil || len(paths) != 1 {
+		t.Fatalf("want 1 segment, got %v (%v)", paths, err)
+	}
+	orig, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := func(name string, mutate func([]byte) []byte) {
+		t.Helper()
+		data := mutate(append([]byte(nil), orig...))
+		if err := os.WriteFile(paths[0], data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(paths[0]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("%s: Open err = %v, want ErrCorrupt", name, err)
+		}
+		if _, _, _, err := Recover(dir, 4); err == nil {
+			t.Fatalf("%s: Recover succeeded on a corrupt segment", name)
+		}
+	}
+	corrupt("bit flip in body", func(b []byte) []byte { b[headerSize+3] ^= 0x40; return b })
+	corrupt("bit flip in footer", func(b []byte) []byte { b[len(b)-trailerSize-5] ^= 0x01; return b })
+	corrupt("torn tail", func(b []byte) []byte { return b[:len(b)/2] })
+	corrupt("bad magic", func(b []byte) []byte { b[0] = 'X'; return b })
+	corrupt("empty file", func(b []byte) []byte { return nil })
+
+	// Restore: a pristine segment still opens.
+	if err := os.WriteFile(paths[0], orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+}
+
+func TestSnapshotMigration(t *testing.T) {
+	// A json-storage directory (snapshot + WAL) recovers through the
+	// segment engine: the snapshot seeds the base, and the first freeze
+	// retires it.
+	dir := t.TempDir()
+	st := store.NewSharded(4)
+	populate(t, st, 3, 10)
+	if err := st.Save(filepath.Join(dir, wal.SnapshotFile)); err != nil {
+		t.Fatal(err)
+	}
+	want := capture(st)
+
+	st2, tier2, stats, err := Recover(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tier2.Close()
+	if !stats.SnapshotLoaded {
+		t.Fatal("snapshot base not loaded")
+	}
+	mustEqualState(t, want, capture(st2), "after snapshot migration")
+
+	if err := tier2.Freeze(st2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, wal.SnapshotFile)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("snapshot.json still present after the first freeze")
+	}
+	mustEqualState(t, want, capture(st2), "after migration freeze")
+}
+
+func TestReplaceAfterFreezeSupersedes(t *testing.T) {
+	dir := t.TempDir()
+	st, tier := newTiered(t, dir, 4)
+	populate(t, st, 2, 10)
+	if err := tier.Freeze(st); err != nil {
+		t.Fatal(err)
+	}
+	// Replace a frozen interpretation wholesale; the tier must stop serving
+	// the stale run immediately.
+	repl := []*core.EpisodeTuple{testTuple("t-0", 7)}
+	if err := st.PutStructured(&core.StructuredTrajectory{
+		ID: "t-0", ObjectID: "obj-0", Interpretation: "merged", Tuples: repl,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := st.Structured("t-0", "merged")
+	if !ok || len(got.Tuples) != 1 {
+		t.Fatalf("replace not visible: %d tuples", len(got.Tuples))
+	}
+	// Scans must not resurrect the stale frozen tuples.
+	count := 0
+	st.VisitStructuredTuples("merged", func(ref store.TupleRef, tp core.EpisodeTuple) bool {
+		if ref.TrajectoryID == "t-0" {
+			count++
+		}
+		return true
+	})
+	if count != 1 {
+		t.Fatalf("scan sees %d t-0 tuples, want 1", count)
+	}
+	want := capture(st)
+	// Re-freeze and recover: the replacement (and the dead run's shadow)
+	// must persist.
+	if err := tier.Freeze(st); err != nil {
+		t.Fatal(err)
+	}
+	mustEqualState(t, want, capture(st), "after re-freeze")
+	tier.Close()
+	st2, tier2, _, err := Recover(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tier2.Close()
+	mustEqualState(t, want, capture(st2), "after recovery")
+}

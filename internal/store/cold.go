@@ -1,0 +1,396 @@
+package store
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"semitri/internal/core"
+	"semitri/internal/episode"
+	"semitri/internal/geo"
+	"semitri/internal/gps"
+)
+
+// The cold tier: the store's tables can be split LSM-style into a mutable
+// heap-resident tail and an immutable frozen prefix that lives in on-disk
+// segments (internal/segment). Each key's frozen prefix is tracked per shard
+// as a count (records, episodes, tuples) or a membership set (trajectories);
+// positions below the count resolve through the attached ColdTier, positions
+// at or above it resolve against the heap tail. Indexes, mutation Start
+// fields and TupleRefs all stay logical — base + heap offset — so the query
+// engine and the WAL replay arithmetic are oblivious to where a tuple
+// physically lives.
+//
+// Annotation merges that target a frozen tuple cannot mutate the immutable
+// segment, so they land in a small per-shard overlay (position → merged
+// tuple) consulted before the cold tier on every read. Overlay entries are
+// written out as merge frames at the next freeze, so recovery rebuilds them.
+
+// ColdTier is the read side of the frozen half of a tiered store,
+// implemented by internal/segment. All methods must be safe for concurrent
+// use. The store calls Invalidate* while holding the key's stripe lock, so
+// implementations must not call back into the store from them; Visit
+// methods must not hold tier-internal locks across fn callbacks (fn may
+// take stripe locks).
+type ColdTier interface {
+	// ColdRecords appends the frozen records of an object, in position
+	// order, to buf.
+	ColdRecords(objectID string, buf []gps.Record) []gps.Record
+	// ColdEpisodes appends the frozen episodes of a trajectory to buf.
+	ColdEpisodes(trajectoryID string, buf []*episode.Episode) []*episode.Episode
+	// ColdTrajectory returns a frozen raw trajectory.
+	ColdTrajectory(id string) (*gps.RawTrajectory, bool)
+	// ColdTuples appends the frozen tuples of (trajectory, interpretation),
+	// in position order, to buf.
+	ColdTuples(trajectoryID, interpretation string, buf []core.EpisodeTuple) []core.EpisodeTuple
+
+	// InvalidateTuples drops the live runs of (trajectory, interpretation):
+	// a whole-sequence replace superseded the frozen content, and segment
+	// scans must stop emitting it.
+	InvalidateTuples(trajectoryID, interpretation string)
+
+	// ColdSegments reports the number of live segments; Summaries appends
+	// one footer summary per segment (indexed like VisitSegmentTuples's seg).
+	ColdSegments() int
+	Summaries(buf []SegmentSummary) []SegmentSummary
+	// VisitSegmentTuples calls fn for every live frozen tuple of one segment
+	// (every interpretation when interpretation is empty), with its logical
+	// ref. It reports false when fn stopped the visit early.
+	VisitSegmentTuples(seg int, interpretation string, fn func(ref TupleRef, t core.EpisodeTuple) bool) bool
+}
+
+// SegmentSummary is the planner-facing digest a segment's footer carries:
+// enough to decide, without touching the segment body, that no tuple inside
+// can match a query.
+type SegmentSummary struct {
+	// TimeMin is the smallest tuple TimeIn and TimeMax the largest TimeOut
+	// across the segment's tuples (zero times propagate into TimeMin, so a
+	// segment holding untimed tuples is never pruned by an upper bound).
+	TimeMin, TimeMax time.Time
+	// Stops and Moves count the segment's tuples by kind.
+	Stops, Moves int
+	// Tuples counts tuples per interpretation.
+	Tuples map[string]int
+	// AnnKeys counts the tuples carrying each annotation key.
+	AnnKeys map[string]int
+	// GeomBounds is the union of the episode bounds of the GeomCount tuples
+	// that carry geometry (a non-nil episode back-pointer); tuples without
+	// geometry can never match a spatial predicate.
+	GeomBounds geo.Rect
+	GeomCount  int
+	// Objects is a bloom filter over the object ids owning the segment's
+	// tuples.
+	Objects ObjectFilter
+}
+
+// ObjectFilter is a small bloom filter over string keys, used by segment
+// footers to prune object-filtered scans. The zero value contains nothing.
+type ObjectFilter struct {
+	// Bits is the filter's bit array in 64-bit words; its length is a power
+	// of two. Exposed for serialisation.
+	Bits []uint64
+}
+
+// filterHashes derives the double-hashing pair from FNV-1a/64.
+func filterHashes(key string) (h1, h2 uint64) {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h, (h >> 32) | 1
+}
+
+// NewObjectFilter sizes a filter for n keys at roughly 10 bits per key
+// (about a 1% false-positive rate with the 4 probes used here).
+func NewObjectFilter(n int) ObjectFilter {
+	bits := 64
+	for bits < n*10 {
+		bits <<= 1
+	}
+	return ObjectFilter{Bits: make([]uint64, bits/64)}
+}
+
+const filterProbes = 4
+
+// Add inserts a key.
+func (f ObjectFilter) Add(key string) {
+	if len(f.Bits) == 0 {
+		return
+	}
+	mask := uint64(len(f.Bits)*64 - 1)
+	h1, h2 := filterHashes(key)
+	for i := uint64(0); i < filterProbes; i++ {
+		bit := (h1 + i*h2) & mask
+		f.Bits[bit/64] |= 1 << (bit % 64)
+	}
+}
+
+// MayContain reports whether the key may have been added; false is exact.
+func (f ObjectFilter) MayContain(key string) bool {
+	if len(f.Bits) == 0 {
+		return false
+	}
+	mask := uint64(len(f.Bits)*64 - 1)
+	h1, h2 := filterHashes(key)
+	for i := uint64(0); i < filterProbes; i++ {
+		bit := (h1 + i*h2) & mask
+		if f.Bits[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ColdInstall is the recovered frozen state segment recovery hands to
+// InstallColdTier: which prefix of each key the tier holds, plus the
+// rebuilt merge overlay.
+type ColdInstall struct {
+	// Records maps object id → frozen record count.
+	Records map[string]int
+	// Episodes maps trajectory id → frozen episode count; EpisodeStops the
+	// stop count within it (so replace-time uncounting stays exact without
+	// decoding the segment).
+	Episodes     map[string]int
+	EpisodeStops map[string]int
+	// Tuples lists the frozen (trajectory, interpretation) keys; zero-count
+	// keys still install (an empty interpretation is observable state).
+	Tuples []ColdTupleKey
+	// Trajectories lists the frozen raw trajectories in their original put
+	// order (it drives the per-object trajectory listing order).
+	Trajectories []ColdTrajKey
+	// Overlay holds the rebuilt annotation-merge overlay entries.
+	Overlay []ColdOverlayEntry
+}
+
+// ColdTupleKey identifies one frozen structured interpretation.
+type ColdTupleKey struct {
+	TrajectoryID   string
+	ObjectID       string
+	Interpretation string
+	Count          int
+}
+
+// ColdTrajKey identifies one frozen raw trajectory.
+type ColdTrajKey struct {
+	ID       string
+	ObjectID string
+}
+
+// ColdOverlayEntry is one rebuilt overlay tuple: the fully merged content
+// standing in for the frozen tuple at (TrajectoryID, Interpretation, Index).
+type ColdOverlayEntry struct {
+	TrajectoryID   string
+	Interpretation string
+	Index          int
+	Tuple          core.EpisodeTuple
+}
+
+// coldHolder wraps the attached tier for the atomic pointer.
+type coldHolder struct{ tier ColdTier }
+
+// coldTier returns the attached cold tier, or nil.
+func (s *Store) coldTier() ColdTier {
+	if h := s.cold.Load(); h != nil {
+		return h.tier
+	}
+	return nil
+}
+
+// Tiered reports whether a cold tier is attached.
+func (s *Store) Tiered() bool { return s.coldTier() != nil }
+
+// InstallColdTier attaches a cold tier and installs the frozen state it
+// holds. It must run before concurrent writers start (segment recovery calls
+// it before the WAL tail replays); a fresh tiered store installs an empty
+// ColdInstall. Counts, listings and reads below each key's frozen base then
+// resolve through the tier.
+func (s *Store) InstallColdTier(ct ColdTier, inst ColdInstall) error {
+	if ct == nil {
+		return errors.New("store: nil cold tier")
+	}
+	if s.coldTier() != nil {
+		return errors.New("store: cold tier already installed")
+	}
+	s.cold.Store(&coldHolder{tier: ct})
+	for obj, n := range inst.Records {
+		sh := s.shardFor(obj)
+		fz := sh.frozenMeta()
+		fz.recs[obj] = n
+		if _, ok := sh.records[obj]; !ok {
+			sh.records[obj] = nil
+		}
+		sh.recordCount += n
+	}
+	for id, n := range inst.Episodes {
+		sh := s.shardFor(id)
+		fz := sh.frozenMeta()
+		fz.eps[id] = n
+		stops := inst.EpisodeStops[id]
+		fz.epStops[id] = stops
+		if _, ok := sh.episodes[id]; !ok {
+			sh.episodes[id] = nil
+		}
+		sh.stopCount += stops
+		sh.moveCount += n - stops
+	}
+	for _, k := range inst.Tuples {
+		sh := s.shardFor(k.TrajectoryID)
+		fz := sh.frozenMeta()
+		fz.tups[tupKey{k.TrajectoryID, k.Interpretation}] = k.Count
+		byInterp, ok := sh.structured[k.TrajectoryID]
+		if !ok {
+			byInterp = structuredByInterp{}
+			sh.structured[k.TrajectoryID] = byInterp
+		}
+		if _, exists := byInterp[k.Interpretation]; !exists {
+			byInterp[k.Interpretation] = &core.StructuredTrajectory{
+				ID: k.TrajectoryID, ObjectID: k.ObjectID, Interpretation: k.Interpretation,
+			}
+			sh.structCount++
+		}
+	}
+	for _, k := range inst.Trajectories {
+		sh := s.shardFor(k.ID)
+		fz := sh.frozenMeta()
+		if _, dup := fz.trajs[k.ID]; dup {
+			continue
+		}
+		fz.trajs[k.ID] = k.ObjectID
+		os := s.shardFor(k.ObjectID)
+		os.trajByObject[k.ObjectID] = append(os.trajByObject[k.ObjectID], k.ID)
+	}
+	for _, e := range inst.Overlay {
+		sh := s.shardFor(e.TrajectoryID)
+		fz := sh.frozenMeta()
+		k := tupKey{e.TrajectoryID, e.Interpretation}
+		if fz.overlay[k] == nil {
+			fz.overlay[k] = map[int]*core.EpisodeTuple{}
+		}
+		t := e.Tuple
+		if _, dup := fz.overlay[k][e.Index]; !dup {
+			s.overlayN.Add(1)
+		}
+		fz.overlay[k][e.Index] = &t
+	}
+	return nil
+}
+
+// OverlayCount reports how many overlay entries currently stand in for
+// frozen tuples. Non-zero overlay weakens footer-based annotation pruning —
+// a merge can add an annotation key the segment's footer never counted — so
+// the query planner checks it before trusting AnnKeys cardinalities.
+func (s *Store) OverlayCount() int { return int(s.overlayN.Load()) }
+
+// ColdSegmentCount reports the attached tier's live segment count (0
+// untiered) — the extra scan units a parallel full scan fans out over.
+func (s *Store) ColdSegmentCount() int {
+	ct := s.coldTier()
+	if ct == nil {
+		return 0
+	}
+	return ct.ColdSegments()
+}
+
+// ColdSummaries appends the attached tier's per-segment footer summaries to
+// buf, indexed like VisitColdSegmentTuples's seg.
+func (s *Store) ColdSummaries(buf []SegmentSummary) []SegmentSummary {
+	ct := s.coldTier()
+	if ct == nil {
+		return buf
+	}
+	return ct.Summaries(buf)
+}
+
+// VisitColdSegmentTuples calls fn for every live frozen tuple of one cold
+// segment, with the merge overlay applied — the cold counterpart of
+// VisitShardTuples, and a parallel scan's per-segment work unit. It reports
+// false when fn stopped the visit early.
+func (s *Store) VisitColdSegmentTuples(seg int, interpretation string, fn func(ref TupleRef, t core.EpisodeTuple) bool) bool {
+	ct := s.coldTier()
+	if ct == nil {
+		return true
+	}
+	if s.overlayN.Load() == 0 {
+		return ct.VisitSegmentTuples(seg, interpretation, fn)
+	}
+	return ct.VisitSegmentTuples(seg, interpretation, func(ref TupleRef, t core.EpisodeTuple) bool {
+		if ov, ok := s.overlayAt(ref); ok {
+			t = ov
+		}
+		return fn(ref, t)
+	})
+}
+
+// overlayAt returns the overlay tuple standing in for ref, if any.
+func (s *Store) overlayAt(ref TupleRef) (core.EpisodeTuple, bool) {
+	sh := s.shardFor(ref.TrajectoryID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if sh.frozen == nil {
+		return core.EpisodeTuple{}, false
+	}
+	byIdx := sh.frozen.overlay[tupKey{ref.TrajectoryID, ref.Interpretation}]
+	tp, ok := byIdx[ref.Index]
+	if !ok {
+		return core.EpisodeTuple{}, false
+	}
+	return copyTuple(tp), true
+}
+
+// coldTuplesFor returns the frozen prefix of one structured interpretation
+// with the overlay applied: base frozen tuples in position order. overlay is
+// the copied overlay entries for the key (may be nil). Called with no stripe
+// lock held.
+func (s *Store) coldTuplesFor(trajectoryID, interpretation string, base int, overlay map[int]core.EpisodeTuple, buf []core.EpisodeTuple) []core.EpisodeTuple {
+	if base == 0 {
+		return buf
+	}
+	at := len(buf)
+	buf = s.coldTier().ColdTuples(trajectoryID, interpretation, buf)
+	for idx, tp := range overlay {
+		if at+idx < len(buf) {
+			buf[at+idx] = tp
+		}
+	}
+	return buf
+}
+
+// copyOverlay snapshots the overlay entries of one key under the stripe
+// lock (caller holds it); nil when the key has none.
+func (sh *shard) copyOverlay(k tupKey) map[int]core.EpisodeTuple {
+	if sh.frozen == nil {
+		return nil
+	}
+	byIdx := sh.frozen.overlay[k]
+	if len(byIdx) == 0 {
+		return nil
+	}
+	out := make(map[int]core.EpisodeTuple, len(byIdx))
+	for idx, tp := range byIdx {
+		out[idx] = copyTuple(tp)
+	}
+	return out
+}
+
+// sortedTupleKeys returns a shard's structured keys in deterministic order.
+// Caller holds the stripe lock.
+func (sh *shard) sortedTupleKeys() []tupKey {
+	keys := make([]tupKey, 0, len(sh.structured))
+	for id, byInterp := range sh.structured {
+		for interp := range byInterp {
+			keys = append(keys, tupKey{id, interp})
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].traj != keys[j].traj {
+			return keys[i].traj < keys[j].traj
+		}
+		return keys[i].interp < keys[j].interp
+	})
+	return keys
+}

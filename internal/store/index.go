@@ -4,7 +4,6 @@ import (
 	"errors"
 	"sort"
 	"sync/atomic"
-	"time"
 
 	"semitri/internal/core"
 )
@@ -16,7 +15,10 @@ var errNoSuchTuple = errors.New("store: no such tuple")
 // trajectory it belongs to and its position in that trajectory's tuple
 // sequence. Refs are the currency between the store and a secondary-index
 // layer: an index stores refs, and resolves them back through TupleAt when a
-// query needs the tuple's current content.
+// query needs the tuple's current content. Positions are logical — on a
+// tiered store a ref below the key's frozen base resolves through the cold
+// tier, at or above it through the heap tail — so indexes built before a
+// freeze stay valid after it.
 type TupleRef struct {
 	TrajectoryID   string
 	ObjectID       string
@@ -57,54 +59,29 @@ type Index interface {
 	TupleUpdated(event TupleEvent)
 }
 
-// QueryBackend is the read-side counterpart of Index: an attached index that
-// can also answer the store's legacy query methods. When present,
-// QueryStopsByAnnotation and QueryTuplesInWindow become thin wrappers over
-// it instead of full-table scans.
-type QueryBackend interface {
-	StopsByAnnotation(interpretation, key, value string) []*core.EpisodeTuple
-	TuplesInWindow(trajectoryID, interpretation string, from, to time.Time) []*core.EpisodeTuple
-}
-
-// indexHooks bundles the attached index and its optional query backend
-// behind one atomic pointer, so the hot append path pays a single load when
-// no index is attached.
+// indexHooks wraps the attached index behind one atomic pointer, so the hot
+// append path pays a single load when no index is attached.
 type indexHooks struct {
-	sink    Index
-	backend QueryBackend
+	sink Index
 }
 
 // AttachIndex registers an incrementally maintained secondary index. At most
-// one index is attached at a time (a later call replaces the earlier one);
-// if ix also implements QueryBackend, the store's annotation and time-window
-// queries delegate to it. Attach the index before concurrent writers start,
-// or backfill it from VisitStructuredTuples afterwards — TuplesAppended
-// events and the backfill scan may overlap, so indexes must treat
-// re-delivery of a ref as idempotent.
+// one index is attached at a time (a later call replaces the earlier one).
+// Attach the index before concurrent writers start, or backfill it from
+// VisitStructuredTuples afterwards — TuplesAppended events and the backfill
+// scan may overlap, so indexes must treat re-delivery of a ref as idempotent.
 func (s *Store) AttachIndex(ix Index) {
 	if ix == nil {
 		s.hooks.Store(nil)
 		return
 	}
-	h := &indexHooks{sink: ix}
-	if b, ok := ix.(QueryBackend); ok {
-		h.backend = b
-	}
-	s.hooks.Store(h)
+	s.hooks.Store(&indexHooks{sink: ix})
 }
 
 // sink returns the attached index, or nil.
 func (s *Store) sink() Index {
 	if h := s.hooks.Load(); h != nil {
 		return h.sink
-	}
-	return nil
-}
-
-// queryBackend returns the attached query backend, or nil.
-func (s *Store) queryBackend() QueryBackend {
-	if h := s.hooks.Load(); h != nil {
-		return h.backend
 	}
 	return nil
 }
@@ -120,8 +97,9 @@ func copyTuple(tp *core.EpisodeTuple) core.EpisodeTuple {
 }
 
 // tupleEvents builds index notifications for tuples[start:] of a structured
-// trajectory. Caller holds the stripe lock.
-func tupleEvents(st *core.StructuredTrajectory, start int) []TupleEvent {
+// trajectory's heap tail; base is the key's frozen prefix length, so the
+// event refs carry logical positions. Caller holds the stripe lock.
+func tupleEvents(st *core.StructuredTrajectory, start, base int) []TupleEvent {
 	if start >= len(st.Tuples) {
 		return nil
 	}
@@ -132,7 +110,7 @@ func tupleEvents(st *core.StructuredTrajectory, start int) []TupleEvent {
 				TrajectoryID:   st.ID,
 				ObjectID:       st.ObjectID,
 				Interpretation: st.Interpretation,
-				Index:          i,
+				Index:          base + i,
 			},
 			Tuple: copyTuple(st.Tuples[i]),
 		})
@@ -143,20 +121,46 @@ func tupleEvents(st *core.StructuredTrajectory, start int) []TupleEvent {
 // TupleAt returns a stable copy of the tuple stored at (trajectoryID,
 // interpretation, index), or false when the position does not exist. This is
 // the resolution step of indexed query execution: an index's ref is resolved
-// against the store's current content under the stripe lock, so the result
-// can never be a torn read of a tuple a writer is still annotating.
+// against the store's current content under the stripe lock (heap positions)
+// or against the immutable segment plus the merge overlay (frozen
+// positions), so the result can never be a torn read of a tuple a writer is
+// still annotating.
 func (s *Store) TupleAt(trajectoryID, interpretation string, index int) (core.EpisodeTuple, bool) {
 	if index < 0 {
 		return core.EpisodeTuple{}, false
 	}
 	sh := s.shardFor(trajectoryID)
 	sh.mu.RLock()
-	defer sh.mu.RUnlock()
 	st, ok := sh.structured[trajectoryID][interpretation]
-	if !ok || index >= len(st.Tuples) {
+	if !ok {
+		sh.mu.RUnlock()
 		return core.EpisodeTuple{}, false
 	}
-	return copyTuple(st.Tuples[index]), true
+	k := tupKey{trajectoryID, interpretation}
+	base := sh.frozenTups(k)
+	if index >= base {
+		h := index - base
+		if h >= len(st.Tuples) {
+			sh.mu.RUnlock()
+			return core.EpisodeTuple{}, false
+		}
+		tp := copyTuple(st.Tuples[h])
+		sh.mu.RUnlock()
+		return tp, true
+	}
+	if s.overlayN.Load() != 0 && sh.frozen != nil {
+		if tp, hit := sh.frozen.overlay[k][index]; hit {
+			c := copyTuple(tp)
+			sh.mu.RUnlock()
+			return c, true
+		}
+	}
+	sh.mu.RUnlock()
+	cold := s.coldTier().ColdTuples(trajectoryID, interpretation, nil)
+	if index < len(cold) {
+		return cold[index], true
+	}
+	return core.EpisodeTuple{}, false
 }
 
 // TuplesAt resolves several positions of one structured trajectory under a
@@ -173,22 +177,49 @@ func (s *Store) TuplesAt(trajectoryID, interpretation string, indexes []int) (tu
 // query executor resolving many candidate batches can run the whole
 // resolution loop without allocating per batch.
 func (s *Store) AppendTuplesAt(trajectoryID, interpretation string, indexes []int, tuples []core.EpisodeTuple, ok []bool) ([]core.EpisodeTuple, []bool) {
-	base := len(tuples)
+	at := len(tuples)
 	for range indexes {
 		tuples = append(tuples, core.EpisodeTuple{})
 		ok = append(ok, false)
 	}
 	sh := s.shardFor(trajectoryID)
 	sh.mu.RLock()
-	defer sh.mu.RUnlock()
 	st, found := sh.structured[trajectoryID][interpretation]
 	if !found {
+		sh.mu.RUnlock()
 		return tuples, ok
 	}
+	k := tupKey{trajectoryID, interpretation}
+	base := sh.frozenTups(k)
+	needCold := false
 	for i, idx := range indexes {
-		if idx >= 0 && idx < len(st.Tuples) {
-			tuples[base+i] = copyTuple(st.Tuples[idx])
-			ok[base+i] = true
+		if idx < 0 {
+			continue
+		}
+		if idx < base {
+			needCold = true
+			continue
+		}
+		if h := idx - base; h < len(st.Tuples) {
+			tuples[at+i] = copyTuple(st.Tuples[h])
+			ok[at+i] = true
+		}
+	}
+	var overlay map[int]core.EpisodeTuple
+	if needCold && s.overlayN.Load() != 0 {
+		overlay = sh.copyOverlay(k)
+	}
+	sh.mu.RUnlock()
+	if !needCold {
+		return tuples, ok
+	}
+	// One tier read resolves every frozen position of the batch — candidates
+	// cluster by trajectory, so the segment run decodes once per batch.
+	cold := s.coldTuplesFor(trajectoryID, interpretation, base, overlay, nil)
+	for i, idx := range indexes {
+		if idx >= 0 && idx < base && idx < len(cold) {
+			tuples[at+i] = cold[idx]
+			ok[at+i] = true
 		}
 	}
 	return tuples, ok
@@ -201,21 +232,34 @@ func (s *Store) AppendTuplesAt(trajectoryID, interpretation string, indexes []in
 func (s *Store) TupleSnapshot(trajectoryID, interpretation string) (objectID string, tuples []core.EpisodeTuple, ok bool) {
 	sh := s.shardFor(trajectoryID)
 	sh.mu.RLock()
-	defer sh.mu.RUnlock()
 	st, ok := sh.structured[trajectoryID][interpretation]
 	if !ok {
+		sh.mu.RUnlock()
 		return "", nil, false
 	}
-	tuples = make([]core.EpisodeTuple, len(st.Tuples))
+	k := tupKey{trajectoryID, interpretation}
+	base := sh.frozenTups(k)
+	objectID = st.ObjectID
+	tail := make([]core.EpisodeTuple, len(st.Tuples))
 	for i, tp := range st.Tuples {
-		tuples[i] = copyTuple(tp)
+		tail[i] = copyTuple(tp)
 	}
-	return st.ObjectID, tuples, true
+	var overlay map[int]core.EpisodeTuple
+	if base > 0 && s.overlayN.Load() != 0 {
+		overlay = sh.copyOverlay(k)
+	}
+	sh.mu.RUnlock()
+	if base == 0 {
+		return objectID, tail, true
+	}
+	tuples = s.coldTuplesFor(trajectoryID, interpretation, base, overlay,
+		make([]core.EpisodeTuple, 0, base+len(tail)))
+	return objectID, append(tuples, tail...), true
 }
 
-// TupleCount returns the number of tuples stored under (trajectoryID,
-// interpretation) — the planner's cost estimate for the trajectory-direct
-// access path.
+// TupleCount returns the logical number of tuples stored under
+// (trajectoryID, interpretation) — frozen prefix plus heap tail, the
+// planner's cost estimate for the trajectory-direct access path.
 func (s *Store) TupleCount(trajectoryID, interpretation string) int {
 	sh := s.shardFor(trajectoryID)
 	sh.mu.RLock()
@@ -224,7 +268,7 @@ func (s *Store) TupleCount(trajectoryID, interpretation string) int {
 	if !ok {
 		return 0
 	}
-	return len(st.Tuples)
+	return sh.frozenTups(tupKey{trajectoryID, interpretation}) + len(st.Tuples)
 }
 
 // MergeTupleAnnotations merges annotations (and, when place is non-nil, the
@@ -238,7 +282,16 @@ func (s *Store) MergeTupleAnnotations(trajectoryID, interpretation string, index
 	sh := s.shardFor(trajectoryID)
 	sh.mu.Lock()
 	st, ok := sh.structured[trajectoryID][interpretation]
-	if !ok || index < 0 || index >= len(st.Tuples) {
+	if !ok || index < 0 {
+		sh.mu.Unlock()
+		return errNoSuchTuple
+	}
+	k := tupKey{trajectoryID, interpretation}
+	base := sh.frozenTups(k)
+	if index < base {
+		return s.mergeFrozenTuple(sh, st, k, index, place, anns)
+	}
+	if index-base >= len(st.Tuples) {
 		sh.mu.Unlock()
 		return errNoSuchTuple
 	}
@@ -246,7 +299,13 @@ func (s *Store) MergeTupleAnnotations(trajectoryID, interpretation string, index
 		l.LogMutation(Mutation{Op: MutMergeTuple, TrajectoryID: trajectoryID,
 			Interpretation: interpretation, Start: index, Place: place, Annotations: anns})
 	}
-	tp := st.Tuples[index]
+	if s.Tiered() {
+		// The in-place write may land inside a freeze's captured delta; the
+		// bump makes the freeze re-collect the key instead of evicting a heap
+		// tail whose segment copy predates this merge.
+		sh.bumpGen(freezeKey{table: frzTuples, key: trajectoryID, interp: interpretation})
+	}
+	tp := st.Tuples[index-base]
 	for _, a := range anns {
 		tp.Annotations.Add(a)
 	}
@@ -281,15 +340,81 @@ func (s *Store) MergeTupleAnnotations(trajectoryID, interpretation string, index
 	return nil
 }
 
+// mergeFrozenTuple continues MergeTupleAnnotations for a target below the
+// key's frozen base: the segment bytes are immutable, so the merged result
+// lands in the shard's overlay (consulted before the tier on every read) and
+// is queued for the next freeze to write out as a merge frame. The caller
+// holds the stripe write lock and this releases it; the first merge into a
+// position reads the tier under that lock (shard→tier order), which keeps
+// the check-then-materialise atomic against racing merges to the same spot.
+func (s *Store) mergeFrozenTuple(sh *shard, st *core.StructuredTrajectory, k tupKey, index int, place *core.Place, anns []core.Annotation) error {
+	fz := sh.frozenMeta()
+	cur, ok := fz.overlay[k][index]
+	if !ok {
+		cold := s.coldTier().ColdTuples(k.traj, k.interp, nil)
+		if index >= len(cold) {
+			sh.mu.Unlock()
+			return errNoSuchTuple
+		}
+		t := cold[index]
+		cur = &t
+		if fz.overlay[k] == nil {
+			fz.overlay[k] = map[int]*core.EpisodeTuple{}
+		}
+		fz.overlay[k][index] = cur
+		s.overlayN.Add(1)
+	}
+	if l := s.mutationLog(); l != nil {
+		l.LogMutation(Mutation{Op: MutMergeTuple, TrajectoryID: k.traj,
+			Interpretation: k.interp, Start: index, Place: place, Annotations: anns})
+	}
+	for _, a := range anns {
+		cur.Annotations.Add(a)
+	}
+	if place != nil {
+		cur.Place = place
+	}
+	fz.overlayDirty = append(fz.overlayDirty, overlayRef{k: k, idx: index})
+	var ev TupleEvent
+	sink := s.sink()
+	if sink != nil {
+		ev = TupleEvent{
+			Ref: TupleRef{
+				TrajectoryID:   k.traj,
+				ObjectID:       st.ObjectID,
+				Interpretation: k.interp,
+				Index:          index,
+			},
+			Tuple: copyTuple(cur),
+		}
+		for _, a := range anns {
+			if got, found := cur.Annotations.Get(a.Key); found {
+				ev.Changed = append(ev.Changed, got)
+			}
+		}
+	}
+	sh.mu.Unlock()
+	if sink != nil {
+		sink.TupleUpdated(ev)
+	}
+	return nil
+}
+
 // VisitStructuredTuples calls fn for every stored tuple of the given
 // interpretation (every interpretation when interpretation is empty), as a
 // stable copy with its ref. It is the engine's backfill scan and the
-// full-scan fallback of unindexable queries: one stripe's tuples are copied
-// under the stripe's read lock, then fn runs with no lock held, so fn may
-// query the store. Stripes are visited in order but trajectories within a
-// stripe in map order; callers needing determinism sort their results. The
-// visit stops early when fn returns false.
+// full-scan fallback of unindexable queries: on a tiered store the cold
+// segments are visited first (overlay applied), then each stripe's heap
+// tuples are copied under the stripe's read lock and fn runs with no lock
+// held, so fn may query the store. Stripes are visited in order but
+// trajectories within a stripe in map order; callers needing determinism
+// sort their results. The visit stops early when fn returns false.
 func (s *Store) VisitStructuredTuples(interpretation string, fn func(ref TupleRef, t core.EpisodeTuple) bool) {
+	for seg, n := 0, s.ColdSegmentCount(); seg < n; seg++ {
+		if !s.VisitColdSegmentTuples(seg, interpretation, fn) {
+			return
+		}
+	}
 	var buf []TupleEvent
 	for _, sh := range s.shards {
 		var more bool
@@ -300,13 +425,14 @@ func (s *Store) VisitStructuredTuples(interpretation string, fn func(ref TupleRe
 	}
 }
 
-// VisitShardTuples is the single-stripe slice of VisitStructuredTuples: it
-// visits only the tuples stored in lock stripe `shard` (0 ≤ shard <
-// ShardCount), with the same copy-then-call locking discipline. It reports
-// false when fn stopped the visit early. Because the stripes partition the
-// trajectories, visiting every shard index visits every tuple exactly once —
-// the partitioning a parallel scan fans out over, one stripe lock per worker
-// at a time.
+// VisitShardTuples is the single-stripe, heap-only slice of
+// VisitStructuredTuples: it visits only the tuples resident in lock stripe
+// `shard` (0 ≤ shard < ShardCount), with the same copy-then-call locking
+// discipline. It reports false when fn stopped the visit early. Because the
+// stripes partition the heap and VisitColdSegmentTuples partitions the
+// frozen tuples by segment, visiting every shard index plus every segment
+// index visits every tuple exactly once — the partitioning a parallel scan
+// fans out over, one stripe lock (or segment) per worker at a time.
 func (s *Store) VisitShardTuples(shard int, interpretation string, fn func(ref TupleRef, t core.EpisodeTuple) bool) bool {
 	if shard < 0 || shard >= len(s.shards) {
 		return true
@@ -315,19 +441,19 @@ func (s *Store) VisitShardTuples(shard int, interpretation string, fn func(ref T
 	return more
 }
 
-// visitShard copies one stripe's tuples of the interpretation into buf under
-// the stripe's read lock, then calls fn for each with no lock held. It
-// returns the (possibly grown) buffer for reuse and whether the visit should
-// continue.
+// visitShard copies one stripe's heap tuples of the interpretation into buf
+// under the stripe's read lock (refs offset by each key's frozen base), then
+// calls fn for each with no lock held. It returns the (possibly grown)
+// buffer for reuse and whether the visit should continue.
 func visitShard(sh *shard, buf []TupleEvent, interpretation string, fn func(ref TupleRef, t core.EpisodeTuple) bool) ([]TupleEvent, bool) {
 	buf = buf[:0]
 	sh.mu.RLock()
-	for _, byInterp := range sh.structured {
+	for id, byInterp := range sh.structured {
 		for interp, st := range byInterp {
 			if interpretation != "" && interp != interpretation {
 				continue
 			}
-			buf = append(buf, tupleEvents(st, 0)...)
+			buf = append(buf, tupleEvents(st, 0, sh.frozenTups(tupKey{id, interp}))...)
 		}
 	}
 	sh.mu.RUnlock()

@@ -114,20 +114,22 @@ func replaySuffix(cur, start, n int) int {
 	}
 }
 
-// recordLen returns the current length of one object's record table.
+// recordLen returns the current logical length of one object's record table
+// (frozen prefix plus heap tail — mutation Starts are logical too).
 func (s *Store) recordLen(objectID string) int {
 	sh := s.shardFor(objectID)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	return len(sh.records[objectID])
+	return sh.frozenRecs(objectID) + len(sh.records[objectID])
 }
 
-// episodeLen returns the current length of one trajectory's episode table.
+// episodeLen returns the current logical length of one trajectory's episode
+// table.
 func (s *Store) episodeLen(trajectoryID string) int {
 	sh := s.shardFor(trajectoryID)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	return len(sh.episodes[trajectoryID])
+	return sh.frozenEps(trajectoryID) + len(sh.episodes[trajectoryID])
 }
 
 // Apply replays one logged mutation into the store. Replay is idempotent

@@ -95,10 +95,18 @@ func TestShardedMatchesSingleStripe(t *testing.T) {
 			t.Fatalf("Interpretations(%s): %v vs %v", id, a, b)
 		}
 	}
-	qa := single.QueryStopsByAnnotation("merged", core.AnnPOICategory, "item sale")
-	qb := striped.QueryStopsByAnnotation("merged", core.AnnPOICategory, "item sale")
-	if len(qa) != len(qb) || len(qa) == 0 {
-		t.Fatalf("QueryStopsByAnnotation: %d vs %d hits", len(qa), len(qb))
+	annotatedStops := func(s *Store) int {
+		n := 0
+		s.VisitStructuredTuples("merged", func(_ TupleRef, tp core.EpisodeTuple) bool {
+			if tp.Kind == episode.Stop && tp.Annotations.Value(core.AnnPOICategory) == "item sale" {
+				n++
+			}
+			return true
+		})
+		return n
+	}
+	if qa, qb := annotatedStops(single), annotatedStops(striped); qa != qb || qa == 0 {
+		t.Fatalf("annotated stop scan: %d vs %d hits", qa, qb)
 	}
 }
 

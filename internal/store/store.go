@@ -36,7 +36,7 @@ package store
 import (
 	"errors"
 	"sort"
-	"time"
+	"sync/atomic"
 
 	"semitri/internal/core"
 	"semitri/internal/episode"
@@ -59,7 +59,16 @@ type Store struct {
 	// durability layer attaches, so non-durable stores pay one atomic load
 	// per mutation.
 	mlog mlogPtr
+	// cold holds the attached cold tier (see InstallColdTier); nil for the
+	// default all-heap store.
+	cold coldPtr
+	// overlayN counts live merge-overlay entries across all shards; zero
+	// (the overwhelmingly common case) lets cold scans skip overlay lookups.
+	overlayN atomic.Int64
 }
+
+// coldPtr is the atomic holder InstallColdTier writes.
+type coldPtr = atomic.Pointer[coldHolder]
 
 type structuredByInterp map[string]*core.StructuredTrajectory
 
@@ -123,7 +132,7 @@ func (s *Store) PutRecords(records []gps.Record) {
 		sh.mu.Lock()
 		if l != nil {
 			l.LogMutation(Mutation{Op: MutPutRecords, ObjectID: r.ObjectID,
-				Start: len(sh.records[r.ObjectID]), Records: records})
+				Start: sh.frozenRecs(r.ObjectID) + len(sh.records[r.ObjectID]), Records: records})
 		}
 		sh.records[r.ObjectID] = append(sh.records[r.ObjectID], r)
 		sh.recordCount++
@@ -144,7 +153,7 @@ func (s *Store) PutRecords(records []gps.Record) {
 		sh.mu.Lock()
 		if l != nil {
 			l.LogMutation(Mutation{Op: MutPutRecords, ObjectID: obj,
-				Start: len(sh.records[obj]), Records: recs})
+				Start: sh.frozenRecs(obj) + len(sh.records[obj]), Records: recs})
 		}
 		sh.records[obj] = append(sh.records[obj], recs...)
 		sh.recordCount += len(recs)
@@ -152,12 +161,19 @@ func (s *Store) PutRecords(records []gps.Record) {
 	}
 }
 
-// Records returns the raw records of an object (a copy).
+// Records returns the raw records of an object (a copy): the frozen prefix
+// read through the cold tier, then the heap tail.
 func (s *Store) Records(objectID string) []gps.Record {
 	sh := s.shardFor(objectID)
 	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	return append([]gps.Record(nil), sh.records[objectID]...)
+	base := sh.frozenRecs(objectID)
+	tail := append([]gps.Record(nil), sh.records[objectID]...)
+	sh.mu.RUnlock()
+	if base == 0 {
+		return tail
+	}
+	out := s.coldTier().ColdRecords(objectID, make([]gps.Record, 0, base+len(tail)))
+	return append(out, tail...)
 }
 
 // RecordCount returns the total number of stored GPS records. The count is
@@ -184,6 +200,17 @@ func (s *Store) PutTrajectory(t *gps.RawTrajectory) error {
 			TrajectoryID: t.ID, Trajectory: t})
 	}
 	_, exists := ts.trajectories[t.ID]
+	if !exists && ts.frozen != nil {
+		// A re-put of a frozen trajectory supersedes the cold copy: the heap
+		// holds the content again and the next freeze re-emits it.
+		if _, cold := ts.frozen.trajs[t.ID]; cold {
+			delete(ts.frozen.trajs, t.ID)
+			exists = true
+		}
+	}
+	if s.Tiered() {
+		ts.bumpGen(freezeKey{table: frzTrajectory, key: t.ID})
+	}
 	ts.trajectories[t.ID] = t
 	ts.mu.Unlock()
 	if !exists {
@@ -199,13 +226,24 @@ func (s *Store) PutTrajectory(t *gps.RawTrajectory) error {
 	return nil
 }
 
-// Trajectory returns a stored raw trajectory by id.
+// Trajectory returns a stored raw trajectory by id, reading through the
+// cold tier for frozen trajectories.
 func (s *Store) Trajectory(id string) (*gps.RawTrajectory, bool) {
 	sh := s.shardFor(id)
 	sh.mu.RLock()
-	defer sh.mu.RUnlock()
 	t, ok := sh.trajectories[id]
-	return t, ok
+	cold := false
+	if !ok && sh.frozen != nil {
+		_, cold = sh.frozen.trajs[id]
+	}
+	sh.mu.RUnlock()
+	if ok {
+		return t, true
+	}
+	if cold {
+		return s.coldTier().ColdTrajectory(id)
+	}
+	return nil, false
 }
 
 // TrajectoryIDs returns the ids of the stored trajectories of an object,
@@ -224,18 +262,28 @@ func (s *Store) TrajectoryIDs(objectID string) []string {
 		for id := range sh.trajectories {
 			out = append(out, id)
 		}
+		if sh.frozen != nil {
+			for id := range sh.frozen.trajs {
+				out = append(out, id)
+			}
+		}
 		sh.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out
 }
 
-// TrajectoryCount returns the number of stored raw trajectories.
+// TrajectoryCount returns the number of stored raw trajectories (heap tail
+// plus frozen; the two sets are disjoint — a re-put moves an id back to the
+// heap).
 func (s *Store) TrajectoryCount() int {
 	n := 0
 	for _, sh := range s.shards {
 		sh.mu.RLock()
 		n += len(sh.trajectories)
+		if sh.frozen != nil {
+			n += len(sh.frozen.trajs)
+		}
 		sh.mu.RUnlock()
 	}
 	return n
@@ -254,6 +302,22 @@ func (s *Store) PutEpisodes(trajectoryID string, eps []*episode.Episode) error {
 		l.LogMutation(Mutation{Op: MutPutEpisodes, TrajectoryID: trajectoryID, Episodes: eps})
 	}
 	sh.uncountEpisodes(sh.episodes[trajectoryID])
+	if sh.frozen != nil {
+		// The replace supersedes the frozen prefix too: uncount it, drop the
+		// base (reads become heap-only) and fail any freeze capture in
+		// flight. The dead segment runs are shadowed by the full re-freeze
+		// the next checkpoint writes.
+		if base, ok := sh.frozen.eps[trajectoryID]; ok {
+			stops := sh.frozen.epStops[trajectoryID]
+			sh.stopCount -= stops
+			sh.moveCount -= base - stops
+			delete(sh.frozen.eps, trajectoryID)
+			delete(sh.frozen.epStops, trajectoryID)
+		}
+	}
+	if s.Tiered() {
+		sh.bumpGen(freezeKey{table: frzEpisodes, key: trajectoryID})
+	}
 	sh.episodes[trajectoryID] = append([]*episode.Episode(nil), eps...)
 	sh.countEpisodes(eps)
 	return nil
@@ -271,19 +335,26 @@ func (s *Store) AppendEpisodes(trajectoryID string, eps ...*episode.Episode) err
 	defer sh.mu.Unlock()
 	if l := s.mutationLog(); l != nil {
 		l.LogMutation(Mutation{Op: MutAppendEpisodes, TrajectoryID: trajectoryID,
-			Start: len(sh.episodes[trajectoryID]), Episodes: eps})
+			Start: sh.frozenEps(trajectoryID) + len(sh.episodes[trajectoryID]), Episodes: eps})
 	}
 	sh.episodes[trajectoryID] = append(sh.episodes[trajectoryID], eps...)
 	sh.countEpisodes(eps)
 	return nil
 }
 
-// Episodes returns the episodes stored for a trajectory.
+// Episodes returns the episodes stored for a trajectory: the frozen prefix
+// read through the cold tier, then the heap tail.
 func (s *Store) Episodes(trajectoryID string) []*episode.Episode {
 	sh := s.shardFor(trajectoryID)
 	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	return append([]*episode.Episode(nil), sh.episodes[trajectoryID]...)
+	base := sh.frozenEps(trajectoryID)
+	tail := append([]*episode.Episode(nil), sh.episodes[trajectoryID]...)
+	sh.mu.RUnlock()
+	if base == 0 {
+		return tail
+	}
+	out := s.coldTier().ColdEpisodes(trajectoryID, make([]*episode.Episode, 0, base+len(tail)))
+	return append(out, tail...)
 }
 
 // EpisodeCounts returns the total number of stop and move episodes stored.
@@ -321,11 +392,33 @@ func (s *Store) PutStructured(st *core.StructuredTrajectory) error {
 	if _, exists := byInterp[st.Interpretation]; !exists {
 		sh.structCount++
 	}
+	k := tupKey{st.ID, st.Interpretation}
+	var invalidate ColdTier
+	if sh.frozen != nil {
+		// The replace supersedes the key's frozen tuples and their overlay;
+		// the tier stops scanning the dead runs immediately, and the next
+		// freeze re-emits the full sequence as a put run that shadows them
+		// at recovery.
+		if _, cold := sh.frozen.tups[k]; cold {
+			delete(sh.frozen.tups, k)
+			invalidate = s.coldTier()
+		}
+		if ov := sh.frozen.overlay[k]; ov != nil {
+			s.overlayN.Add(int64(-len(ov)))
+			delete(sh.frozen.overlay, k)
+		}
+	}
+	if s.Tiered() {
+		sh.bumpGen(freezeKey{table: frzTuples, key: st.ID, interp: st.Interpretation})
+	}
 	byInterp[st.Interpretation] = st
 	var events []TupleEvent
 	sink := s.sink()
 	if sink != nil {
-		events = tupleEvents(st, 0)
+		events = tupleEvents(st, 0, 0)
+	}
+	if invalidate != nil {
+		invalidate.InvalidateTuples(st.ID, st.Interpretation)
 	}
 	sh.mu.Unlock()
 	if sink != nil {
@@ -359,17 +452,18 @@ func (s *Store) AppendStructuredTuples(trajectoryID, objectID, interpretation st
 		byInterp[interpretation] = st
 		sh.structCount++
 	}
+	base := sh.frozenTups(tupKey{trajectoryID, interpretation})
 	start := len(st.Tuples)
 	if l := s.mutationLog(); l != nil {
 		l.LogMutation(Mutation{Op: MutAppendTuples, ObjectID: objectID,
 			TrajectoryID: trajectoryID, Interpretation: interpretation,
-			Start: start, Tuples: tuples})
+			Start: base + start, Tuples: tuples})
 	}
 	st.Tuples = append(st.Tuples, tuples...)
 	var events []TupleEvent
 	sink := s.sink()
 	if sink != nil && len(tuples) > 0 {
-		events = tupleEvents(st, start)
+		events = tupleEvents(st, start, base)
 	}
 	sh.mu.Unlock()
 	if len(events) > 0 {
@@ -379,17 +473,40 @@ func (s *Store) AppendStructuredTuples(trajectoryID, objectID, interpretation st
 }
 
 // Structured returns the stored structured trajectory for a trajectory id
-// and interpretation.
+// and interpretation. On an all-heap store (or a key with no frozen prefix)
+// it returns the stored object; when part of the key froze, it materialises
+// a combined view — frozen tuples read through the cold tier (overlay
+// applied), then the heap tail.
 func (s *Store) Structured(trajectoryID, interpretation string) (*core.StructuredTrajectory, bool) {
 	sh := s.shardFor(trajectoryID)
 	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	byInterp, ok := sh.structured[trajectoryID]
+	st, ok := sh.structured[trajectoryID][interpretation]
 	if !ok {
+		sh.mu.RUnlock()
 		return nil, false
 	}
-	st, ok := byInterp[interpretation]
-	return st, ok
+	k := tupKey{trajectoryID, interpretation}
+	base := sh.frozenTups(k)
+	if base == 0 {
+		sh.mu.RUnlock()
+		return st, true
+	}
+	tail := append([]*core.EpisodeTuple(nil), st.Tuples...)
+	obj := st.ObjectID
+	var overlay map[int]core.EpisodeTuple
+	if s.overlayN.Load() != 0 {
+		overlay = sh.copyOverlay(k)
+	}
+	sh.mu.RUnlock()
+	cold := s.coldTuplesFor(trajectoryID, interpretation, base, overlay, make([]core.EpisodeTuple, 0, base))
+	full := make([]*core.EpisodeTuple, 0, len(cold)+len(tail))
+	for i := range cold {
+		full = append(full, &cold[i])
+	}
+	full = append(full, tail...)
+	return &core.StructuredTrajectory{
+		ID: trajectoryID, ObjectID: obj, Interpretation: interpretation, Tuples: full,
+	}, true
 }
 
 // Interpretations lists the interpretations stored for a trajectory.
@@ -431,83 +548,4 @@ func (s *Store) StructuredCount() int {
 		sh.mu.RUnlock()
 	}
 	return n
-}
-
-// QueryStopsByAnnotation returns, across all stored structured trajectories
-// of the given interpretation, the stop tuples whose annotation `key` equals
-// `value` (e.g. all stops annotated with the "item sale" POI category).
-// Results are ordered by trajectory id for determinism across shard layouts.
-//
-// With a secondary index attached (AttachIndex) and a non-empty value, the
-// call is a thin wrapper over the index's inverted annotation list instead
-// of the full-table scan below. An empty value asks for tuples *without* the
-// key, which no inverted index can answer, so it always scans.
-//
-// Deprecated: use the query engine directly — query.Build(query.OnlyStops(),
-// query.WithAnnotation(key, value)) executed by query.Engine — which plans
-// across every access path, composes with the other predicates and feeds
-// joins and aggregation. This wrapper predates the engine, survives for the
-// engine-less store, and will not grow new capabilities.
-func (s *Store) QueryStopsByAnnotation(interpretation, key, value string) []*core.EpisodeTuple {
-	if value != "" {
-		if b := s.queryBackend(); b != nil {
-			return b.StopsByAnnotation(interpretation, key, value)
-		}
-	}
-	type hit struct {
-		id     string
-		tuples []*core.EpisodeTuple
-	}
-	var hits []hit
-	for _, sh := range s.shards {
-		sh.mu.RLock()
-		for id, byInterp := range sh.structured {
-			st, ok := byInterp[interpretation]
-			if !ok {
-				continue
-			}
-			var tuples []*core.EpisodeTuple
-			for _, tp := range st.Tuples {
-				if tp.Kind == episode.Stop && tp.Annotations.Value(key) == value {
-					tuples = append(tuples, tp)
-				}
-			}
-			if len(tuples) > 0 {
-				hits = append(hits, hit{id: id, tuples: tuples})
-			}
-		}
-		sh.mu.RUnlock()
-	}
-	sort.Slice(hits, func(i, j int) bool { return hits[i].id < hits[j].id })
-	var out []*core.EpisodeTuple
-	for _, h := range hits {
-		out = append(out, h.tuples...)
-	}
-	return out
-}
-
-// QueryTuplesInWindow returns the tuples of a trajectory's interpretation
-// overlapping the [from, to] time window. With a secondary index attached it
-// delegates to the index's per-object time-ordered list.
-//
-// Deprecated: use the query engine directly — query.Build(
-// query.ForTrajectory(id), query.Between(from, to)) executed by
-// query.Engine. This wrapper predates the engine, survives for the
-// engine-less store, and will not grow new capabilities.
-func (s *Store) QueryTuplesInWindow(trajectoryID, interpretation string, from, to time.Time) []*core.EpisodeTuple {
-	if b := s.queryBackend(); b != nil {
-		return b.TuplesInWindow(trajectoryID, interpretation, from, to)
-	}
-	st, ok := s.Structured(trajectoryID, interpretation)
-	if !ok {
-		return nil
-	}
-	var out []*core.EpisodeTuple
-	for _, tp := range st.Tuples {
-		if tp.TimeOut.Before(from) || tp.TimeIn.After(to) {
-			continue
-		}
-		out = append(out, tp)
-	}
-	return out
 }

@@ -197,28 +197,49 @@ func TestQueries(t *testing.T) {
 	s := New()
 	s.PutStructured(sampleStructured("u1-T0", "u1", "merged"))
 	s.PutStructured(sampleStructured("u2-T0", "u2", "merged"))
-	hits := s.QueryStopsByAnnotation("merged", core.AnnPOICategory, "item sale")
-	if len(hits) != 2 {
-		t.Fatalf("QueryStopsByAnnotation = %d", len(hits))
+	annotatedStops := func(interp, value string) int {
+		n := 0
+		s.VisitStructuredTuples(interp, func(_ TupleRef, tp core.EpisodeTuple) bool {
+			if tp.Kind == episode.Stop && tp.Annotations.Value(core.AnnPOICategory) == value {
+				n++
+			}
+			return true
+		})
+		return n
 	}
-	if got := s.QueryStopsByAnnotation("merged", core.AnnPOICategory, "feedings"); len(got) != 0 {
+	if hits := annotatedStops("merged", "item sale"); hits != 2 {
+		t.Fatalf("annotated stop scan = %d", hits)
+	}
+	if got := annotatedStops("merged", "feedings"); got != 0 {
 		t.Fatal("no stops should match feedings")
 	}
-	if got := s.QueryStopsByAnnotation("region", core.AnnPOICategory, "item sale"); len(got) != 0 {
+	if got := annotatedStops("region", "item sale"); got != 0 {
 		t.Fatal("missing interpretation should match nothing")
 	}
-	window := s.QueryTuplesInWindow("u1-T0", "merged", t0.Add(10*time.Minute), t0.Add(20*time.Minute))
-	if len(window) != 1 || window[0].Kind != episode.Stop {
-		t.Fatalf("window query = %+v", window)
+	window := func(traj, interp string, from, to time.Time) []*core.EpisodeTuple {
+		st, ok := s.Structured(traj, interp)
+		if !ok {
+			return nil
+		}
+		var out []*core.EpisodeTuple
+		for _, tp := range st.Tuples {
+			if tp.TimeIn.Before(to) && tp.TimeOut.After(from) {
+				out = append(out, tp)
+			}
+		}
+		return out
 	}
-	all := s.QueryTuplesInWindow("u1-T0", "merged", t0, t0.Add(2*time.Hour))
-	if len(all) != 2 {
+	got := window("u1-T0", "merged", t0.Add(10*time.Minute), t0.Add(20*time.Minute))
+	if len(got) != 1 || got[0].Kind != episode.Stop {
+		t.Fatalf("window query = %+v", got)
+	}
+	if all := window("u1-T0", "merged", t0, t0.Add(2*time.Hour)); len(all) != 2 {
 		t.Fatalf("full window = %d", len(all))
 	}
-	if got := s.QueryTuplesInWindow("u1-T0", "merged", t0.Add(5*time.Hour), t0.Add(6*time.Hour)); len(got) != 0 {
+	if got := window("u1-T0", "merged", t0.Add(5*time.Hour), t0.Add(6*time.Hour)); len(got) != 0 {
 		t.Fatal("disjoint window should match nothing")
 	}
-	if got := s.QueryTuplesInWindow("nope", "merged", t0, t0.Add(time.Hour)); got != nil {
+	if got := window("nope", "merged", t0, t0.Add(time.Hour)); got != nil {
 		t.Fatal("missing trajectory window should be nil")
 	}
 }

@@ -66,16 +66,32 @@ func Recover(dir string, shards int) (*store.Store, RecoverStats, error) {
 	} else {
 		st = store.NewSharded(shards)
 	}
+	if err := ReplayInto(dir, st, &stats); err != nil {
+		return nil, stats, err
+	}
+	return st, stats, nil
+}
+
+// ReplayInto replays the directory's log segments, in order, into an
+// existing store, accumulating into stats. It is the log-tail half of
+// Recover: the segment store (internal/segment) rebuilds its base from
+// binary segments first and then calls this for the frames committed after
+// the last freeze. The same torn-tail rules apply — replay stops at the
+// first damaged frame, keeps the prefix and repairs the log on disk.
+func ReplayInto(dir string, st *store.Store, stats *RecoverStats) error {
+	if _, err := os.Stat(dir); errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
 	segs, err := listSegments(dir)
 	if err != nil {
-		return nil, stats, err
+		return err
 	}
 	for i, seg := range segs {
 		stats.Segments++
 		applied, tornAt, err := replaySegment(seg.path, st)
 		stats.FramesApplied += applied
 		if err != nil {
-			return nil, stats, err
+			return err
 		}
 		if tornAt >= 0 {
 			// The log's physical prefix ends here; frames in later segments
@@ -86,13 +102,13 @@ func Recover(dir string, shards int) (*store.Store, RecoverStats, error) {
 			stats.TornOffset = tornAt
 			stats.QuarantinedSegments = len(segs) - i - 1
 			if err := repairTear(seg, tornAt, segs[i+1:]); err != nil {
-				return nil, stats, err
+				return err
 			}
 			syncDir(dir)
 			break
 		}
 	}
-	return st, stats, nil
+	return nil
 }
 
 // repairTear makes the log end exactly where replay stopped: the damaged

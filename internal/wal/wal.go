@@ -509,6 +509,18 @@ func (l *Log) Err() error {
 // that crashes between snapshot and truncation only leaves extra segments
 // behind, which also replay idempotently.
 func (l *Log) Checkpoint(st *store.Store) error {
+	return l.CheckpointWith(func(dir string) error {
+		return st.Save(filepath.Join(dir, SnapshotFile))
+	})
+}
+
+// CheckpointWith is Checkpoint with a caller-supplied recovery-base writer:
+// after the log rotates, save must persist everything committed before the
+// rotation into dir (the log directory), and on success the log deletes the
+// segments older than the rotation point. The tiered segment store plugs its
+// incremental freeze in here instead of the JSON snapshot; the flush /
+// rotate / save / truncate contract is identical.
+func (l *Log) CheckpointWith(save func(dir string) error) error {
 	l.cpMu.Lock()
 	defer l.cpMu.Unlock()
 	if err := l.Flush(); err != nil {
@@ -521,7 +533,7 @@ func (l *Log) Checkpoint(st *store.Store) error {
 	if err != nil {
 		return err
 	}
-	if err := st.Save(filepath.Join(l.opts.Dir, SnapshotFile)); err != nil {
+	if err := save(l.opts.Dir); err != nil {
 		l.cpErr = err
 		return err
 	}
@@ -547,6 +559,14 @@ func (l *Log) Checkpoint(st *store.Store) error {
 // Checkpoint errors are sticky (see Err) but do not stop the log or the
 // schedule. A non-positive interval disables the schedule.
 func (l *Log) StartAutoCheckpoint(st *store.Store, interval time.Duration) {
+	l.StartAutoCheckpointFunc(func() error { return l.Checkpoint(st) }, interval)
+}
+
+// StartAutoCheckpointFunc runs cp every interval until Close — the schedule
+// StartAutoCheckpoint uses, with the checkpoint step replaced (the segment
+// store schedules its incremental freeze this way). Errors from cp are the
+// caller's to make sticky; the schedule itself never stops on them.
+func (l *Log) StartAutoCheckpointFunc(cp func() error, interval time.Duration) {
 	if interval <= 0 {
 		return
 	}
@@ -560,7 +580,7 @@ func (l *Log) StartAutoCheckpoint(st *store.Store, interval time.Duration) {
 			case <-l.done:
 				return
 			case <-ticker.C:
-				_ = l.Checkpoint(st)
+				_ = cp()
 			}
 		}
 	}()

@@ -263,10 +263,16 @@ func TestQueryEngineLazyAttach(t *testing.T) {
 	if _, err := pipeline.ProcessRecords(records); err != nil {
 		t.Fatal(err)
 	}
-	// Pre-engine there is no engine surface yet; the deprecated wrapper's
-	// full scan is the baseline the backfill is checked against.
-	//lint:ignore SA1019 the engine-less scan is exactly what backfill must reproduce
-	before := pipeline.Store().QueryStopsByAnnotation("merged", core.AnnPOICategory, "item sale")
+	// Pre-engine there is no engine surface yet; a raw store scan is the
+	// baseline the backfill is checked against.
+	var before []*core.EpisodeTuple
+	pipeline.Store().VisitStructuredTuples("merged", func(_ store.TupleRef, tp core.EpisodeTuple) bool {
+		if tp.Kind == episode.Stop && tp.Annotations.Value(core.AnnPOICategory) == "item sale" {
+			cp := tp
+			before = append(before, &cp)
+		}
+		return true
+	})
 	engine := pipeline.QueryEngine()
 	if engine != pipeline.QueryEngine() {
 		t.Fatal("QueryEngine must be a singleton per pipeline")

@@ -59,6 +59,7 @@ import (
 	"semitri/internal/query"
 	"semitri/internal/region"
 	"semitri/internal/roadnet"
+	"semitri/internal/segment"
 	"semitri/internal/stats"
 	"semitri/internal/store"
 	"semitri/internal/wal"
@@ -143,8 +144,15 @@ type Config struct {
 // one did at its last durable point.
 type Durability struct {
 	// Dir is the data directory holding the log segments and the checkpoint
-	// snapshot. Empty disables durability entirely.
+	// base. Empty disables durability entirely.
 	Dir string
+	// Storage selects the checkpoint base format: "json" (or empty) writes a
+	// whole-store JSON snapshot per checkpoint; "segments" runs the tiered
+	// storage engine (internal/segment) — checkpoints freeze only the heap
+	// tail written since the last one into an immutable binary segment, cold
+	// data is served from mmap-backed segment files instead of the Go heap,
+	// and recovery folds segment footers instead of re-parsing a snapshot.
+	Storage string
 	// FlushInterval is the group-commit window: the WAL batches frames and
 	// pays one write+fsync per interval (default wal.DefaultFlushInterval).
 	// It bounds the data-loss window of a hard crash.
@@ -178,6 +186,9 @@ func fsyncPolicy(s string) (wal.FsyncPolicy, error) {
 type RecoveryStats struct {
 	// SnapshotLoaded reports whether a checkpoint snapshot seeded the store.
 	SnapshotLoaded bool
+	// ColdSegments counts the binary segments folded into the store's frozen
+	// base (segment storage only).
+	ColdSegments int
 	// Segments and FramesApplied count the replayed log tail.
 	Segments      int
 	FramesApplied int
@@ -228,8 +239,10 @@ type Pipeline struct {
 	st *store.Store
 
 	// wal is the attached durability log (nil without Config.Durability.Dir);
-	// recovery holds what New replayed from its directory.
+	// tier the segment cold tier (nil unless Storage is "segments"); recovery
+	// holds what New replayed from its directory.
 	wal      *wal.Log
+	tier     *segment.Tier
 	recovery RecoveryStats
 
 	mu      sync.Mutex
@@ -256,15 +269,38 @@ func New(sources Sources, cfg Config) (*Pipeline, error) {
 		p.st = store.NewSharded(cfg.StoreShards)
 	} else {
 		// Durable pipeline: recover the store from the data directory's
-		// snapshot + log tail, then attach a fresh WAL so every mutation
-		// from here on is logged.
+		// checkpoint base + log tail, then attach a fresh WAL so every
+		// mutation from here on is logged.
 		policy, err := fsyncPolicy(cfg.Durability.Fsync)
 		if err != nil {
 			return nil, fmt.Errorf("semitri: durability: %w", err)
 		}
-		st, rstats, err := wal.Recover(cfg.Durability.Dir, cfg.StoreShards)
-		if err != nil {
-			return nil, fmt.Errorf("semitri: recover: %w", err)
+		var (
+			st     *store.Store
+			rstats wal.RecoverStats
+		)
+		switch cfg.Durability.Storage {
+		case "", "json":
+			if segment.HasSegments(cfg.Durability.Dir) {
+				return nil, fmt.Errorf("semitri: durability: %s holds binary segments; set Durability.Storage to %q",
+					cfg.Durability.Dir, "segments")
+			}
+			st, rstats, err = wal.Recover(cfg.Durability.Dir, cfg.StoreShards)
+			if err != nil {
+				return nil, fmt.Errorf("semitri: recover: %w", err)
+			}
+		case "segments":
+			var sstats segment.RecoverStats
+			st, p.tier, sstats, err = segment.Recover(cfg.Durability.Dir, cfg.StoreShards)
+			if err != nil {
+				return nil, fmt.Errorf("semitri: recover: %w", err)
+			}
+			rstats = sstats.WAL
+			rstats.SnapshotLoaded = sstats.SnapshotLoaded
+			p.recovery.ColdSegments = sstats.Segments
+		default:
+			return nil, fmt.Errorf("semitri: durability: unknown storage %q (want json or segments)",
+				cfg.Durability.Storage)
 		}
 		l, err := wal.Open(wal.Options{
 			Dir:           cfg.Durability.Dir,
@@ -273,26 +309,36 @@ func New(sources Sources, cfg Config) (*Pipeline, error) {
 			Fsync:         policy,
 		})
 		if err != nil {
+			if p.tier != nil {
+				p.tier.Close()
+			}
 			return nil, fmt.Errorf("semitri: %w", err)
 		}
 		st.AttachLog(l)
-		l.StartAutoCheckpoint(st, cfg.Durability.CheckpointInterval)
+		if p.tier != nil {
+			tier := p.tier
+			l.StartAutoCheckpointFunc(func() error { return tier.Checkpoint(l, st) },
+				cfg.Durability.CheckpointInterval)
+		} else {
+			l.StartAutoCheckpoint(st, cfg.Durability.CheckpointInterval)
+		}
 		p.st = st
 		p.wal = l
-		p.recovery = RecoveryStats{
-			SnapshotLoaded: rstats.SnapshotLoaded,
-			Segments:       rstats.Segments,
-			FramesApplied:  rstats.FramesApplied,
-			Torn:           rstats.Torn,
-			Quarantined:    rstats.QuarantinedSegments,
-		}
+		p.recovery.SnapshotLoaded = rstats.SnapshotLoaded
+		p.recovery.Segments = rstats.Segments
+		p.recovery.FramesApplied = rstats.FramesApplied
+		p.recovery.Torn = rstats.Torn
+		p.recovery.Quarantined = rstats.QuarantinedSegments
 	}
-	// fail releases the WAL (stopping its background goroutines) when a
-	// later construction step errors out.
+	// fail releases the WAL and segment tier (stopping background
+	// goroutines) when a later construction step errors out.
 	fail := func(err error) (*Pipeline, error) {
 		if p.wal != nil {
 			p.st.AttachLog(nil)
 			_ = p.wal.Close()
+		}
+		if p.tier != nil {
+			_ = p.tier.Close()
 		}
 		return nil, err
 	}
@@ -333,12 +379,18 @@ func (p *Pipeline) SyncDurability() error {
 	return p.wal.Sync()
 }
 
-// Checkpoint snapshots the store into the durability directory and
-// truncates the log segments the snapshot made obsolete. Safe to call while
+// Checkpoint persists the store's committed state into the durability
+// directory and truncates the log segments that made obsolete: a full JSON
+// snapshot under json storage, an incremental freeze of the heap tail into a
+// new binary segment under segment storage (cost proportional to the data
+// written since the last checkpoint, not the total). Safe to call while
 // ingestion is running. A no-op without durability.
 func (p *Pipeline) Checkpoint() error {
 	if p.wal == nil {
 		return nil
+	}
+	if p.tier != nil {
+		return p.tier.Checkpoint(p.wal, p.st)
 	}
 	return p.wal.Checkpoint(p.st)
 }
@@ -358,10 +410,15 @@ func (p *Pipeline) Close() error {
 	}
 	p.closed = true
 	p.mu.Unlock()
-	cpErr := p.wal.Checkpoint(p.st)
+	cpErr := p.Checkpoint()
 	p.st.AttachLog(nil)
 	if err := p.wal.Close(); err != nil && cpErr == nil {
 		cpErr = err
+	}
+	if p.tier != nil {
+		if err := p.tier.Close(); err != nil && cpErr == nil {
+			cpErr = err
+		}
 	}
 	return cpErr
 }
