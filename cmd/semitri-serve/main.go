@@ -14,6 +14,7 @@
 //	              [-data-dir dir] [-flush-interval 50ms]
 //	              [-fsync interval|always|never] [-checkpoint-interval 1m]
 //	              [-query-parallelism 0] [-pprof]
+//	              [-log-level info] [-log-format text|json]
 //
 // With -in omitted a small people dataset is generated, sized by -users and
 // -days. With -wait the server only starts listening once ingestion has
@@ -31,21 +32,25 @@
 //
 // Endpoints (see internal/serve for the full parameter list):
 //
-//	GET /healthz
-//	GET /query/episodes?object=&kind=stop&ann=poi_category=item sale&from=&to=&minx=&...
+//	GET /healthz             (503 + reasons when the WAL or checkpointing degrades)
+//	GET /query/episodes?object=&kind=stop&ann=poi_category=item sale&from=&to=&minx=&...&trace=1
+//	GET /query/relational?q=...&trace=1
 //	GET /query/trajectories?object=
 //	GET /query/objects?object=
 //	GET /stats
+//	GET /metrics             Prometheus text exposition
+//	GET /debug/queries       slowest queries served so far
+//	GET /debug/pprof/...     (with -pprof)
+//	GET /debug/trace?seconds=N  runtime/trace capture (with -pprof)
 package main
 
 import (
 	"bufio"
 	"context"
 	"flag"
-	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sync/atomic"
@@ -54,6 +59,7 @@ import (
 
 	"semitri"
 	"semitri/internal/gps"
+	"semitri/internal/obs"
 	"semitri/internal/serve"
 	"semitri/internal/workload"
 )
@@ -75,8 +81,15 @@ func main() {
 	fsync := flag.String("fsync", "interval", "WAL fsync policy: interval | always | never (with -data-dir)")
 	checkpointInterval := flag.Duration("checkpoint-interval", time.Minute, "checkpoint schedule, 0 disables (with -data-dir)")
 	queryParallelism := flag.Int("query-parallelism", 0, "query engine worker cap (0 = GOMAXPROCS, 1 = serial)")
-	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the serving mux")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof and /debug/trace runtime-trace capture under /debug/ on the serving mux")
+	logLevel := flag.String("log-level", "info", "log level: debug | info | warn | error")
+	logFormat := flag.String("log-format", "text", "log format: text | json")
 	flag.Parse()
+
+	if _, err := obs.InitLogger(os.Stderr, *logLevel, *logFormat); err != nil {
+		fail(err)
+	}
+	logger := obs.Component("serve")
 
 	city, err := workload.NewCity(workload.DefaultCityConfig(*seed, *pois))
 	if err != nil {
@@ -106,23 +119,28 @@ func main() {
 	if pipeline.Durable() {
 		rs := pipeline.Recovery()
 		st := pipeline.Store()
-		fmt.Fprintf(os.Stderr,
-			"data dir %s: recovered %d records, %d trajectories, %d structured (snapshot=%v, cold-segments=%d, wal-segments=%d, frames=%d)\n",
-			*dataDir, st.RecordCount(), st.TrajectoryCount(), st.StructuredCount(),
-			rs.SnapshotLoaded, rs.ColdSegments, rs.Segments, rs.FramesApplied)
+		logger.Info("recovered durable store",
+			"dir", *dataDir,
+			"records", st.RecordCount(), "trajectories", st.TrajectoryCount(),
+			"structured", st.StructuredCount(),
+			"snapshot", rs.SnapshotLoaded, "cold_segments", rs.ColdSegments,
+			"wal_segments", rs.Segments, "frames", rs.FramesApplied)
 		if rs.Torn && rs.Quarantined == 0 {
-			fmt.Fprintln(os.Stderr, "wal tail was torn (crash mid-flush); kept the committed prefix and repaired the log")
+			logger.Warn("wal tail was torn (crash mid-flush); kept the committed prefix and repaired the log")
 		} else if rs.Torn {
-			fmt.Fprintf(os.Stderr,
-				"WARNING: wal was torn mid-log (disk corruption, not a crash); kept the prefix before the tear and quarantined %d later segment(s) as *.quarantined for inspection\n",
-				rs.Quarantined)
+			logger.Warn("wal was torn mid-log (disk corruption, not a crash); kept the prefix before the tear and quarantined later segments as *.quarantined",
+				"quarantined", rs.Quarantined)
 		}
 	}
 	// Request the engine before ingestion starts: the indexes then build
 	// purely incrementally from the stream's append path (they backfill
 	// from recovered content first).
 	engine := pipeline.QueryEngine()
-	server := serve.New(engine)
+	opts := []serve.Option{serve.WithHealth(pipeline.Health)}
+	if *pprofOn {
+		opts = append(opts, serve.WithProfiling())
+	}
+	server := serve.New(engine, opts...)
 
 	// Graceful shutdown: a signal stops the producer, the ingest goroutine
 	// drains and closes the stream, then a final checkpoint runs.
@@ -132,16 +150,17 @@ func main() {
 
 	ingested := make(chan struct{})
 	if *in == "" && pipeline.Durable() && pipeline.Store().RecordCount() > 0 {
-		fmt.Fprintln(os.Stderr, "recovered store is non-empty and no -in given; serving recovered data without new ingestion")
+		logger.Info("recovered store is non-empty and no -in given; serving recovered data without new ingestion")
 		close(ingested)
 	} else {
 		go func() {
 			defer close(ingested)
 			start := time.Now()
 			result := ingest(pipeline, *in, city, *seed, *users, *days, *streamWorkers, *progress, ingestStop)
-			fmt.Fprintf(os.Stderr, "ingestion complete: %d records, %d trajectories (%d stops, %d moves) in %v\n",
-				result.Records, len(result.TrajectoryIDs), result.Stops, result.Moves,
-				time.Since(start).Round(time.Millisecond))
+			logger.Info("ingestion complete",
+				"records", result.Records, "trajectories", len(result.TrajectoryIDs),
+				"stops", result.Stops, "moves", result.Moves,
+				"elapsed", time.Since(start).Round(time.Millisecond))
 		}()
 	}
 	// finish drains ingestion and writes the final checkpoint; it is the
@@ -151,10 +170,11 @@ func main() {
 		close(ingestStop)
 		<-ingested
 		if err := pipeline.Close(); err != nil {
-			fail(err)
+			logger.Error("shutdown: final flush/checkpoint failed", "err", err)
+			os.Exit(1)
 		}
 		if pipeline.Durable() {
-			fmt.Fprintf(os.Stderr, "final checkpoint written to %s\n", *dataDir)
+			logger.Info("shutdown complete: final flush and checkpoint written", "dir", *dataDir)
 		}
 	}
 	if *wait {
@@ -165,7 +185,7 @@ func main() {
 		select {
 		case <-ingested:
 		case sig := <-stop:
-			fmt.Fprintf(os.Stderr, "received %s during ingestion; shutting down\n", sig)
+			logger.Info("signal received during ingestion; shutting down", "signal", sig.String())
 			finish()
 			return
 		}
@@ -173,29 +193,18 @@ func main() {
 
 	handler := server.Handler()
 	if *pprofOn {
-		// Wrap the API mux in an outer one that also mounts the pprof
-		// handlers, so profiles of the live parallel executor are one curl
-		// away without exposing them by default.
-		mux := http.NewServeMux()
-		mux.Handle("/", handler)
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		handler = mux
-		fmt.Fprintf(os.Stderr, "pprof mounted at %s/debug/pprof/\n", *addr)
+		logger.Info("profiling endpoints mounted", "pprof", "/debug/pprof/", "trace", "/debug/trace")
 	}
 	srv := &http.Server{Addr: *addr, Handler: handler}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "serving on %s\n", *addr)
+	logger.Info("serving", "addr", *addr)
 
 	select {
 	case err := <-serveErr:
 		fail(err)
 	case sig := <-stop:
-		fmt.Fprintf(os.Stderr, "received %s; shutting down\n", sig)
+		logger.Info("signal received; shutting down", "signal", sig.String())
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
@@ -209,6 +218,7 @@ func main() {
 // records already offered still drain through the fan-in before the stream
 // closes, so shutdown never abandons in-flight work.
 func ingest(pipeline *semitri.Pipeline, in string, city *workload.City, seed int64, users, days, workers, every int, stopCh <-chan struct{}) *semitri.Result {
+	logger := obs.Component("ingest")
 	sp := pipeline.NewStream()
 	var n atomic.Int64
 	feed := make(chan gps.Record, 256)
@@ -227,12 +237,12 @@ func ingest(pipeline *semitri.Pipeline, in string, city *workload.City, seed int
 			return false
 		}
 		if c := n.Add(1); every > 0 && c%int64(every) == 0 {
-			fmt.Fprintf(os.Stderr, "ingested %d records\n", c)
+			logger.Info("ingest progress", "records", c)
 		}
 		return true
 	}
 	if in == "" {
-		fmt.Fprintf(os.Stderr, "no -in file given; generating %d user(s) x %d day(s)\n", users, days)
+		logger.Info("no -in file given; generating a people dataset", "users", users, "days", days)
 		ds, err := workload.GeneratePeople(city, workload.DefaultPeopleConfig(users, days, seed+1))
 		if err != nil {
 			fail(err)
@@ -273,7 +283,7 @@ func ingest(pipeline *semitri.Pipeline, in string, city *workload.City, seed int
 		case <-stopCh:
 			// Shutdown raced an early or empty ingest; a partial stream is
 			// expected here, not fatal.
-			fmt.Fprintf(os.Stderr, "stream close during shutdown: %v\n", err)
+			logger.Warn("stream close during shutdown", "err", err)
 			return &semitri.Result{}
 		default:
 			fail(err)
@@ -283,6 +293,6 @@ func ingest(pipeline *semitri.Pipeline, in string, city *workload.City, seed int
 }
 
 func fail(err error) {
-	fmt.Fprintln(os.Stderr, "error:", err)
+	slog.Error("fatal", "err", err)
 	os.Exit(1)
 }

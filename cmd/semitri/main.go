@@ -9,7 +9,13 @@
 //	semitri -in people.csv [-profile people|vehicle] [-seed 1] [-pois 8000]
 //	        [-store out/store.json] [-max-trajectories 10] [-summary]
 //	        [-workers 4] [-stream] [-stream-workers 4] [-progress 5000]
-//	        [-data-dir dir]
+//	        [-data-dir dir] [-trace "episodes kind=stop"]
+//	        [-log-level info] [-log-format text|json]
+//
+// With -trace a relational statement (the internal/query/lang grammar) runs
+// against the freshly ingested store and its EXPLAIN ANALYZE trace is
+// printed: the chosen access path, per-stage wall times, rows in/out,
+// candidates examined and any segment-prune decisions.
 //
 // With -data-dir the run is durable: every store mutation is written ahead
 // to a group-committed log in the directory while the pipeline runs, and a
@@ -40,9 +46,11 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"sync/atomic"
 	"time"
@@ -52,6 +60,8 @@ import (
 	"semitri/internal/core"
 	"semitri/internal/geojson"
 	"semitri/internal/gps"
+	"semitri/internal/obs"
+	"semitri/internal/query/lang"
 	"semitri/internal/workload"
 )
 
@@ -69,7 +79,15 @@ func main() {
 	streamWorkers := flag.Int("stream-workers", 1, "with -stream, concurrent ingestion goroutines (records sharded by object)")
 	progress := flag.Int("progress", 5000, "with -stream, report ingestion progress every N records")
 	dataDir := flag.String("data-dir", "", "durability directory (WAL + final checkpoint); use a fresh directory per dataset")
+	traceQ := flag.String("trace", "", "relational statement to run after ingestion with its EXPLAIN ANALYZE trace printed")
+	logLevel := flag.String("log-level", "info", "log level: debug | info | warn | error")
+	logFormat := flag.String("log-format", "text", "log format: text | json")
 	flag.Parse()
+
+	if _, err := obs.InitLogger(os.Stderr, *logLevel, *logFormat); err != nil {
+		fail(err)
+	}
+	logger := obs.Component("semitri")
 
 	city, err := workload.NewCity(workload.DefaultCityConfig(*seed, *pois))
 	if err != nil {
@@ -94,8 +112,8 @@ func main() {
 		fail(err)
 	}
 	if pipeline.Durable() && pipeline.Store().RecordCount() > 0 {
-		fmt.Fprintf(os.Stderr, "warning: data dir %s already holds %d records; this run appends to the recovered store\n",
-			*dataDir, pipeline.Store().RecordCount())
+		logger.Warn("data dir already holds records; this run appends to the recovered store",
+			"dir", *dataDir, "records", pipeline.Store().RecordCount())
 	}
 
 	start := time.Now()
@@ -178,6 +196,26 @@ func main() {
 		}
 		fmt.Printf("GeoJSON with %d features written to %s\n", fc.Len(), *geojsonPath)
 	}
+	// EXPLAIN ANALYZE: run the -trace statement against the ingested store
+	// and print its execution trace.
+	if *traceQ != "" {
+		res, tr, err := lang.RunTraced(pipeline.QueryEngine(), *traceQ)
+		if err != nil {
+			fail(err)
+		}
+		rows := len(res.Matches)
+		if res.Pairs != nil {
+			rows = len(res.Pairs)
+		}
+		if res.Groups != nil {
+			rows = len(res.Groups)
+		}
+		data, err := json.MarshalIndent(tr, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("trace for %q (%d rows, plan %s):\n%s\n\n", *traceQ, rows, res.Plan, data)
+	}
 	// Latency breakdown mirrors Fig. 17.
 	lat := pipeline.Latency()
 	fmt.Println("latency per trajectory (avg):")
@@ -204,11 +242,13 @@ func runStream(pipeline *semitri.Pipeline, in string, city *workload.City, seed 
 	sp := pipeline.NewStream()
 	var ingested, episodes, trajectories atomic.Int64
 	startedAt := time.Now()
+	logger := obs.Component("stream")
 	report := func() {
 		elapsed := time.Since(startedAt)
 		rate := float64(ingested.Load()) / elapsed.Seconds()
-		fmt.Fprintf(os.Stderr, "ingested %d records (%d episodes, %d trajectories closed, %.0f rec/s)\n",
-			ingested.Load(), episodes.Load(), trajectories.Load(), rate)
+		logger.Info("ingest progress",
+			"records", ingested.Load(), "episodes", episodes.Load(),
+			"trajectories", trajectories.Load(), "rec_per_s", int64(rate))
 	}
 	onEvents := func(events []semitri.StreamEvent) {
 		for _, ev := range events {
@@ -283,7 +323,7 @@ func runStream(pipeline *semitri.Pipeline, in string, city *workload.City, seed 
 // demoRecords generates the small demonstration people dataset used when no
 // -in file is given, for both the batch and the streaming mode.
 func demoRecords(city *workload.City, seed int64) []gps.Record {
-	fmt.Fprintln(os.Stderr, "no -in file given; generating a small demonstration people dataset")
+	slog.Info("no -in file given; generating a small demonstration people dataset")
 	ds, err := workload.GeneratePeople(city, workload.DefaultPeopleConfig(2, 2, seed+1))
 	if err != nil {
 		fail(err)
@@ -292,6 +332,6 @@ func demoRecords(city *workload.City, seed int64) []gps.Record {
 }
 
 func fail(err error) {
-	fmt.Fprintln(os.Stderr, "error:", err)
+	slog.Error("fatal", "err", err)
 	os.Exit(1)
 }

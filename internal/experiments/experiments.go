@@ -151,6 +151,7 @@ var Registry = map[string]func(*Env) (*Table, error){
 	"durability":        DurabilityOverhead,
 	"parallel":          Parallel,
 	"storage":           StorageEngine,
+	"obs":               Observability,
 }
 
 // Order lists the experiment ids in presentation order (the order of §5).
@@ -158,5 +159,5 @@ var Order = []string{
 	"table1", "table2", "fig9", "fig10", "fig11", "fig12", "fig13",
 	"fig14", "fig15", "fig17", "compression", "ablation-mapmatch", "ablation-hmm",
 	"stream", "lookup", "query", "relational", "durability", "parallel",
-	"storage",
+	"storage", "obs",
 }

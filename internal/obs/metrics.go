@@ -1,0 +1,134 @@
+package obs
+
+// The process-wide metric catalogue. Every subsystem records into these
+// package-level vars; keeping the catalogue in one file keeps naming
+// consistent and makes the README table and the serve-smoke assertions easy
+// to audit. Label "vecs" are deliberately small and fixed — one registered
+// metric per label value — so the record path never touches a map.
+
+// Ingest (stream.go).
+var (
+	IngestRecords = NewCounter("semitri_ingest_records_total",
+		"GPS records accepted by the streaming pipeline.")
+	IngestStageCleanNs = NewHistogram("semitri_ingest_stage_ns",
+		"Sampled per-record latency of each streaming ingest stage, in nanoseconds.",
+		nil, "stage", "clean")
+	IngestStageSegmentNs = NewHistogram("semitri_ingest_stage_ns",
+		"Sampled per-record latency of each streaming ingest stage, in nanoseconds.",
+		nil, "stage", "segment")
+	IngestStageTrackNs = NewHistogram("semitri_ingest_stage_ns",
+		"Sampled per-record latency of each streaming ingest stage, in nanoseconds.",
+		nil, "stage", "track")
+	IngestStageAnnotateNs = NewHistogram("semitri_ingest_stage_ns",
+		"Sampled per-record latency of each streaming ingest stage, in nanoseconds.",
+		nil, "stage", "annotate")
+)
+
+// Store (internal/store).
+var (
+	StoreMutRecords = NewCounter("semitri_store_mutations_total",
+		"Committed store mutations by table.", "table", "records")
+	StoreMutEpisodes = NewCounter("semitri_store_mutations_total",
+		"Committed store mutations by table.", "table", "episodes")
+	StoreMutTrajectories = NewCounter("semitri_store_mutations_total",
+		"Committed store mutations by table.", "table", "trajectories")
+	StoreMutStructured = NewCounter("semitri_store_mutations_total",
+		"Committed store mutations by table.", "table", "structured")
+	StoreMutAnnotations = NewCounter("semitri_store_mutations_total",
+		"Committed store mutations by table.", "table", "annotations")
+	StoreStripeWaitNs = NewHistogram("semitri_store_stripe_wait_ns",
+		"Contended stripe-lock acquisition wait, in nanoseconds (uncontended grabs are not timed).", nil)
+)
+
+// Query engine (internal/query). Per-path counters are indexed by the
+// planner's path rank via QueryByPath.
+var (
+	QueryPathTrajectory = NewCounter("semitri_query_total",
+		"Queries executed by chosen access path.", "path", "trajectory")
+	QueryPathAnnotation = NewCounter("semitri_query_total",
+		"Queries executed by chosen access path.", "path", "annotation")
+	QueryPathObjectTime = NewCounter("semitri_query_total",
+		"Queries executed by chosen access path.", "path", "object-time")
+	QueryPathSpatial = NewCounter("semitri_query_total",
+		"Queries executed by chosen access path.", "path", "spatial")
+	QueryPathScan = NewCounter("semitri_query_total",
+		"Queries executed by chosen access path.", "path", "scan")
+	// QueryByPath is indexed by the planner's path rank (same order as the
+	// path constants' pathRank).
+	QueryByPath = [...]*Counter{
+		QueryPathTrajectory, QueryPathAnnotation, QueryPathObjectTime,
+		QueryPathSpatial, QueryPathScan,
+	}
+	QueryPlanNs = NewHistogram("semitri_query_plan_ns",
+		"Query planning latency, in nanoseconds.", nil)
+	QueryExecNs = NewHistogram("semitri_query_exec_ns",
+		"Query execution latency, in nanoseconds.", nil)
+	QueryCandidates = NewCounter("semitri_query_candidates_total",
+		"Index candidates examined by query execution.")
+	QueryReturned = NewCounter("semitri_query_returned_total",
+		"Matches returned by query execution.")
+	JoinQueries = NewCounter("semitri_join_total",
+		"Relational joins executed.")
+	JoinProbes = NewCounter("semitri_join_probes_total",
+		"Per-row probe queries issued by join execution.")
+	JoinWorkerProbes = NewHistogram("semitri_join_worker_probes",
+		"Probe fan-out per join worker (probes handled by one worker in one join).",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384, 65536})
+)
+
+// WAL (internal/wal).
+var (
+	WALFrames = NewCounter("semitri_wal_frames_total",
+		"Mutation frames appended to the write-ahead log.")
+	WALBytes = NewCounter("semitri_wal_bytes_total",
+		"Bytes written to write-ahead log segments.")
+	WALFsyncs = NewCounter("semitri_wal_fsync_total",
+		"fsync/fdatasync calls issued by the write-ahead log.")
+	WALFlushNs = NewHistogram("semitri_wal_flush_ns",
+		"Group-commit flush latency, in nanoseconds.", nil)
+	WALCheckpointNs = NewHistogram("semitri_wal_checkpoint_ns",
+		"Checkpoint duration, in nanoseconds.", nil)
+	// WALLastFlushUnixNano and the error gauges carry health state: they
+	// record even when instrumentation is disabled (gauges always do).
+	WALLastFlushUnixNano = NewGauge("semitri_wal_last_flush_unix_nano",
+		"Wall-clock time of the last successful WAL flush, in Unix nanoseconds.")
+	WALErrored = NewGauge("semitri_wal_errored",
+		"1 when the write-ahead log has a sticky write/sync error, else 0.")
+	CheckpointErrored = NewGauge("semitri_checkpoint_errored",
+		"1 when the last checkpoint or freeze returned an error, else 0.")
+)
+
+// Segment tier (internal/segment).
+var (
+	SegmentFreezes = NewCounter("semitri_segment_freezes_total",
+		"Heap tails frozen into immutable segments.")
+	SegmentColdReads = NewCounter("semitri_segment_cold_reads_total",
+		"Tuples decoded from frozen segments (cold reads).")
+	SegmentColdBytes = NewCounter("semitri_segment_cold_bytes_total",
+		"Frame bytes decoded from frozen segments (mmap-touch proxy).")
+	// Per-footer-rule prune counters, indexed by the rule names the pruner
+	// reports in traces.
+	SegmentPruned = map[string]*Counter{}
+)
+
+// PruneRules lists the footer rules segmentCanMatch can refute on, in the
+// order they are evaluated. Exported so traces and metrics agree on names.
+var PruneRules = []string{
+	"interpretation", "kind", "time-span", "object-bloom",
+	"annotation-key", "no-geometry", "bbox",
+}
+
+func init() {
+	for _, rule := range PruneRules {
+		SegmentPruned[rule] = NewCounter("semitri_segment_pruned_total",
+			"Whole segments pruned off footer summaries, by refuting rule.",
+			"rule", rule)
+	}
+}
+
+// SegmentPrunedBy bumps the prune counter for rule, tolerating unknown names.
+func SegmentPrunedBy(rule string) {
+	if c, ok := SegmentPruned[rule]; ok {
+		c.Inc()
+	}
+}

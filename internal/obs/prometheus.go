@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"io"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one `# HELP` / `# TYPE` header per metric family,
+// followed by every sample of that family, with histograms expanded into
+// cumulative `_bucket{le=...}`, `_sum` and `_count` series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	metrics := make([]metric, len(r.metrics))
+	copy(metrics, r.metrics)
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	seen := map[string]bool{}
+	for _, m := range metrics {
+		if seen[m.family()] {
+			continue
+		}
+		seen[m.family()] = true
+		b.WriteString("# HELP ")
+		b.WriteString(m.family())
+		b.WriteByte(' ')
+		b.WriteString(escapeHelp(m.help()))
+		b.WriteByte('\n')
+		b.WriteString("# TYPE ")
+		b.WriteString(m.family())
+		b.WriteByte(' ')
+		b.WriteString(m.kind())
+		b.WriteByte('\n')
+		// Emit every sibling of the family together, in registration order,
+		// as the format requires.
+		for _, s := range metrics {
+			if s.family() == m.family() {
+				s.writeProm(&b)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// escapeHelp escapes backslashes and newlines per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

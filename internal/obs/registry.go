@@ -1,0 +1,361 @@
+// Package obs is semitri's zero-dependency observability layer: a lock-cheap
+// metrics registry (atomic counters, gauges and fixed-bucket histograms with
+// a sub-microsecond record path), Prometheus text exposition, Go runtime
+// stats, a slowest-queries log and the shared structured logger every command
+// configures. Subsystems register their metrics as package-level vars against
+// the default registry at init time; recording is a handful of atomic
+// operations, so instrumentation can sit on the ingest and query hot paths
+// without regressing them (bench-asserted by the "obs" experiment).
+//
+// The whole layer is stdlib-only, matching the repo convention: the
+// Prometheus surface is the text exposition format, written by hand, not a
+// client library.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// enabled is the package-wide instrumentation gate. Recording checks it with
+// one atomic load; scraping ignores it. It exists so the "obs" bench
+// experiment can measure instrumented-vs-uninstrumented hot paths inside one
+// process — production never turns it off.
+var enabled atomic.Bool
+
+func init() { enabled.Store(true) }
+
+// SetEnabled turns metric recording on or off process-wide. Registration and
+// scraping are unaffected; disabled metrics simply stop moving.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Enabled reports whether metric recording is on.
+func Enabled() bool { return enabled.Load() }
+
+// metric is the common surface of every registered metric.
+type metric interface {
+	family() string // metric name without labels
+	labels() string // rendered label set, "" when unlabelled
+	help() string
+	kind() string // "counter" | "gauge" | "histogram"
+	// writeProm appends the metric's sample lines (no HELP/TYPE headers).
+	writeProm(b *strings.Builder)
+	// snapshot returns the metric's value for the JSON form of /stats.
+	snapshot() any
+}
+
+// Registry holds registered metrics in registration order. The zero value is
+// not usable; use NewRegistry or the package Default.
+type Registry struct {
+	mu      sync.RWMutex
+	metrics []metric
+	ids     map[string]struct{}
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{ids: map[string]struct{}{}}
+}
+
+// defaultRegistry is the process-wide registry the package-level constructors
+// register into and /metrics scrapes.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// register adds m, panicking on a duplicate (name, labels) id — metric
+// registration is init-time wiring, so a duplicate is a programming error.
+func (r *Registry) register(m metric) {
+	id := m.family() + m.labels()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.ids[id]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric %s", id))
+	}
+	r.ids[id] = struct{}{}
+	r.metrics = append(r.metrics, m)
+}
+
+// Snapshot returns every metric's current value keyed by its full id
+// (family plus rendered labels) — the JSON form served inside /stats.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]any, len(r.metrics))
+	for _, m := range r.metrics {
+		id := m.family()
+		if l := m.labels(); l != "" {
+			id += "{" + l + "}"
+		}
+		out[id] = m.snapshot()
+	}
+	return out
+}
+
+// labelString renders "k1=v1 k2=v2 ..." pairs as a Prometheus label body,
+// sorted by key. kv must alternate key, value.
+func labelString(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		panic("obs: labels must be key, value pairs")
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", p.k, p.v)
+	}
+	return b.String()
+}
+
+// meta is the registration metadata every metric embeds.
+type meta struct {
+	name  string
+	label string
+	hlp   string
+}
+
+func (m *meta) family() string { return m.name }
+func (m *meta) labels() string { return m.label }
+func (m *meta) help() string   { return m.hlp }
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	meta
+	v atomic.Int64
+}
+
+// NewCounter registers a counter in the default registry. labels, if any,
+// are constant key, value pairs baked into the metric's identity (the
+// idiomatic way to build a small fixed "vec": one call per label value).
+func NewCounter(name, help string, labels ...string) *Counter {
+	return NewCounterIn(defaultRegistry, name, help, labels...)
+}
+
+// NewCounterIn is NewCounter against an explicit registry.
+func NewCounterIn(r *Registry, name, help string, labels ...string) *Counter {
+	c := &Counter{meta: meta{name: name, label: labelString(labels), hlp: help}}
+	r.register(c)
+	return c
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative deltas are ignored — counters are monotone).
+func (c *Counter) Add(n int64) {
+	if n <= 0 || !enabled.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) kind() string { return "counter" }
+func (c *Counter) writeProm(b *strings.Builder) {
+	writeSample(b, c.name, c.label, "", float64(c.v.Load()))
+}
+func (c *Counter) snapshot() any { return c.v.Load() }
+
+// Gauge is a settable atomic int64 value.
+type Gauge struct {
+	meta
+	v atomic.Int64
+}
+
+// NewGauge registers a gauge in the default registry.
+func NewGauge(name, help string, labels ...string) *Gauge {
+	return NewGaugeIn(defaultRegistry, name, help, labels...)
+}
+
+// NewGaugeIn is NewGauge against an explicit registry.
+func NewGaugeIn(r *Registry, name, help string, labels ...string) *Gauge {
+	g := &Gauge{meta: meta{name: name, label: labelString(labels), hlp: help}}
+	r.register(g)
+	return g
+}
+
+// Set stores v. Unlike counters, gauges record even when instrumentation is
+// disabled: they carry state (error flags, last-success timestamps) that
+// health checks read, not hot-path traffic.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) kind() string { return "gauge" }
+func (g *Gauge) writeProm(b *strings.Builder) {
+	writeSample(b, g.name, g.label, "", float64(g.v.Load()))
+}
+func (g *Gauge) snapshot() any { return g.v.Load() }
+
+// GaugeFunc is a gauge whose value is computed at scrape time (runtime
+// stats, pool sizes — anything already maintained elsewhere).
+type GaugeFunc struct {
+	meta
+	fn func() float64
+}
+
+// NewGaugeFunc registers a computed gauge in the default registry.
+func NewGaugeFunc(name, help string, fn func() float64, labels ...string) *GaugeFunc {
+	return NewGaugeFuncIn(defaultRegistry, name, help, fn, labels...)
+}
+
+// NewGaugeFuncIn is NewGaugeFunc against an explicit registry.
+func NewGaugeFuncIn(r *Registry, name, help string, fn func() float64, labels ...string) *GaugeFunc {
+	g := &GaugeFunc{meta: meta{name: name, label: labelString(labels), hlp: help}, fn: fn}
+	r.register(g)
+	return g
+}
+
+func (g *GaugeFunc) kind() string { return "gauge" }
+func (g *GaugeFunc) writeProm(b *strings.Builder) {
+	writeSample(b, g.name, g.label, "", g.fn())
+}
+func (g *GaugeFunc) snapshot() any { return g.fn() }
+
+// DefBucketsNs is the default histogram bucket layout for nanosecond
+// latencies: quarter-decade steps from 250 ns to 10 s, wide enough for both
+// the sub-microsecond ingest stages and multi-second checkpoints.
+var DefBucketsNs = []float64{
+	250, 500, 1e3, 2.5e3, 5e3, 1e4, 2.5e4, 5e4, 1e5, 2.5e5, 5e5,
+	1e6, 2.5e6, 5e6, 1e7, 2.5e7, 5e7, 1e8, 2.5e8, 5e8, 1e9, 2.5e9, 5e9, 1e10,
+}
+
+// Histogram is a fixed-bucket histogram with atomic per-bucket counters: the
+// record path is one binary search over the (immutable) bounds plus three
+// atomic adds — no locks, no allocation.
+type Histogram struct {
+	meta
+	bounds []float64 // ascending upper bounds; +Inf is implicit
+	counts []atomic.Int64
+	sum    atomic.Int64 // sum of observations, truncated to int64
+	count  atomic.Int64
+}
+
+// NewHistogram registers a histogram with the given bucket upper bounds
+// (DefBucketsNs when nil) in the default registry.
+func NewHistogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	return NewHistogramIn(defaultRegistry, name, help, bounds, labels...)
+}
+
+// NewHistogramIn is NewHistogram against an explicit registry.
+func NewHistogramIn(r *Registry, name, help string, bounds []float64, labels ...string) *Histogram {
+	if bounds == nil {
+		bounds = DefBucketsNs
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %s bounds not ascending", name))
+		}
+	}
+	h := &Histogram{
+		meta:   meta{name: name, label: labelString(labels), hlp: help},
+		bounds: bounds,
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	r.register(h)
+	return h
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if !enabled.Load() {
+		return
+	}
+	// Binary search for the first bound >= v; the last slot is +Inf.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.counts[lo].Add(1)
+	h.sum.Add(int64(v))
+	h.count.Add(1)
+}
+
+// ObserveNs records a duration observation given in nanoseconds.
+func (h *Histogram) ObserveNs(ns int64) { h.Observe(float64(ns)) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observations (truncated to int64 per observation).
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+func (h *Histogram) kind() string { return "histogram" }
+
+func (h *Histogram) writeProm(b *strings.Builder) {
+	// Cumulative buckets, then sum and count, per the exposition format.
+	cum := int64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatFloat(h.bounds[i])
+		}
+		lbl := h.label
+		if lbl != "" {
+			lbl += ","
+		}
+		lbl += fmt.Sprintf("le=%q", le)
+		writeSample(b, h.name, lbl, "_bucket", float64(cum))
+	}
+	writeSample(b, h.name, h.label, "_sum", float64(h.sum.Load()))
+	writeSample(b, h.name, h.label, "_count", float64(h.count.Load()))
+}
+
+func (h *Histogram) snapshot() any {
+	n := h.count.Load()
+	out := map[string]any{"count": n, "sum": h.sum.Load()}
+	if n > 0 {
+		out["avg"] = float64(h.sum.Load()) / float64(n)
+	}
+	return out
+}
+
+// writeSample appends one exposition line: name[suffix]{labels} value.
+func writeSample(b *strings.Builder, name, labels, suffix string, v float64) {
+	b.WriteString(name)
+	b.WriteString(suffix)
+	if labels != "" {
+		b.WriteByte('{')
+		b.WriteString(labels)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(v))
+	b.WriteByte('\n')
+}
+
+// formatFloat renders a sample value: integers without a decimal point,
+// everything else in shortest-round-trip form.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

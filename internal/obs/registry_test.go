@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := NewCounterIn(r, "test_counter_total", "help")
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := NewHistogramIn(r, "test_hist_ns", "help", []float64{10, 100, 1000})
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(w * 10))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("count = %d, want %d", got, workers*per)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := NewHistogramIn(r, "test_bounds", "help", []float64{10, 100})
+	// Boundary values land in the bucket whose bound they equal (le is
+	// inclusive), one past lands in the next bucket, and anything above the
+	// last bound lands in +Inf.
+	for _, v := range []float64{5, 10, 10.5, 100, 101} {
+		h.Observe(v)
+	}
+	want := []int64{2, 2, 1} // (-inf,10], (10,100], (100,+inf]
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Sum() != 5+10+10+100+101 {
+		t.Errorf("sum = %d, want %d", h.Sum(), 5+10+10+100+101)
+	}
+}
+
+func TestGaugeRecordsWhenDisabled(t *testing.T) {
+	r := NewRegistry()
+	g := NewGaugeIn(r, "test_gauge", "help")
+	c := NewCounterIn(r, "test_gated_total", "help")
+	SetEnabled(false)
+	defer SetEnabled(true)
+	g.Set(7)
+	c.Inc()
+	if g.Value() != 7 {
+		t.Errorf("gauge should record while disabled, got %d", g.Value())
+	}
+	if c.Value() != 0 {
+		t.Errorf("counter should be gated while disabled, got %d", c.Value())
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	NewCounterIn(r, "dup_total", "help", "a", "1")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate (name, labels)")
+		}
+	}()
+	NewCounterIn(r, "dup_total", "help", "a", "1")
+}
+
+const goldenExposition = `# HELP requests_total Requests served.
+# TYPE requests_total counter
+requests_total{path="a"} 3
+requests_total{path="b"} 1
+# HELP temperature Current temperature.
+# TYPE temperature gauge
+temperature -2
+# HELP latency_ns Request latency.
+# TYPE latency_ns histogram
+latency_ns_bucket{le="10"} 1
+latency_ns_bucket{le="100"} 3
+latency_ns_bucket{le="+Inf"} 4
+latency_ns_sum 365
+latency_ns_count 4
+`
+
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	a := NewCounterIn(r, "requests_total", "Requests served.", "path", "a")
+	b := NewCounterIn(r, "requests_total", "Requests served.", "path", "b")
+	g := NewGaugeIn(r, "temperature", "Current temperature.")
+	h := NewHistogramIn(r, "latency_ns", "Request latency.", []float64{10, 100})
+	a.Add(3)
+	b.Inc()
+	g.Set(-2)
+	for _, v := range []float64{5, 30, 80, 250} {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != goldenExposition {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", sb.String(), goldenExposition)
+	}
+}
+
+func TestLabelOrdering(t *testing.T) {
+	if got := labelString([]string{"z", "1", "a", "2"}); got != `a="2",z="1"` {
+		t.Errorf("labelString = %s", got)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	c := NewCounterIn(r, "snap_total", "help", "k", "v")
+	c.Add(5)
+	h := NewHistogramIn(r, "snap_ns", "help", []float64{10})
+	h.Observe(4)
+	snap := r.Snapshot()
+	if snap[`snap_total{k="v"}`] != int64(5) {
+		t.Errorf("snapshot counter = %v", snap[`snap_total{k="v"}`])
+	}
+	hv, ok := snap["snap_ns"].(map[string]any)
+	if !ok || hv["count"] != int64(1) {
+		t.Errorf("snapshot histogram = %v", snap["snap_ns"])
+	}
+}
+
+func TestSlowLog(t *testing.T) {
+	l := NewSlowLog(3)
+	for _, ns := range []int64{50, 10, 80, 30, 90, 5} {
+		l.Record(SlowQuery{Ns: ns})
+	}
+	got := l.Slowest()
+	if len(got) != 3 || got[0].Ns != 90 || got[1].Ns != 80 || got[2].Ns != 50 {
+		t.Fatalf("slowest = %+v", got)
+	}
+}
+
+func TestSlowLogConcurrent(t *testing.T) {
+	l := NewSlowLog(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				l.Record(SlowQuery{Ns: int64(w*1000 + i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	got := l.Slowest()
+	if len(got) != 8 || got[0].Ns != 3999 {
+		t.Fatalf("slowest = %+v", got)
+	}
+}

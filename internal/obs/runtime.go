@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memSampler caches runtime.ReadMemStats, which stops the world: scrapes at
+// most once a second no matter how many runtime gauges are read.
+var memSampler struct {
+	mu   sync.Mutex
+	at   time.Time
+	stat runtime.MemStats
+}
+
+func memStat(pick func(*runtime.MemStats) float64) func() float64 {
+	return func() float64 {
+		memSampler.mu.Lock()
+		defer memSampler.mu.Unlock()
+		if time.Since(memSampler.at) > time.Second {
+			runtime.ReadMemStats(&memSampler.stat)
+			memSampler.at = time.Now()
+		}
+		return pick(&memSampler.stat)
+	}
+}
+
+// Go runtime gauges, mirroring the core of what client_golang exposes.
+var (
+	_ = NewGaugeFunc("go_goroutines", "Number of goroutines that currently exist.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	_ = NewGaugeFunc("go_memstats_heap_alloc_bytes", "Number of heap bytes allocated and still in use.",
+		memStat(func(m *runtime.MemStats) float64 { return float64(m.HeapAlloc) }))
+	_ = NewGaugeFunc("go_memstats_heap_objects", "Number of allocated objects.",
+		memStat(func(m *runtime.MemStats) float64 { return float64(m.HeapObjects) }))
+	_ = NewGaugeFunc("go_memstats_sys_bytes", "Number of bytes obtained from the OS.",
+		memStat(func(m *runtime.MemStats) float64 { return float64(m.Sys) }))
+	_ = NewGaugeFunc("go_gc_cycles_total", "Number of completed GC cycles.",
+		memStat(func(m *runtime.MemStats) float64 { return float64(m.NumGC) }))
+	_ = NewGaugeFunc("go_gc_pause_total_seconds", "Cumulative GC stop-the-world pause time.",
+		memStat(func(m *runtime.MemStats) float64 { return float64(m.PauseTotalNs) / 1e9 }))
+)

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// SlowQuery is one retained entry of the slowest-queries log.
+type SlowQuery struct {
+	At     time.Time `json:"at"`
+	Source string    `json:"source"` // endpoint or statement that ran it
+	Query  string    `json:"query"`  // rendered query / statement text
+	Ns     int64     `json:"ns"`
+	Trace  any       `json:"trace,omitempty"` // *query.Trace, kept opaque here
+}
+
+// SlowLog retains the N slowest queries seen so far. It is cheap on the
+// fast path: one mutex grab per recorded query, no allocation once full
+// unless the query displaces an entry.
+type SlowLog struct {
+	mu      sync.Mutex
+	cap     int
+	entries []SlowQuery // unordered; min tracked on insert
+	minNs   int64       // smallest Ns currently retained (valid when full)
+}
+
+// NewSlowLog returns a log retaining the capacity slowest queries.
+func NewSlowLog(capacity int) *SlowLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SlowLog{cap: capacity}
+}
+
+// Record offers one query to the log.
+func (l *SlowLog) Record(q SlowQuery) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.entries) < l.cap {
+		l.entries = append(l.entries, q)
+		if len(l.entries) == l.cap {
+			l.recomputeMin()
+		}
+		return
+	}
+	if q.Ns <= l.minNs {
+		return
+	}
+	// Displace the current minimum.
+	minIdx := 0
+	for i := range l.entries {
+		if l.entries[i].Ns < l.entries[minIdx].Ns {
+			minIdx = i
+		}
+	}
+	l.entries[minIdx] = q
+	l.recomputeMin()
+}
+
+func (l *SlowLog) recomputeMin() {
+	l.minNs = l.entries[0].Ns
+	for _, e := range l.entries[1:] {
+		if e.Ns < l.minNs {
+			l.minNs = e.Ns
+		}
+	}
+}
+
+// Slowest returns the retained queries, slowest first.
+func (l *SlowLog) Slowest() []SlowQuery {
+	l.mu.Lock()
+	out := make([]SlowQuery, len(l.entries))
+	copy(out, l.entries)
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Ns > out[j].Ns })
+	return out
+}

@@ -10,6 +10,7 @@ import (
 	"semitri/internal/core"
 	"semitri/internal/episode"
 	"semitri/internal/geo"
+	"semitri/internal/obs"
 	"semitri/internal/spatial"
 	"semitri/internal/store"
 )
@@ -321,7 +322,11 @@ func (e *Engine) Execute(q Query) ([]Match, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	return e.executeBuf(&q, e.planLean(&q, &estimates{}), nil, 0), nil
+	path := e.planLean(&q, &estimates{})
+	out := e.executeBuf(&q, path, nil, 0, nil)
+	obs.QueryByPath[pathRank(path)].Inc()
+	obs.QueryReturned.Add(int64(len(out)))
+	return out, nil
 }
 
 // ExecuteExplained runs the query and also returns the plan it executed.
@@ -330,8 +335,16 @@ func (e *Engine) ExecuteExplained(q Query) ([]Match, Plan, error) {
 	if err := q.Validate(); err != nil {
 		return nil, Plan{}, err
 	}
+	t0 := time.Now()
 	p := e.plan(q)
-	return e.executeBuf(&q, p.Path, nil, 0), p, nil
+	planNs := time.Since(t0).Nanoseconds()
+	t1 := time.Now()
+	out := e.executeBuf(&q, p.Path, nil, 0, nil)
+	obs.QueryByPath[pathRank(p.Path)].Inc()
+	obs.QueryPlanNs.ObserveNs(planNs)
+	obs.QueryExecNs.ObserveNs(time.Since(t1).Nanoseconds())
+	obs.QueryReturned.Add(int64(len(out)))
+	return out, p, nil
 }
 
 // executeBuf gathers the chosen path's candidates, resolves them against the
@@ -340,14 +353,22 @@ func (e *Engine) ExecuteExplained(q Query) ([]Match, Plan, error) {
 // normalized and valid, and must not escape — callers may reuse it.
 // maxWorkers further caps the engine's parallelism for this execution; join
 // probes pass 1 so the per-row fan-out (already parallel across rows) never
-// nests goroutine pools.
-func (e *Engine) executeBuf(q *Query, path Path, out []Match, maxWorkers int) []Match {
+// nests goroutine pools. tr, when non-nil, collects per-stage timings and
+// segment-prune decisions; probe hot paths pass nil, so tracing costs them
+// nothing but the nil checks.
+func (e *Engine) executeBuf(q *Query, path Path, out []Match, maxWorkers int, tr *Trace) []Match {
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	switch path {
 	case PathTrajectory:
 		// Stored order is canonical order (one object, one trajectory,
 		// ascending positions), so the limit stops the walk early.
+		base := len(out)
 		objectID, tuples, ok := e.st.TupleSnapshot(q.TrajectoryID, q.Interpretation)
 		if !ok {
+			tr.stage("store-walk", t0, 0)
 			return out
 		}
 		for i := range tuples {
@@ -364,6 +385,9 @@ func (e *Engine) executeBuf(q *Query, path Path, out []Match, maxWorkers int) []
 				}
 			}
 		}
+		obs.QueryCandidates.Add(int64(len(tuples)))
+		tr.addCandidates(len(tuples))
+		tr.stage("store-walk", t0, len(out)-base)
 		return out
 	case PathScan:
 		// Stripe order is not canonical, so the scan collects everything and
@@ -373,7 +397,14 @@ func (e *Engine) executeBuf(q *Query, path Path, out []Match, maxWorkers int) []
 		// the still-unevicted heap (never neither), so adjacent duplicate
 		// refs collapse after the sort.
 		base := len(out)
-		out = e.scanMatches(q, out, maxWorkers)
+		out = e.scanMatches(q, out, maxWorkers, tr)
+		obs.QueryCandidates.Add(e.total.Load())
+		tr.addCandidates(int(e.total.Load()))
+		tr.stage("scan", t0, len(out)-base)
+		var t1 time.Time
+		if tr != nil {
+			t1 = time.Now()
+		}
 		sort.Slice(out, func(i, j int) bool { return out[i].less(&out[j]) })
 		dst := base
 		for i := base; i < len(out); i++ {
@@ -387,11 +418,21 @@ func (e *Engine) executeBuf(q *Query, path Path, out []Match, maxWorkers int) []
 		if q.Limit > 0 && len(out) > q.Limit {
 			out = out[:q.Limit]
 		}
+		tr.stage("sort-dedup", t1, len(out)-base)
 		return out
 	}
 	sc := getScratch()
 	sc.refs = e.gatherInto(q, path, sc.refs[:0])
+	obs.QueryCandidates.Add(int64(len(sc.refs)))
+	tr.addCandidates(len(sc.refs))
+	tr.stage("gather", t0, len(sc.refs))
+	var t1 time.Time
+	if tr != nil {
+		t1 = time.Now()
+	}
+	base := len(out)
 	out = e.resolveRefs(q, sc, out, maxWorkers)
+	tr.stage("resolve", t1, len(out)-base)
 	putScratch(sc)
 	return out
 }

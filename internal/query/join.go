@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"semitri/internal/obs"
 )
 
 // JoinOn is the pairing predicate of a Join: the conjunction of the enabled
@@ -280,22 +282,54 @@ func (e *Engine) ExecuteJoin(j Join) ([]JoinMatch, error) {
 // before the canonical sort — the result is byte-identical to serial
 // execution at any worker count.
 func (e *Engine) ExecuteJoinExplained(j Join) ([]JoinMatch, JoinPlan, error) {
+	return e.executeJoin(j, nil)
+}
+
+// executeJoin is the shared implementation behind ExecuteJoinExplained and
+// ExecuteJoinTraced: tr, when non-nil, collects the build sub-trace, stage
+// timings and the probe fan-out. Probe rows never see tr — the per-row hot
+// path stays trace-free.
+func (e *Engine) executeJoin(j Join, tr *Trace) ([]JoinMatch, JoinPlan, error) {
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	left, right, err := validateJoin(&j)
 	if err != nil {
 		return nil, JoinPlan{}, err
 	}
 	jp := e.planJoin(left, right)
+	if tr != nil {
+		tr.PlanNs = time.Since(t0).Nanoseconds()
+	}
 
 	build, probe := left, right
 	if jp.BuildSide == SideRight {
 		build, probe = right, left
 	}
-	rows := e.executeBuf(&build, jp.Build.Path, nil, 0)
+	var btr *Trace
+	var t1 time.Time
+	if tr != nil {
+		btr = &Trace{Kind: "query", Plan: jp.Build.String(), Path: string(jp.Build.Path)}
+		tr.Build = btr
+		t1 = time.Now()
+	}
+	rows := e.executeBuf(&build, jp.Build.Path, nil, 0, btr)
+	if btr != nil {
+		btr.ExecNs = time.Since(t1).Nanoseconds()
+		btr.Returned = len(rows)
+		tr.stage("build", t1, len(rows))
+	}
 	workers := e.workersFor(len(rows))
 	jp.Workers = workers
 
+	var t2 time.Time
+	if tr != nil {
+		t2 = time.Now()
+	}
 	var out []JoinMatch
 	var hist [numPaths]int
+	probes := 0
 	if workers <= 1 {
 		w := probeWorker{e: e}
 		for i := range rows {
@@ -303,6 +337,8 @@ func (e *Engine) ExecuteJoinExplained(j Join) ([]JoinMatch, JoinPlan, error) {
 		}
 		out = w.pairs
 		hist = w.hist
+		probes = w.probes
+		obs.JoinWorkerProbes.Observe(float64(w.probes))
 	} else {
 		pool := make([]probeWorker, workers)
 		spans := make([]pairSpan, len(rows))
@@ -330,6 +366,8 @@ func (e *Engine) ExecuteJoinExplained(j Join) ([]JoinMatch, JoinPlan, error) {
 		for wi := range pool {
 			total += len(pool[wi].pairs)
 			jp.WorkerProbes[wi] = pool[wi].probes
+			probes += pool[wi].probes
+			obs.JoinWorkerProbes.Observe(float64(pool[wi].probes))
 			for r := 0; r < numPaths; r++ {
 				hist[r] += pool[wi].hist[r]
 			}
@@ -347,9 +385,30 @@ func (e *Engine) ExecuteJoinExplained(j Join) ([]JoinMatch, JoinPlan, error) {
 			jp.ProbePaths[rankedPaths[r]] = hist[r]
 		}
 	}
+	obs.JoinQueries.Inc()
+	obs.JoinProbes.Add(int64(probes))
+	tr.stage("probe", t2, len(out))
+	var t3 time.Time
+	if tr != nil {
+		t3 = time.Now()
+	}
 	sort.Slice(out, func(i, k int) bool { return out[i].less(&out[k]) })
 	if j.Limit > 0 && len(out) > j.Limit {
 		out = out[:j.Limit]
+	}
+	if tr != nil {
+		tr.stage("sort-limit", t3, len(out))
+		tr.Plan = jp.String()
+		tr.Workers = jp.Workers
+		tr.WorkerProbes = jp.WorkerProbes
+		tr.ProbePaths = make(map[string]int, len(jp.ProbePaths))
+		for path, n := range jp.ProbePaths {
+			tr.ProbePaths[string(path)] = n
+		}
+		tr.Candidates = probes
+		tr.Returned = len(out)
+		tr.ExecNs = time.Since(t1).Nanoseconds()
+		tr.TotalNs = time.Since(t0).Nanoseconds()
 	}
 	return out, jp, nil
 }
@@ -386,7 +445,7 @@ func (w *probeWorker) probeRow(b *Match, probe *Query, on *JoinOn, buildSide Sid
 	path := w.e.planLean(&pq, &w.est)
 	w.hist[pathRank(path)]++
 	w.probes++
-	w.mbuf = w.e.executeBuf(&pq, path, w.mbuf[:0], 1)
+	w.mbuf = w.e.executeBuf(&pq, path, w.mbuf[:0], 1, nil)
 	for i := range w.mbuf {
 		c := &w.mbuf[i]
 		// The derived query may have replaced a spatial predicate with a

@@ -126,6 +126,63 @@ func Run(e *query.Engine, src string) (Result, error) {
 	return res, nil
 }
 
+// RunTraced is Run plus the statement's EXPLAIN ANALYZE trace. The
+// aggregation fold, when present, is timed as one extra trace stage.
+func RunTraced(e *query.Engine, src string) (Result, *query.Trace, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	var res Result
+	var tr *query.Trace
+	if stmt.Join != nil {
+		pairs, plan, jtr, err := e.ExecuteJoinTraced(*stmt.Join)
+		if err != nil {
+			return Result{}, nil, err
+		}
+		res.Plan = plan.String()
+		tr = jtr
+		if stmt.Agg != nil {
+			res.Groups, err = aggregateTraced(tr, func() ([]query.Group, error) {
+				return query.AggregatePairs(*stmt.Agg, pairs)
+			})
+			return res, tr, err
+		}
+		if pairs == nil {
+			pairs = []query.JoinMatch{}
+		}
+		res.Pairs = pairs
+		return res, tr, nil
+	}
+	ms, plan, qtr, err := e.ExecuteTraced(stmt.Query)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	res.Plan = plan.String()
+	tr = qtr
+	if stmt.Agg != nil {
+		res.Groups, err = aggregateTraced(tr, func() ([]query.Group, error) {
+			return query.AggregateMatches(*stmt.Agg, ms)
+		})
+		return res, tr, err
+	}
+	if ms == nil {
+		ms = []query.Match{}
+	}
+	res.Matches = ms
+	return res, tr, nil
+}
+
+// aggregateTraced runs the fold and appends its timing to the trace.
+func aggregateTraced(tr *query.Trace, fold func() ([]query.Group, error)) ([]query.Group, error) {
+	t0 := time.Now()
+	groups, err := fold()
+	ns := time.Since(t0).Nanoseconds()
+	tr.Stages = append(tr.Stages, query.TraceStage{Name: "aggregate", Ns: ns, Rows: len(groups)})
+	tr.TotalNs += ns
+	return groups, err
+}
+
 // ---- lexer ----
 
 type tokKind int

@@ -30,6 +30,7 @@ import (
 
 	"semitri/internal/core"
 	"semitri/internal/episode"
+	"semitri/internal/obs"
 	"semitri/internal/store"
 )
 
@@ -210,8 +211,8 @@ func (e *Engine) resolveParallel(q *Query, refs []store.TupleRef, out []Match, w
 // heap prefixes, so a freeze racing the scan can duplicate a tuple (same
 // logical ref from both sides) but never hide one; the caller's post-sort
 // dedup collapses the duplicates.
-func (e *Engine) scanMatches(q *Query, out []Match, maxWorkers int) []Match {
-	segs := e.pruneSegments(q)
+func (e *Engine) scanMatches(q *Query, out []Match, maxWorkers int, tr *Trace) []Match {
+	segs := e.pruneSegments(q, tr)
 	shards := e.st.ShardCount()
 	units := shards + len(segs)
 	visitUnit := func(u int, fn func(ref store.TupleRef, t core.EpisodeTuple) bool) {
@@ -270,33 +271,42 @@ func (e *Engine) scanMatches(q *Query, out []Match, maxWorkers int) []Match {
 // pruneSegments returns the indexes of the cold segments a scan of q must
 // visit: a segment is skipped only when its footer summary proves no tuple
 // inside can match. Untiered stores return nil. Every rule errs open — a
-// kept segment costs a decode, a wrongly pruned one costs correctness.
-func (e *Engine) pruneSegments(q *Query) []int {
+// kept segment costs a decode, a wrongly pruned one costs correctness. Each
+// prune bumps the per-rule metric, and tr (when non-nil) records every
+// decision for EXPLAIN ANALYZE.
+func (e *Engine) pruneSegments(q *Query, tr *Trace) []int {
 	sums := e.st.ColdSummaries(nil)
 	if len(sums) == 0 {
 		return nil
 	}
 	segs := make([]int, 0, len(sums))
 	for i := range sums {
-		if e.segmentCanMatch(q, &sums[i]) {
+		ok, rule := e.segmentCanMatch(q, &sums[i])
+		if ok {
 			segs = append(segs, i)
+		} else {
+			obs.SegmentPrunedBy(rule)
+		}
+		if tr != nil {
+			tr.Segments = append(tr.Segments, SegmentDecision{Segment: i, Pruned: !ok, Rule: rule})
 		}
 	}
 	return segs
 }
 
 // segmentCanMatch reports whether a segment's footer summary admits any
-// match for q.
-func (e *Engine) segmentCanMatch(q *Query, s *store.SegmentSummary) bool {
+// match for q; when it does not, rule names the refuting footer rule (one of
+// obs.PruneRules).
+func (e *Engine) segmentCanMatch(q *Query, s *store.SegmentSummary) (bool, string) {
 	if q.Interpretation != "" && s.Tuples[q.Interpretation] == 0 {
-		return false
+		return false, "interpretation"
 	}
 	if q.Kind != nil {
 		if *q.Kind == episode.Stop && s.Stops == 0 {
-			return false
+			return false, "kind"
 		}
 		if *q.Kind == episode.Move && s.Moves == 0 {
-			return false
+			return false, "kind"
 		}
 	}
 	// Time-span overlap. The footer folds zero TimeIns into TimeMin, so a
@@ -304,28 +314,28 @@ func (e *Engine) segmentCanMatch(q *Query, s *store.SegmentSummary) bool {
 	// zero TimeOut keeps the tuple unmatched by any From filter, exactly as
 	// the per-tuple check would decide.
 	if !q.To.IsZero() && s.TimeMin.After(q.To) {
-		return false
+		return false, "time-span"
 	}
 	if !q.From.IsZero() && s.TimeMax.Before(q.From) {
-		return false
+		return false, "time-span"
 	}
 	if q.ObjectID != "" && !s.Objects.MayContain(q.ObjectID) {
-		return false
+		return false, "object-bloom"
 	}
 	// An empty AnnValue asks for tuples *without* the key, which the key
 	// cardinality cannot refute. A live merge overlay can add keys the
 	// footer never counted, so the rule only applies when no overlay exists.
 	if q.AnnKey != "" && q.AnnValue != "" && s.AnnKeys[q.AnnKey] == 0 &&
 		e.st.OverlayCount() == 0 {
-		return false
+		return false, "annotation-key"
 	}
 	if q.Window != nil || q.Near != nil {
 		if s.GeomCount == 0 {
-			return false // spatial predicates only match episode-backed tuples
+			return false, "no-geometry" // spatial predicates only match episode-backed tuples
 		}
 		if !q.spatialRect().Intersects(s.GeomBounds) {
-			return false
+			return false, "bbox"
 		}
 	}
-	return true
+	return true, ""
 }

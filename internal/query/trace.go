@@ -1,0 +1,109 @@
+package query
+
+import (
+	"time"
+
+	"semitri/internal/obs"
+)
+
+// Trace is the EXPLAIN ANALYZE record of one executed statement: the plan
+// that ran, per-stage wall time and row counts, the segment-prune decisions
+// the scan path took (with the footer rule that refuted each pruned
+// segment), and — for joins — the probe fan-out per worker and per access
+// path. Traced execution returns exactly what untraced execution returns;
+// the trace rides alongside. A nil *Trace threaded through the executor
+// disables collection, which is how the hot path stays trace-free.
+type Trace struct {
+	// Kind is "query" or "join".
+	Kind string `json:"kind"`
+	// Plan is the executed plan rendered as Explain would show it.
+	Plan string `json:"plan"`
+	// Path is the chosen access path of a single-table query.
+	Path string `json:"path,omitempty"`
+	// PlanNs/ExecNs/TotalNs break the wall time into planning and execution.
+	PlanNs  int64 `json:"plan_ns"`
+	ExecNs  int64 `json:"exec_ns"`
+	TotalNs int64 `json:"total_ns"`
+	// Candidates counts index candidates examined; Returned counts matches
+	// (or pairs) produced.
+	Candidates int `json:"candidates"`
+	Returned   int `json:"returned"`
+	// Stages are the per-stage timings in execution order.
+	Stages []TraceStage `json:"stages"`
+	// Segments records, for scan-path execution over a tiered store, every
+	// cold segment's keep/prune decision.
+	Segments []SegmentDecision `json:"segments,omitempty"`
+	// Workers, WorkerProbes and ProbePaths describe a join's probe fan-out:
+	// pool size, probes handled per worker (parallel joins only), and probes
+	// by access path.
+	Workers      int            `json:"workers,omitempty"`
+	WorkerProbes []int          `json:"worker_probes,omitempty"`
+	ProbePaths   map[string]int `json:"probe_paths,omitempty"`
+	// Build is the build side's sub-trace of a join.
+	Build *Trace `json:"build,omitempty"`
+}
+
+// TraceStage is one timed execution stage.
+type TraceStage struct {
+	Name string `json:"name"`
+	Ns   int64  `json:"ns"`
+	Rows int    `json:"rows"`
+}
+
+// SegmentDecision is one cold segment's prune decision: kept, or pruned with
+// the footer rule that refuted it.
+type SegmentDecision struct {
+	Segment int    `json:"segment"`
+	Pruned  bool   `json:"pruned"`
+	Rule    string `json:"rule,omitempty"`
+}
+
+// stage appends a timed stage. Safe on a nil receiver, so the executor can
+// call it unconditionally at stage boundaries that are off the hot path.
+func (tr *Trace) stage(name string, start time.Time, rows int) {
+	if tr == nil {
+		return
+	}
+	tr.Stages = append(tr.Stages, TraceStage{Name: name, Ns: time.Since(start).Nanoseconds(), Rows: rows})
+}
+
+// addCandidates accumulates the examined-candidate count.
+func (tr *Trace) addCandidates(n int) {
+	if tr != nil {
+		tr.Candidates += n
+	}
+}
+
+// ExecuteTraced is ExecuteExplained plus a full execution trace.
+func (e *Engine) ExecuteTraced(q Query) ([]Match, Plan, *Trace, error) {
+	q = q.normalized()
+	if err := q.Validate(); err != nil {
+		return nil, Plan{}, nil, err
+	}
+	t0 := time.Now()
+	p := e.plan(q)
+	planNs := time.Since(t0).Nanoseconds()
+	tr := &Trace{Kind: "query", Plan: p.String(), Path: string(p.Path), PlanNs: planNs}
+	t1 := time.Now()
+	out := e.executeBuf(&q, p.Path, nil, 0, tr)
+	tr.ExecNs = time.Since(t1).Nanoseconds()
+	tr.TotalNs = time.Since(t0).Nanoseconds()
+	tr.Returned = len(out)
+	obs.QueryByPath[pathRank(p.Path)].Inc()
+	obs.QueryPlanNs.ObserveNs(planNs)
+	obs.QueryExecNs.ObserveNs(tr.ExecNs)
+	obs.QueryReturned.Add(int64(len(out)))
+	return out, p, tr, nil
+}
+
+// ExecuteJoinTraced is ExecuteJoinExplained plus a full execution trace: the
+// build side's sub-trace (segment prune decisions included), probe wall time
+// and the per-worker probe spread.
+func (e *Engine) ExecuteJoinTraced(j Join) ([]JoinMatch, JoinPlan, *Trace, error) {
+	tr := &Trace{Kind: "join"}
+	out, jp, err := e.executeJoin(j, tr)
+	if err != nil {
+		return nil, JoinPlan{}, nil, err
+	}
+	return out, jp, tr, nil
+}

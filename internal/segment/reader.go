@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"sync"
 
+	"semitri/internal/obs"
 	"semitri/internal/store"
 	"semitri/internal/wal"
 )
@@ -119,10 +120,12 @@ func (r *Reader) Footer() *Footer { return r.foot }
 // mutationAt decodes the run frame at off. The returned mutation owns its
 // memory (the decoder copies strings and payloads out of the frame buffer).
 func (r *Reader) mutationAt(off int64, cur *cursor) (store.Mutation, error) {
-	payload, _, err := r.blob.frame(off, &cur.buf)
+	payload, n, err := r.blob.frame(off, &cur.buf)
 	if err != nil {
 		return store.Mutation{}, err
 	}
+	obs.SegmentColdReads.Inc()
+	obs.SegmentColdBytes.Add(int64(n))
 	return wal.DecodeMutation(payload, cur.interned)
 }
 

@@ -8,6 +8,7 @@ import (
 	"semitri/internal/core"
 	"semitri/internal/episode"
 	"semitri/internal/gps"
+	"semitri/internal/obs"
 	"semitri/internal/store"
 	"semitri/internal/wal"
 )
@@ -325,6 +326,7 @@ func (t *Tier) Freeze(st *store.Store) error {
 	// Segments are the recovery base now; a JSON snapshot from an earlier
 	// storage mode would shadow them at the next JSON-mode start.
 	os.Remove(filepath.Join(t.dir, wal.SnapshotFile))
+	obs.SegmentFreezes.Inc()
 	return nil
 }
 

@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/pprof"
+	rtrace "runtime/trace"
+	"sync/atomic"
+	"time"
+
+	"semitri/internal/obs"
+)
+
+// handleMetrics answers GET /metrics with the Prometheus text exposition of
+// the process-wide metric registry (the catalogue in internal/obs plus the
+// Go runtime gauges).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = obs.Default().WritePrometheus(w)
+}
+
+// handleSlowQueries answers GET /debug/queries: the slowest queries served
+// so far, slowest first, each with its source endpoint, raw query string,
+// wall time and (when the request ran with ?trace=1) its execution trace.
+func (s *Server) handleSlowQueries(w http.ResponseWriter, r *http.Request) {
+	qs := s.slow.Slowest()
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(qs), "queries": qs})
+}
+
+// registerProfiling mounts the pprof handlers and the runtime-trace capture
+// endpoint. Only called with WithProfiling: profiles and execution traces
+// expose process internals, so they stay off unless the operator opts in.
+func (s *Server) registerProfiling(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /debug/trace", s.handleRuntimeTrace)
+}
+
+// runtimeTraceActive serialises runtime/trace captures: the runtime supports
+// one active trace per process, so a second request answers 409 instead of
+// failing half-way into the response body.
+var runtimeTraceActive atomic.Bool
+
+// handleRuntimeTrace answers GET /debug/trace?seconds=N: an N-second
+// runtime/trace capture of the live process (scheduler, GC, syscalls — the
+// view `go tool trace` renders), streamed as the response body.
+func (s *Server) handleRuntimeTrace(w http.ResponseWriter, r *http.Request) {
+	d := newDecoder(r)
+	seconds := d.intVal("seconds")
+	if err := d.Err(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if seconds <= 0 {
+		seconds = 1
+	}
+	if seconds > 60 {
+		seconds = 60
+	}
+	if !runtimeTraceActive.CompareAndSwap(false, true) {
+		writeJSON(w, http.StatusConflict, map[string]string{"error": "a runtime trace is already being captured"})
+		return
+	}
+	defer runtimeTraceActive.Store(false)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", `attachment; filename="trace"`)
+	if err := rtrace.Start(w); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	defer rtrace.Stop()
+	select {
+	case <-time.After(time.Duration(seconds) * time.Second):
+	case <-r.Context().Done():
+	}
+}

@@ -43,6 +43,19 @@ func (d *decoder) Err() error {
 // str reads a string parameter ("" when absent).
 func (d *decoder) str(name string) string { return d.p.Get(name) }
 
+// boolVal reads a flag parameter: absent, "0", "false" and "no" mean false,
+// any other value (?trace=1, ?trace=true, even a bare ?trace=) means true.
+func (d *decoder) boolVal(name string) bool {
+	if !d.p.Has(name) {
+		return false
+	}
+	switch strings.ToLower(d.p.Get(name)) {
+	case "0", "false", "no":
+		return false
+	}
+	return true
+}
+
 // intVal reads an integer parameter (0 when absent).
 func (d *decoder) intVal(name string) int {
 	v := d.p.Get(name)

@@ -1,0 +1,216 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+)
+
+// TestMetricsEndpoint asserts GET /metrics serves a well-formed Prometheus
+// text exposition covering every instrumented subsystem after an ingest.
+func TestMetricsEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics: content type %q", ct)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(data)
+	// One family per subsystem plus the runtime gauges; all registered at
+	// init, so each must appear with HELP/TYPE headers.
+	for _, family := range []string{
+		"semitri_ingest_records_total",
+		"semitri_ingest_stage_ns",
+		"semitri_store_mutations_total",
+		"semitri_query_total",
+		"semitri_join_total",
+		"semitri_wal_frames_total",
+		"semitri_segment_freezes_total",
+		"go_goroutines",
+	} {
+		if !strings.Contains(body, "# HELP "+family) || !strings.Contains(body, "# TYPE "+family) {
+			t.Fatalf("/metrics: family %s missing HELP/TYPE", family)
+		}
+	}
+	// The test server ingested records, so the ingest counter must be > 0.
+	var sawIngest bool
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "semitri_ingest_records_total ") &&
+			!strings.HasSuffix(line, " 0") {
+			sawIngest = true
+		}
+	}
+	if !sawIngest {
+		t.Fatal("/metrics: semitri_ingest_records_total did not move after ingest")
+	}
+	// Minimal exposition well-formedness: every non-comment line is
+	// "name[{labels}] value".
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Fatalf("/metrics: malformed sample line %q", line)
+		}
+	}
+}
+
+// TestTraceParameter asserts ?trace=1 attaches a per-stage trace to every
+// query endpoint's response (and that untraced responses stay trace-free).
+func TestTraceParameter(t *testing.T) {
+	srv, _ := newTestServer(t)
+	paths := []string{
+		"/query/episodes?kind=stop&limit=3",
+		"/query/relational?q=" + url.QueryEscape(`stops where ann.poi_category = "item sale" limit 3`),
+		"/query/trajectories",
+		"/query/objects",
+	}
+	for _, path := range paths {
+		plain := getJSON(t, srv, path, http.StatusOK)
+		if _, ok := plain["trace"]; ok {
+			t.Fatalf("%s: trace present without ?trace=1", path)
+		}
+		sep := "?"
+		if strings.Contains(path, "?") {
+			sep = "&"
+		}
+		body := getJSON(t, srv, path+sep+"trace=1", http.StatusOK)
+		tr, ok := body["trace"].(map[string]any)
+		if !ok {
+			t.Fatalf("%s: no trace object with ?trace=1: %v", path, body["trace"])
+		}
+		if tr["kind"] == "" || tr["total_ns"].(float64) <= 0 {
+			t.Fatalf("%s: trace shape: %v", path, tr)
+		}
+		stages, ok := tr["stages"].([]any)
+		if !ok || len(stages) == 0 {
+			t.Fatalf("%s: trace has no stages: %v", path, tr)
+		}
+		st := stages[0].(map[string]any)
+		if st["name"] == "" {
+			t.Fatalf("%s: stage shape: %v", path, st)
+		}
+	}
+	// A join statement carries the probe stages and the build sub-trace.
+	join := "/query/relational?q=" + url.QueryEscape(
+		"stops join stops on distance <= 200 and within 1h and distinct objects") + "&trace=1"
+	body := getJSON(t, srv, join, http.StatusOK)
+	tr := body["trace"].(map[string]any)
+	if tr["kind"] != "join" || tr["build"] == nil {
+		t.Fatalf("join trace shape: %v", tr)
+	}
+	names := map[string]bool{}
+	for _, raw := range tr["stages"].([]any) {
+		names[raw.(map[string]any)["name"].(string)] = true
+	}
+	for _, want := range []string{"build", "probe", "sort-limit"} {
+		if !names[want] {
+			t.Fatalf("join trace missing stage %q (have %v)", want, names)
+		}
+	}
+}
+
+// TestSlowQueryLog asserts served queries land in GET /debug/queries,
+// slowest first.
+func TestSlowQueryLog(t *testing.T) {
+	srv, _ := newTestServer(t)
+	for _, p := range []string{"/query/episodes", "/query/objects", "/query/trajectories?trace=1"} {
+		getJSON(t, srv, p, http.StatusOK)
+	}
+	body := getJSON(t, srv, "/debug/queries", http.StatusOK)
+	qs, ok := body["queries"].([]any)
+	if !ok || len(qs) < 3 {
+		t.Fatalf("/debug/queries: %v", body)
+	}
+	var lastNs = float64(1 << 62)
+	var sawTrace bool
+	for _, raw := range qs {
+		q := raw.(map[string]any)
+		if q["source"] == "" || q["ns"].(float64) <= 0 || q["at"] == "" {
+			t.Fatalf("slow query shape: %v", q)
+		}
+		if q["ns"].(float64) > lastNs {
+			t.Fatal("/debug/queries not sorted slowest first")
+		}
+		lastNs = q["ns"].(float64)
+		if q["trace"] != nil {
+			sawTrace = true
+		}
+	}
+	if !sawTrace {
+		t.Fatal("traced request did not retain its trace in /debug/queries")
+	}
+}
+
+// TestHealthzDegraded asserts a WithHealth probe downgrades /healthz to 503
+// with the reasons listed.
+func TestHealthzDegraded(t *testing.T) {
+	_, engine := newTestServer(t)
+	reasons := []string{}
+	srv := httptest.NewServer(New(engine, WithHealth(func() []string { return reasons })).Handler())
+	defer srv.Close()
+
+	if body := getJSON(t, srv, "/healthz", http.StatusOK); body["status"] != "ok" {
+		t.Fatalf("healthy probe: %v", body)
+	}
+	reasons = []string{"wal: flusher stalled (last flush 10s ago)"}
+	body := getJSON(t, srv, "/healthz", http.StatusServiceUnavailable)
+	if body["status"] != "degraded" {
+		t.Fatalf("degraded status: %v", body)
+	}
+	got := body["reasons"].([]any)
+	if len(got) != 1 || got[0] != reasons[0] {
+		t.Fatalf("degraded reasons: %v", got)
+	}
+}
+
+// TestProfilingGate asserts the pprof and runtime-trace endpoints exist only
+// with WithProfiling.
+func TestProfilingGate(t *testing.T) {
+	srv, engine := newTestServer(t)
+	for _, p := range []string{"/debug/pprof/", "/debug/trace"} {
+		resp, err := http.Get(srv.URL + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s without WithProfiling: status %d", p, resp.StatusCode)
+		}
+	}
+	prof := httptest.NewServer(New(engine, WithProfiling()).Handler())
+	defer prof.Close()
+	resp, err := http.Get(prof.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/ with WithProfiling: status %d", resp.StatusCode)
+	}
+	tresp, err := http.Get(prof.URL + "/debug/trace?seconds=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := io.ReadAll(tresp.Body)
+	tresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tresp.StatusCode != http.StatusOK || len(trace) == 0 {
+		t.Fatalf("/debug/trace: status %d, %d bytes", tresp.StatusCode, len(trace))
+	}
+}

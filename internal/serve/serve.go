@@ -7,7 +7,8 @@
 // The handler is deliberately a plain net/http mux so cmd/semitri-serve,
 // the examples and the tests all share one implementation:
 //
-//	GET /healthz             liveness + store counts
+//	GET /healthz             liveness + store counts (503 when the WAL or
+//	                         checkpointing is degraded, see WithHealth)
 //	GET /query/episodes      episode tuples matching a Query (see decodeQuery)
 //	GET /query/relational    a relational-language statement (?q=...): typed
 //	                         joins, aggregation, the parsed one-liner of
@@ -15,7 +16,16 @@
 //	GET /query/trajectories  per-trajectory summaries (?object= filters)
 //	GET /query/objects       per-object counts (?object= filters)
 //	GET /stats               analytics snapshot (episode/category/mode/
-//	                         compression aggregates + index state)
+//	                         compression aggregates + index state + metrics)
+//	GET /metrics             Prometheus text exposition of the metric registry
+//	GET /debug/queries       the N slowest queries served so far (ring buffer)
+//	GET /debug/pprof/...     net/http/pprof handlers (with WithProfiling)
+//	GET /debug/trace         runtime/trace capture, ?seconds=N (WithProfiling)
+//
+// Every query endpoint accepts ?trace=1 and then carries a "trace" object in
+// the response: the EXPLAIN ANALYZE view of the request — per-stage wall
+// times, rows in/out, candidates examined, and (for scans over the segment
+// tier) every per-segment prune decision with the footer rule that fired.
 //
 // Every endpoint answers JSON; errors answer {"error": ...} with a 4xx/5xx
 // status (all parameters decode through one shared decoder, see decode.go).
@@ -33,20 +43,47 @@ import (
 	"semitri/internal/analytics"
 	"semitri/internal/core"
 	"semitri/internal/episode"
+	"semitri/internal/obs"
 	"semitri/internal/query"
 	"semitri/internal/query/lang"
 	"semitri/internal/store"
 )
 
+// slowLogSize is the capacity of the slowest-queries ring buffer behind
+// GET /debug/queries.
+const slowLogSize = 32
+
 // Server serves the query engine (and the store behind it) over HTTP.
 type Server struct {
 	engine *query.Engine
 	st     *store.Store
+	slow   *obs.SlowLog
+
+	health    func() []string
+	profiling bool
 }
 
+// Option configures optional server behaviour.
+type Option func(*Server)
+
+// WithProfiling mounts the net/http/pprof handlers under /debug/pprof/ and
+// the runtime-trace capture endpoint at /debug/trace. Off by default:
+// profiles expose process internals and belong behind an operator's choice.
+func WithProfiling() Option { return func(s *Server) { s.profiling = true } }
+
+// WithHealth attaches a health probe to GET /healthz: fn returns the current
+// degradation reasons (a stalled WAL flusher, a failed checkpoint, ...);
+// an empty slice means healthy. With reasons present the endpoint answers
+// 503 with {"status": "degraded", "reasons": [...]}.
+func WithHealth(fn func() []string) Option { return func(s *Server) { s.health = fn } }
+
 // New builds a server over the engine and its store.
-func New(engine *query.Engine) *Server {
-	return &Server{engine: engine, st: engine.Store()}
+func New(engine *query.Engine, opts ...Option) *Server {
+	s := &Server{engine: engine, st: engine.Store(), slow: obs.NewSlowLog(slowLogSize)}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
 }
 
 // Handler returns the route mux.
@@ -58,7 +95,22 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /query/trajectories", s.handleTrajectories)
 	mux.HandleFunc("GET /query/objects", s.handleObjects)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/queries", s.handleSlowQueries)
+	if s.profiling {
+		s.registerProfiling(mux)
+	}
 	return mux
+}
+
+// recordSlow offers one served query to the slow-query ring buffer (with its
+// trace attached when the request asked for one).
+func (s *Server) recordSlow(source string, r *http.Request, elapsed time.Duration, tr *query.Trace) {
+	q := obs.SlowQuery{At: time.Now(), Source: source, Query: r.URL.RawQuery, Ns: elapsed.Nanoseconds()}
+	if tr != nil {
+		q.Trace = tr
+	}
+	s.slow.Record(q)
 }
 
 // writeJSON writes v as the response body.
@@ -123,28 +175,46 @@ func toJSONMatch(m query.Match) jsonMatch {
 
 // handleEpisodes answers GET /query/episodes: the tuples matching the
 // parsed Query, plus the plan the engine executed (estimates per access
-// path, chosen path first in the "plan" string).
+// path, chosen path first in the "plan" string). With ?trace=1 the response
+// additionally carries the per-stage execution trace.
 func (s *Server) handleEpisodes(w http.ResponseWriter, r *http.Request) {
-	q, err := decodeQuery(newDecoder(r))
+	d := newDecoder(r)
+	traced := d.boolVal("trace")
+	q, err := decodeQuery(d)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	ms, plan, err := s.engine.ExecuteExplained(q)
+	var (
+		ms   []query.Match
+		plan query.Plan
+		tr   *query.Trace
+	)
+	start := time.Now()
+	if traced {
+		ms, plan, tr, err = s.engine.ExecuteTraced(q)
+	} else {
+		ms, plan, err = s.engine.ExecuteExplained(q)
+	}
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	s.recordSlow("/query/episodes", r, time.Since(start), tr)
 	matches := make([]jsonMatch, len(ms))
 	for i, m := range ms {
 		matches[i] = toJSONMatch(m)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"count":   len(matches),
 		"plan":    plan.String(),
 		"path":    plan.Path,
 		"matches": matches,
-	})
+	}
+	if tr != nil {
+		body["trace"] = tr
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // jsonPair is the wire form of one join result pair.
@@ -163,6 +233,7 @@ type jsonPair struct {
 func (s *Server) handleRelational(w http.ResponseWriter, r *http.Request) {
 	d := newDecoder(r)
 	src := d.str("q")
+	traced := d.boolVal("trace")
 	if err := d.Err(); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -171,12 +242,26 @@ func (s *Server) handleRelational(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("missing q parameter (a relational query string)"))
 		return
 	}
-	res, err := lang.Run(s.engine, src)
+	var (
+		res lang.Result
+		tr  *query.Trace
+		err error
+	)
+	start := time.Now()
+	if traced {
+		res, tr, err = lang.RunTraced(s.engine, src)
+	} else {
+		res, err = lang.Run(s.engine, src)
+	}
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	s.recordSlow("/query/relational", r, time.Since(start), tr)
 	body := map[string]any{"query": src, "plan": res.Plan}
+	if tr != nil {
+		body["trace"] = tr
+	}
 	switch {
 	case res.Groups != nil:
 		body["count"] = len(res.Groups)
@@ -214,7 +299,9 @@ type jsonTrajectory struct {
 // handleTrajectories answers GET /query/trajectories: summaries of the
 // stored trajectories, all of them or one object's (?object=).
 func (s *Server) handleTrajectories(w http.ResponseWriter, r *http.Request) {
-	object := newDecoder(r).str("object")
+	d := newDecoder(r)
+	object := d.str("object")
+	start := time.Now()
 	ids := s.st.TrajectoryIDs(object)
 	out := make([]jsonTrajectory, 0, len(ids))
 	for _, id := range ids {
@@ -236,32 +323,71 @@ func (s *Server) handleTrajectories(w http.ResponseWriter, r *http.Request) {
 		}
 		out = append(out, jt)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"count": len(out), "trajectories": out})
+	tr := summaryTrace(d, "trajectory-summaries", len(out), time.Since(start))
+	s.recordSlow("/query/trajectories", r, time.Since(start), tr)
+	body := map[string]any{"count": len(out), "trajectories": out}
+	if tr != nil {
+		body["trace"] = tr
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleObjects answers GET /query/objects: per-object counts (the Fig. 13
 // aggregation), all objects or one (?object=).
 func (s *Server) handleObjects(w http.ResponseWriter, r *http.Request) {
+	d := newDecoder(r)
+	start := time.Now()
 	objects := s.st.Objects()
-	if filter := newDecoder(r).str("object"); filter != "" {
+	if filter := d.str("object"); filter != "" {
 		objects = []string{filter}
 	}
 	counts := analytics.PerUserCounts(s.st, objects)
-	writeJSON(w, http.StatusOK, map[string]any{"count": len(counts), "objects": counts})
+	tr := summaryTrace(d, "object-counts", len(counts), time.Since(start))
+	s.recordSlow("/query/objects", r, time.Since(start), tr)
+	body := map[string]any{"count": len(counts), "objects": counts}
+	if tr != nil {
+		body["trace"] = tr
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// summaryTrace builds the single-stage trace of a summary endpoint (the
+// trajectory/object listings run one store walk, not an engine plan) when
+// the request asked for one.
+func summaryTrace(d *decoder, plan string, rows int, elapsed time.Duration) *query.Trace {
+	if !d.boolVal("trace") {
+		return nil
+	}
+	ns := elapsed.Nanoseconds()
+	return &query.Trace{
+		Kind: "summary", Plan: plan, Returned: rows, ExecNs: ns, TotalNs: ns,
+		Stages: []query.TraceStage{{Name: "collect", Ns: ns, Rows: rows}},
+	}
 }
 
 // handleHealthz answers GET /healthz with liveness and the store's running
-// totals (all O(shards) reads, safe to poll).
+// totals (all O(shards) reads, safe to poll). With a WithHealth probe
+// attached, degradations — a stalled WAL flusher, a failed checkpoint —
+// downgrade the answer to 503 with the reasons listed.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	stops, moves := s.st.EpisodeCounts()
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":       "ok",
 		"records":      s.st.RecordCount(),
 		"trajectories": s.st.TrajectoryCount(),
 		"stops":        stops,
 		"moves":        moves,
 		"structured":   s.st.StructuredCount(),
-	})
+	}
+	status := http.StatusOK
+	if s.health != nil {
+		if reasons := s.health(); len(reasons) > 0 {
+			status = http.StatusServiceUnavailable
+			body["status"] = "degraded"
+			body["reasons"] = reasons
+		}
+	}
+	writeJSON(w, status, body)
 }
 
 // handleStats answers GET /stats: the analytics-layer aggregates over the
@@ -285,6 +411,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"distinct_cells": compression.DistinctCells,
 			"ratio":          compression.Ratio,
 		},
-		"index": s.engine.IndexStats(),
+		"index":   s.engine.IndexStats(),
+		"metrics": obs.Default().Snapshot(),
 	})
 }

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"semitri/internal/core"
+	"semitri/internal/obs"
 )
 
 // errNoSuchTuple reports a MergeTupleAnnotations target that does not exist.
@@ -279,6 +280,7 @@ func (s *Store) TupleCount(trajectoryID, interpretation string) int {
 // through the store keeps concurrent readers (Save, TupleAt, the query
 // engine) race-free and notifies the attached index.
 func (s *Store) MergeTupleAnnotations(trajectoryID, interpretation string, index int, place *core.Place, anns []core.Annotation) error {
+	obs.StoreMutAnnotations.Inc()
 	sh := s.shardFor(trajectoryID)
 	sh.mu.Lock()
 	st, ok := sh.structured[trajectoryID][interpretation]

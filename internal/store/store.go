@@ -37,10 +37,12 @@ import (
 	"errors"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"semitri/internal/core"
 	"semitri/internal/episode"
 	"semitri/internal/gps"
+	"semitri/internal/obs"
 )
 
 // DefaultShards is the number of lock stripes New uses. It comfortably
@@ -118,6 +120,25 @@ func (s *Store) shardFor(key string) *shard {
 	return s.shards[KeyHash(key)%uint32(len(s.shards))]
 }
 
+// lockTimed acquires sh.mu, timing actual waits into the stripe-wait metric.
+// An uncontended acquisition succeeds the TryLock and costs exactly what a
+// plain Lock's fast path costs — no extra atomics, no clock reads — so the
+// record hot path pays nothing for this. Only when the stripe is already
+// held (the event the histogram exists to see) do the two clock reads
+// happen, and a wait is orders of magnitude longer than they are.
+func lockTimed(sh *shard) {
+	if sh.mu.TryLock() {
+		return
+	}
+	if !obs.Enabled() {
+		sh.mu.Lock()
+		return
+	}
+	t0 := time.Now()
+	sh.mu.Lock()
+	obs.StoreStripeWaitNs.ObserveNs(time.Since(t0).Nanoseconds())
+}
+
 // PutRecords appends raw GPS records to the record table. Records are
 // grouped by object first so a batch locks each object's stripe once and the
 // attached mutation log receives one positional entry per object sub-batch.
@@ -125,11 +146,12 @@ func (s *Store) PutRecords(records []gps.Record) {
 	if len(records) == 0 {
 		return
 	}
+	obs.StoreMutRecords.Add(int64(len(records)))
 	l := s.mutationLog()
 	if len(records) == 1 { // the streaming path's per-record hot path
 		r := records[0]
 		sh := s.shardFor(r.ObjectID)
-		sh.mu.Lock()
+		lockTimed(sh)
 		if l != nil {
 			l.LogMutation(Mutation{Op: MutPutRecords, ObjectID: r.ObjectID,
 				Start: sh.frozenRecs(r.ObjectID) + len(sh.records[r.ObjectID]), Records: records})
@@ -150,7 +172,7 @@ func (s *Store) PutRecords(records []gps.Record) {
 	for _, obj := range order {
 		recs := byObject[obj]
 		sh := s.shardFor(obj)
-		sh.mu.Lock()
+		lockTimed(sh)
 		if l != nil {
 			l.LogMutation(Mutation{Op: MutPutRecords, ObjectID: obj,
 				Start: sh.frozenRecs(obj) + len(sh.records[obj]), Records: recs})
@@ -193,6 +215,7 @@ func (s *Store) PutTrajectory(t *gps.RawTrajectory) error {
 	if t == nil || t.ID == "" {
 		return errors.New("store: trajectory must have an id")
 	}
+	obs.StoreMutTrajectories.Inc()
 	ts := s.shardFor(t.ID)
 	ts.mu.Lock()
 	if l := s.mutationLog(); l != nil {
@@ -295,6 +318,7 @@ func (s *Store) PutEpisodes(trajectoryID string, eps []*episode.Episode) error {
 	if trajectoryID == "" {
 		return errors.New("store: empty trajectory id")
 	}
+	obs.StoreMutEpisodes.Inc()
 	sh := s.shardFor(trajectoryID)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -330,6 +354,7 @@ func (s *Store) AppendEpisodes(trajectoryID string, eps ...*episode.Episode) err
 	if trajectoryID == "" {
 		return errors.New("store: empty trajectory id")
 	}
+	obs.StoreMutEpisodes.Inc()
 	sh := s.shardFor(trajectoryID)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -378,6 +403,7 @@ func (s *Store) PutStructured(st *core.StructuredTrajectory) error {
 	if st.Interpretation == "" {
 		return errors.New("store: structured trajectory must name its interpretation")
 	}
+	obs.StoreMutStructured.Inc()
 	sh := s.shardFor(st.ID)
 	sh.mu.Lock()
 	if l := s.mutationLog(); l != nil {
@@ -439,6 +465,7 @@ func (s *Store) AppendStructuredTuples(trajectoryID, objectID, interpretation st
 	if interpretation == "" {
 		return errors.New("store: structured trajectory must name its interpretation")
 	}
+	obs.StoreMutStructured.Inc()
 	sh := s.shardFor(trajectoryID)
 	sh.mu.Lock()
 	byInterp, ok := sh.structured[trajectoryID]

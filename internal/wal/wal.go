@@ -41,9 +41,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"semitri/internal/gps"
+	"semitri/internal/obs"
 	"semitri/internal/store"
 )
 
@@ -168,6 +170,10 @@ type Log struct {
 	cpMu  sync.Mutex
 	cpErr error
 
+	// lastFlush is the Unix-nano time of the last successful flush — the
+	// flusher's liveness signal, read by health checks via LastFlush.
+	lastFlush atomic.Int64
+
 	kick chan struct{}
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -220,6 +226,10 @@ func Open(opts Options) (*Log, error) {
 // Dir returns the log directory.
 func (l *Log) Dir() string { return l.opts.Dir }
 
+// FlushInterval returns the effective group-commit window (defaults
+// applied). Health checks scale their flusher-stall threshold off it.
+func (l *Log) FlushInterval() time.Duration { return l.opts.FlushInterval }
+
 // LogMutation implements store.MutationLog: it serialises the mutation into
 // a frame and appends it to the pending buffer. Called under the store's
 // stripe lock, so it must not block on I/O; actual writing and syncing
@@ -251,6 +261,7 @@ func (l *Log) LogMutation(m store.Mutation) {
 	if dropped {
 		return
 	}
+	obs.WALFrames.Inc()
 	if l.opts.Fsync == FsyncAlways {
 		_ = l.Flush()
 		return
@@ -335,6 +346,7 @@ func (l *Log) sealLocked(obj string, run *recRun) {
 	putU32(e.b[0:4], uint32(len(payload)))
 	putU32(e.b[4:8], frameCRC(payload))
 	l.buf = append(l.buf, e.b...)
+	obs.WALFrames.Inc()
 }
 
 // sealAllLocked seals every staged run. Caller holds mu.
@@ -386,6 +398,7 @@ func (l *Log) Flush() error {
 // serialises flushers, so at most one batch is in flight and the spare
 // handoff cannot race).
 func (l *Log) flushLocked(sync bool) error {
+	start := time.Now()
 	l.mu.Lock()
 	l.sealAllLocked()
 	data := l.buf
@@ -398,7 +411,31 @@ func (l *Log) flushLocked(sync bool) error {
 		l.spare = data[:0]
 	}
 	l.mu.Unlock()
+	if err == nil {
+		// Every successful pass is a liveness signal, but only non-empty
+		// batches are latency observations.
+		now := time.Now()
+		l.lastFlush.Store(now.UnixNano())
+		obs.WALLastFlushUnixNano.Set(now.UnixNano())
+		if len(data) > 0 {
+			obs.WALFlushNs.ObserveNs(now.Sub(start).Nanoseconds())
+		}
+	} else {
+		obs.WALErrored.Set(1)
+	}
 	return err
+}
+
+// LastFlush returns the wall-clock time of the last successful flush pass
+// (the zero time before the first one). A healthy log's flusher refreshes it
+// every FlushInterval even when idle, so a stale value means the flusher has
+// stalled or the log is failing its writes.
+func (l *Log) LastFlush() time.Time {
+	ns := l.lastFlush.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
 }
 
 // writeLocked appends data to the segment, rotating first when the segment
@@ -420,11 +457,13 @@ func (l *Log) writeLocked(data []byte, sync bool) error {
 		return l.err
 	}
 	l.size += int64(len(data))
+	obs.WALBytes.Add(int64(len(data)))
 	if sync {
 		if err := datasync(l.f); err != nil {
 			l.err = fmt.Errorf("wal: sync: %w", err)
 			return l.err
 		}
+		obs.WALFsyncs.Inc()
 	}
 	return nil
 }
@@ -483,6 +522,9 @@ func (l *Log) Sync() error {
 	if l.f != nil {
 		if err := datasync(l.f); err != nil {
 			l.err = fmt.Errorf("wal: sync: %w", err)
+			obs.WALErrored.Set(1)
+		} else {
+			obs.WALFsyncs.Inc()
 		}
 	}
 	return l.err
@@ -521,6 +563,18 @@ func (l *Log) Checkpoint(st *store.Store) error {
 // incremental freeze in here instead of the JSON snapshot; the flush /
 // rotate / save / truncate contract is identical.
 func (l *Log) CheckpointWith(save func(dir string) error) error {
+	start := time.Now()
+	err := l.checkpointWith(save)
+	if err != nil {
+		obs.CheckpointErrored.Set(1)
+		return err
+	}
+	obs.CheckpointErrored.Set(0)
+	obs.WALCheckpointNs.ObserveNs(time.Since(start).Nanoseconds())
+	return nil
+}
+
+func (l *Log) checkpointWith(save func(dir string) error) error {
 	l.cpMu.Lock()
 	defer l.cpMu.Unlock()
 	if err := l.Flush(); err != nil {

@@ -53,9 +53,39 @@ probe "/healthz" "status"
 probe "/query/episodes?kind=stop&limit=3" "matches"
 probe "/query/episodes?annkey=poi_category&annvalue=item%20sale" "plan"
 probe "/query/episodes?minx=0&miny=0&maxx=10000&maxy=10000&kind=stop" "matches"
+probe "/query/episodes?kind=stop&limit=3&trace=1" "trace"
 probe "/query/trajectories" "trajectories"
 probe "/query/objects" "objects"
 probe "/stats" "index"
+probe "/stats" "metrics"
+probe "/debug/queries" "queries"
+
+# /metrics: Prometheus text exposition — non-empty, well-formed (every
+# non-comment line is "name value"), and the key families of each subsystem
+# present, with the ingest counter moved by the smoke ingest.
+metrics=$(curl -fsS "http://$addr/metrics")
+if [ -z "$metrics" ]; then
+	echo "FAIL /metrics: empty body" >&2
+	exit 1
+fi
+for family in semitri_ingest_records_total semitri_ingest_stage_ns \
+	semitri_store_mutations_total semitri_query_total \
+	semitri_wal_frames_total semitri_segment_freezes_total go_goroutines; do
+	if ! printf '%s\n' "$metrics" | grep -q "^# TYPE $family "; then
+		echo "FAIL /metrics: family $family missing" >&2
+		exit 1
+	fi
+done
+if ! printf '%s\n' "$metrics" | grep -q '^semitri_ingest_records_total [1-9]'; then
+	echo "FAIL /metrics: ingest counter did not move" >&2
+	exit 1
+fi
+if printf '%s\n' "$metrics" | grep -v '^#' | grep -v '^$' | awk 'NF != 2 { exit 1 }'; then
+	echo "ok GET /metrics"
+else
+	echo "FAIL /metrics: malformed sample line" >&2
+	exit 1
+fi
 
 # -pprof must expose the standard profiling index (plain HTML, not JSON —
 # just assert it answers 200 with a recognisable body).

@@ -54,6 +54,7 @@ import (
 	"semitri/internal/gps"
 	"semitri/internal/landuse"
 	"semitri/internal/line"
+	"semitri/internal/obs"
 	"semitri/internal/poi"
 	"semitri/internal/point"
 	"semitri/internal/query"
@@ -421,6 +422,41 @@ func (p *Pipeline) Close() error {
 		}
 	}
 	return cpErr
+}
+
+// Health reports the pipeline's current degradations as human-readable
+// reasons; an empty slice means healthy. It is the probe the serving layer
+// wires into GET /healthz (serve.WithHealth): a sticky WAL write/sync error,
+// a WAL flusher that has stopped making progress, or a failed last
+// checkpoint/freeze each contribute a reason. Non-durable pipelines are
+// always healthy. Safe to poll.
+func (p *Pipeline) Health() []string {
+	var reasons []string
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if p.wal != nil && !closed {
+		if err := p.wal.Err(); err != nil {
+			reasons = append(reasons, fmt.Sprintf("wal: %v", err))
+		}
+		// The flusher wakes every FlushInterval even when idle, so a last
+		// flush far older than the interval means it has stalled. The floor
+		// keeps scheduling jitter on tiny intervals from flapping the probe.
+		if last := p.wal.LastFlush(); !last.IsZero() {
+			stall := 10 * p.wal.FlushInterval()
+			if stall < 2*time.Second {
+				stall = 2 * time.Second
+			}
+			if age := time.Since(last); age > stall {
+				reasons = append(reasons, fmt.Sprintf("wal: flusher stalled (last flush %s ago)",
+					age.Round(time.Millisecond)))
+			}
+		}
+	}
+	if obs.CheckpointErrored.Value() != 0 {
+		reasons = append(reasons, "checkpoint: the last checkpoint or freeze failed")
+	}
+	return reasons
 }
 
 // Store returns the semantic trajectory store populated by the pipeline.
