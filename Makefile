@@ -3,7 +3,10 @@
 
 GO ?= go
 
-.PHONY: build test race bench lint serve-smoke recovery-smoke coldstore-smoke ci fmt
+# PR number stamped into the benchmark artifact name (BENCH_$(PR).json).
+PR ?= 10
+
+.PHONY: build test race bench bench-smoke lint serve-smoke recovery-smoke coldstore-smoke subscribe-smoke ci fmt
 
 build:
 	$(GO) build ./...
@@ -27,6 +30,13 @@ race:
 # BenchmarkLineCandidates, BenchmarkPointCandidates, BenchmarkLookupBreakdown).
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# What CI's bench-smoke job runs: every benchmark once, then the whole
+# experiment suite at CI scale into the committed perf-trajectory artifact
+# (BENCH_$(PR).json in the repo root; override PR= for a different slot).
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+	$(GO) run ./cmd/semitri-bench -exp all -scale 0.2 -json BENCH_$(PR).json
 
 # Formatting + vet + staticcheck; fails when any file needs gofmt.
 # staticcheck is skipped with a notice when the binary is not installed
@@ -63,7 +73,14 @@ recovery-smoke:
 coldstore-smoke:
 	./scripts/coldstore-smoke.sh
 
+# End-to-end live-subscription probe: serve with throttled ingestion, two
+# SSE streams (a geofence standing query + the metrics stream), then assert
+# well-formed frames and live/engine parity over HTTP (what CI's
+# subscribe-smoke job runs).
+subscribe-smoke:
+	./scripts/subscribe-smoke.sh
+
 # What CI runs: build, lint, tests, a one-iteration bench smoke pass and
-# the serving-layer + crash-recovery + cold-store smokes.
-ci: build lint test serve-smoke recovery-smoke coldstore-smoke
+# the serving-layer + crash-recovery + cold-store + live-subscription smokes.
+ci: build lint test serve-smoke recovery-smoke coldstore-smoke subscribe-smoke
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .

@@ -14,11 +14,15 @@
 //	              [-data-dir dir] [-flush-interval 50ms]
 //	              [-fsync interval|always|never] [-checkpoint-interval 1m]
 //	              [-query-parallelism 0] [-pprof]
+//	              [-live] [-sse-heartbeat 10s] [-ingest-delay 0]
+//	              [-history-interval 2s] [-history-samples 512]
 //	              [-log-level info] [-log-format text|json]
 //
 // With -in omitted a small people dataset is generated, sized by -users and
 // -days. With -wait the server only starts listening once ingestion has
-// finished (useful for scripted probing).
+// finished (useful for scripted probing). -ingest-delay throttles the
+// producer (one pause per record) so live subscriptions have an ongoing
+// stream to watch instead of ingestion finishing in milliseconds.
 //
 // With -data-dir the store is durable: every mutation is written ahead to a
 // group-committed log in the directory and the store checkpoints on the
@@ -39,6 +43,10 @@
 //	GET /query/objects?object=
 //	GET /stats
 //	GET /metrics             Prometheus text exposition
+//	GET /metrics/history?name=...&window=10m   in-process ring time-series
+//	GET /metrics/stream      sampled metric ticks over SSE
+//	GET /subscribe?q=...     standing-query subscription over SSE (with -live)
+//	GET /debug/dash          embedded live dashboard (sparklines, health, slow queries)
 //	GET /debug/queries       slowest queries served so far
 //	GET /debug/pprof/...     (with -pprof)
 //	GET /debug/trace?seconds=N  runtime/trace capture (with -pprof)
@@ -81,6 +89,11 @@ func main() {
 	fsync := flag.String("fsync", "interval", "WAL fsync policy: interval | always | never (with -data-dir)")
 	checkpointInterval := flag.Duration("checkpoint-interval", time.Minute, "checkpoint schedule, 0 disables (with -data-dir)")
 	queryParallelism := flag.Int("query-parallelism", 0, "query engine worker cap (0 = GOMAXPROCS, 1 = serial)")
+	liveOn := flag.Bool("live", true, "enable /subscribe standing-query subscriptions over SSE")
+	sseHeartbeat := flag.Duration("sse-heartbeat", serve.DefaultSSEHeartbeat, "heartbeat cadence of idle SSE connections")
+	ingestDelay := flag.Duration("ingest-delay", 0, "pause between ingested records (throttles the producer for live demos)")
+	historyInterval := flag.Duration("history-interval", obs.DefaultHistoryInterval, "metrics history sampling interval")
+	historySamples := flag.Int("history-samples", 512, "samples retained per metric in the history ring")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof and /debug/trace runtime-trace capture under /debug/ on the serving mux")
 	logLevel := flag.String("log-level", "info", "log level: debug | info | warn | error")
 	logFormat := flag.String("log-format", "text", "log format: text | json")
@@ -136,7 +149,17 @@ func main() {
 	// purely incrementally from the stream's append path (they backfill
 	// from recovered content first).
 	engine := pipeline.QueryEngine()
-	opts := []serve.Option{serve.WithHealth(pipeline.Health)}
+	opts := []serve.Option{serve.WithHealth(pipeline.Health), serve.WithSSEHeartbeat(*sseHeartbeat)}
+	if *liveOn {
+		// The dispatcher must attach before ingestion starts so standing
+		// queries see every event (registered later they see only the tail).
+		opts = append(opts, serve.WithLive(pipeline.Live()))
+		logger.Info("live subscriptions enabled", "endpoint", "/subscribe", "heartbeat", *sseHeartbeat)
+	}
+	history := obs.NewHistory(obs.Default(), *historySamples, *historyInterval)
+	history.Start()
+	defer history.Close()
+	opts = append(opts, serve.WithHistory(history))
 	if *pprofOn {
 		opts = append(opts, serve.WithProfiling())
 	}
@@ -156,7 +179,7 @@ func main() {
 		go func() {
 			defer close(ingested)
 			start := time.Now()
-			result := ingest(pipeline, *in, city, *seed, *users, *days, *streamWorkers, *progress, ingestStop)
+			result := ingest(pipeline, *in, city, *seed, *users, *days, *streamWorkers, *progress, *ingestDelay, ingestStop)
 			logger.Info("ingestion complete",
 				"records", result.Records, "trajectories", len(result.TrajectoryIDs),
 				"stops", result.Stops, "moves", result.Moves,
@@ -217,7 +240,7 @@ func main() {
 // closes the stream. A close of stopCh makes the producer stop early; the
 // records already offered still drain through the fan-in before the stream
 // closes, so shutdown never abandons in-flight work.
-func ingest(pipeline *semitri.Pipeline, in string, city *workload.City, seed int64, users, days, workers, every int, stopCh <-chan struct{}) *semitri.Result {
+func ingest(pipeline *semitri.Pipeline, in string, city *workload.City, seed int64, users, days, workers, every int, delay time.Duration, stopCh <-chan struct{}) *semitri.Result {
 	logger := obs.Component("ingest")
 	sp := pipeline.NewStream()
 	var n atomic.Int64
@@ -238,6 +261,13 @@ func ingest(pipeline *semitri.Pipeline, in string, city *workload.City, seed int
 		}
 		if c := n.Add(1); every > 0 && c%int64(every) == 0 {
 			logger.Info("ingest progress", "records", c)
+		}
+		if delay > 0 {
+			select {
+			case <-time.After(delay):
+			case <-stopCh:
+				return false
+			}
 		}
 		return true
 	}

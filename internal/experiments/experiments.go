@@ -152,6 +152,7 @@ var Registry = map[string]func(*Env) (*Table, error){
 	"parallel":          Parallel,
 	"storage":           StorageEngine,
 	"obs":               Observability,
+	"live":              Live,
 }
 
 // Order lists the experiment ids in presentation order (the order of §5).
@@ -159,5 +160,5 @@ var Order = []string{
 	"table1", "table2", "fig9", "fig10", "fig11", "fig12", "fig13",
 	"fig14", "fig15", "fig17", "compression", "ablation-mapmatch", "ablation-hmm",
 	"stream", "lookup", "query", "relational", "durability", "parallel",
-	"storage", "obs",
+	"storage", "obs", "live",
 }

@@ -1,0 +1,310 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Bus is a bounded, non-blocking fan-out event bus: publishers hand an event
+// to every current subscriber and return immediately, whatever the
+// subscribers are doing. Each subscriber owns a fixed-capacity ring buffer;
+// when a subscriber falls behind, Publish overwrites that subscriber's
+// oldest undelivered event (drop-oldest backpressure) rather than blocking
+// the publisher or growing memory — the publisher is the ingest hot path,
+// and a slow SSE client must never be able to push back on it. Drops lose
+// delivery, never integrity: everything a subscriber does receive is a
+// complete event in publish order.
+//
+// The bus instruments itself through an optional BusMetrics (events
+// published, drops, live subscribers, max observed lag) so the
+// observability pipeline's own health is visible in /metrics like any other
+// subsystem's.
+type Bus[T any] struct {
+	mu     sync.RWMutex
+	subs   map[*Sub[T]]struct{}
+	closed bool
+
+	published atomic.Int64
+	dropped   atomic.Int64
+	maxLag    atomic.Int64
+
+	m *BusMetrics
+}
+
+// NewBus returns a bus reporting into metrics (nil disables instrumentation;
+// share one BusMetrics between buses of the same role — the counters then
+// aggregate across instances, which is what a process-wide metric wants).
+func NewBus[T any](metrics *BusMetrics) *Bus[T] {
+	return &Bus[T]{subs: map[*Sub[T]]struct{}{}, m: metrics}
+}
+
+// Sub is one subscription: a fixed-capacity ring of undelivered events plus
+// a wake signal. Consume with Drain (batch) or Next (blocking); select on C
+// to integrate with heartbeat tickers and request contexts.
+type Sub[T any] struct {
+	bus *Bus[T]
+
+	mu     sync.Mutex
+	buf    []T
+	head   int // index of the oldest undelivered event
+	n      int // undelivered events in the ring
+	closed bool
+
+	drops    atomic.Int64
+	received atomic.Int64
+
+	wake chan struct{} // cap 1: "the ring may be non-empty"
+	done chan struct{} // closed by Close
+}
+
+// Subscribe registers a subscriber with a ring of the given capacity
+// (minimum 1). It returns nil when the bus is closed.
+func (b *Bus[T]) Subscribe(buffer int) *Sub[T] {
+	if buffer < 1 {
+		buffer = 1
+	}
+	s := &Sub[T]{
+		bus:  b,
+		buf:  make([]T, buffer),
+		wake: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil
+	}
+	b.subs[s] = struct{}{}
+	if b.m != nil {
+		b.m.Subscribers.Add(1)
+	}
+	return s
+}
+
+// Publish offers ev to every current subscriber and returns immediately.
+// Safe for concurrent use; events from one goroutine reach each subscriber
+// in publish order.
+func (b *Bus[T]) Publish(ev T) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		return
+	}
+	b.published.Add(1)
+	if b.m != nil {
+		b.m.Events.Inc()
+	}
+	for s := range b.subs {
+		s.push(ev, b)
+	}
+}
+
+// push appends ev to the subscriber's ring, evicting the oldest entry when
+// full, and signals the consumer.
+func (s *Sub[T]) push(ev T, b *Bus[T]) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if s.n == len(s.buf) {
+		// Ring full: overwrite the oldest undelivered event.
+		s.head = (s.head + 1) % len(s.buf)
+		s.n--
+		s.drops.Add(1)
+		b.dropped.Add(1)
+		if b.m != nil {
+			b.m.Dropped.Inc()
+		}
+	}
+	s.buf[(s.head+s.n)%len(s.buf)] = ev
+	s.n++
+	lag := int64(s.n)
+	s.mu.Unlock()
+	s.received.Add(1)
+	// High-watermark lag: only ever raise it. The CAS loop keeps concurrent
+	// publishers from regressing a higher observation.
+	for {
+		cur := b.maxLag.Load()
+		if lag <= cur {
+			break
+		}
+		if b.maxLag.CompareAndSwap(cur, lag) {
+			if b.m != nil {
+				b.m.MaxLag.Set(lag)
+			}
+			break
+		}
+	}
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Drain appends every currently buffered event to buf (reusing its capacity)
+// and returns it. An empty result means the ring was empty at the call.
+func (s *Sub[T]) Drain(buf []T) []T {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var zero T
+	for s.n > 0 {
+		buf = append(buf, s.buf[s.head])
+		s.buf[s.head] = zero // release references held by the slot
+		s.head = (s.head + 1) % len(s.buf)
+		s.n--
+	}
+	return buf
+}
+
+// TryNext pops the oldest buffered event without blocking.
+func (s *Sub[T]) TryNext() (T, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var zero T
+	if s.n == 0 {
+		return zero, false
+	}
+	ev := s.buf[s.head]
+	s.buf[s.head] = zero
+	s.head = (s.head + 1) % len(s.buf)
+	s.n--
+	return ev, true
+}
+
+// Next blocks until an event is available, the subscription closes, or ctx
+// is done. ok is false on close/cancellation.
+func (s *Sub[T]) Next(ctx context.Context) (T, bool) {
+	for {
+		if ev, ok := s.TryNext(); ok {
+			return ev, true
+		}
+		var zero T
+		select {
+		case <-s.wake:
+		case <-s.done:
+			// Drain what was buffered before the close raced us.
+			if ev, ok := s.TryNext(); ok {
+				return ev, true
+			}
+			return zero, false
+		case <-ctx.Done():
+			return zero, false
+		}
+	}
+}
+
+// C signals that the ring may hold events: receive, then Drain. The channel
+// has capacity 1 and is never closed; select on Done for termination.
+func (s *Sub[T]) C() <-chan struct{} { return s.wake }
+
+// Done is closed when the subscription is closed (by either side).
+func (s *Sub[T]) Done() <-chan struct{} { return s.done }
+
+// Lag returns the number of buffered, undelivered events.
+func (s *Sub[T]) Lag() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Drops returns how many events this subscription lost to backpressure.
+func (s *Sub[T]) Drops() int64 { return s.drops.Load() }
+
+// Received returns how many events were offered to this subscription
+// (delivered or dropped) since Subscribe.
+func (s *Sub[T]) Received() int64 { return s.received.Load() }
+
+// Close removes the subscription from the bus and wakes any blocked Next.
+// Safe to call more than once, from either side.
+func (s *Sub[T]) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.done)
+	b := s.bus
+	b.mu.Lock()
+	if _, ok := b.subs[s]; ok {
+		delete(b.subs, s)
+		if b.m != nil {
+			b.m.Subscribers.Add(-1)
+		}
+	}
+	b.mu.Unlock()
+}
+
+// Close shuts the bus down: every subscription is closed and later Publish
+// and Subscribe calls become no-ops.
+func (b *Bus[T]) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	subs := make([]*Sub[T], 0, len(b.subs))
+	for s := range b.subs {
+		subs = append(subs, s)
+	}
+	b.mu.Unlock()
+	for _, s := range subs {
+		s.Close()
+	}
+}
+
+// BusStats is a point-in-time view of a bus's self-instrumentation.
+type BusStats struct {
+	Subscribers int   `json:"subscribers"`
+	Published   int64 `json:"published"`
+	Dropped     int64 `json:"dropped"`
+	MaxLag      int64 `json:"max_lag"`
+}
+
+// Stats returns the bus's current counters (kept on the bus itself as well
+// as in BusMetrics, so tests and JSON endpoints need no registry scrape).
+func (b *Bus[T]) Stats() BusStats {
+	b.mu.RLock()
+	n := len(b.subs)
+	b.mu.RUnlock()
+	return BusStats{
+		Subscribers: n,
+		Published:   b.published.Load(),
+		Dropped:     b.dropped.Load(),
+		MaxLag:      b.maxLag.Load(),
+	}
+}
+
+// BusMetrics is the registered metric set a Bus reports into. One BusMetrics
+// per bus role (registered once at init time); buses sharing a role share
+// the instance.
+type BusMetrics struct {
+	Events      *Counter
+	Dropped     *Counter
+	Subscribers *Gauge
+	MaxLag      *Gauge
+}
+
+// NewBusMetrics registers a bus metric set labelled bus=name in the default
+// registry.
+func NewBusMetrics(name string) *BusMetrics {
+	return NewBusMetricsIn(defaultRegistry, name)
+}
+
+// NewBusMetricsIn is NewBusMetrics against an explicit registry.
+func NewBusMetricsIn(r *Registry, name string) *BusMetrics {
+	return &BusMetrics{
+		Events: NewCounterIn(r, "semitri_bus_events_total",
+			"Events published to the fan-out event bus.", "bus", name),
+		Dropped: NewCounterIn(r, "semitri_bus_dropped_total",
+			"Events dropped by per-subscriber drop-oldest backpressure.", "bus", name),
+		Subscribers: NewGaugeIn(r, "semitri_bus_subscribers",
+			"Currently registered bus subscribers.", "bus", name),
+		MaxLag: NewGaugeIn(r, "semitri_bus_max_lag",
+			"High watermark of undelivered events buffered by one subscriber.", "bus", name),
+	}
+}

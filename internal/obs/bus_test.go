@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBusFanOutInOrder(t *testing.T) {
+	b := NewBus[int](nil)
+	a := b.Subscribe(16)
+	c := b.Subscribe(16)
+	for i := 0; i < 10; i++ {
+		b.Publish(i)
+	}
+	for _, s := range []*Sub[int]{a, c} {
+		got := s.Drain(nil)
+		if len(got) != 10 {
+			t.Fatalf("drained %d events, want 10", len(got))
+		}
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("event %d = %d, want %d (order broken)", i, v, i)
+			}
+		}
+		if s.Drops() != 0 {
+			t.Fatalf("drops = %d, want 0", s.Drops())
+		}
+	}
+	if st := b.Stats(); st.Published != 10 || st.Dropped != 0 || st.Subscribers != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBusDropOldest(t *testing.T) {
+	r := NewRegistry()
+	m := NewBusMetricsIn(r, "test")
+	b := NewBus[int](m)
+	s := b.Subscribe(4)
+	for i := 0; i < 10; i++ {
+		b.Publish(i)
+	}
+	got := s.Drain(nil)
+	want := []int{6, 7, 8, 9}
+	if len(got) != len(want) {
+		t.Fatalf("drained %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drained %v, want %v (oldest must go first)", got, want)
+		}
+	}
+	if s.Drops() != 6 {
+		t.Fatalf("sub drops = %d, want 6", s.Drops())
+	}
+	if st := b.Stats(); st.Dropped != 6 || st.MaxLag != 4 {
+		t.Fatalf("stats = %+v, want dropped=6 maxLag=4", st)
+	}
+	if m.Dropped.Value() != 6 || m.Events.Value() != 10 {
+		t.Fatalf("metrics dropped=%d events=%d", m.Dropped.Value(), m.Events.Value())
+	}
+}
+
+func TestBusSubscriberLifecycle(t *testing.T) {
+	r := NewRegistry()
+	m := NewBusMetricsIn(r, "test")
+	b := NewBus[int](m)
+	s1 := b.Subscribe(2)
+	s2 := b.Subscribe(2)
+	if g := m.Subscribers.Value(); g != 2 {
+		t.Fatalf("subscribers gauge = %d, want 2", g)
+	}
+	s1.Close()
+	s1.Close() // idempotent
+	if g := m.Subscribers.Value(); g != 1 {
+		t.Fatalf("subscribers gauge after close = %d, want 1", g)
+	}
+	b.Publish(1)
+	if _, ok := s1.TryNext(); ok {
+		t.Fatal("closed subscription still receiving")
+	}
+	if v, ok := s2.TryNext(); !ok || v != 1 {
+		t.Fatalf("live subscription got (%d,%v), want (1,true)", v, ok)
+	}
+	b.Close()
+	select {
+	case <-s2.Done():
+	default:
+		t.Fatal("bus close did not close subscription")
+	}
+	if g := m.Subscribers.Value(); g != 0 {
+		t.Fatalf("subscribers gauge after bus close = %d, want 0", g)
+	}
+	if b.Subscribe(2) != nil {
+		t.Fatal("Subscribe after Close must return nil")
+	}
+	if _, ok := s2.Next(context.Background()); ok {
+		t.Fatal("Next on closed empty subscription must report !ok")
+	}
+}
+
+func TestBusNextContextCancel(t *testing.T) {
+	b := NewBus[int](nil)
+	s := b.Subscribe(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := s.Next(ctx)
+		done <- ok
+	}()
+	cancel()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("Next returned ok after context cancel")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Next did not unblock on context cancel")
+	}
+}
+
+// TestBusConcurrent races several publishers against consuming and
+// late-joining/leaving subscribers. Accounting must balance per subscriber
+// (delivered + dropped = offered) and per-publisher order must hold.
+func TestBusConcurrent(t *testing.T) {
+	type ev struct{ pub, seq int }
+	b := NewBus[ev](nil)
+	const pubs, perPub = 4, 2000
+
+	consume := func(s *Sub[ev]) (delivered int64, lastSeq [pubs]int, err error) {
+		for i := range lastSeq {
+			lastSeq[i] = -1
+		}
+		buf := make([]ev, 0, 64)
+		for {
+			buf = s.Drain(buf[:0])
+			if len(buf) == 0 {
+				select {
+				case <-s.C():
+					continue
+				case <-s.done:
+					buf = s.Drain(buf[:0])
+					if len(buf) == 0 {
+						return delivered, lastSeq, nil
+					}
+				}
+			}
+			for _, e := range buf {
+				if e.seq <= lastSeq[e.pub] {
+					return delivered, lastSeq, fmt.Errorf(
+						"publisher %d order broken: seq %d after %d", e.pub, e.seq, lastSeq[e.pub])
+				}
+				lastSeq[e.pub] = e.seq
+				delivered++
+			}
+		}
+	}
+
+	subs := []*Sub[ev]{b.Subscribe(64), b.Subscribe(7)} // one roomy, one tight
+	var wg sync.WaitGroup
+	results := make([]int64, len(subs))
+	errs := make([]error, len(subs))
+	for i, s := range subs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], _, errs[i] = consume(s)
+		}()
+	}
+	var pubWG sync.WaitGroup
+	for p := 0; p < pubs; p++ {
+		pubWG.Add(1)
+		go func() {
+			defer pubWG.Done()
+			for i := 0; i < perPub; i++ {
+				b.Publish(ev{pub: p, seq: i})
+			}
+		}()
+	}
+	// A subscriber that joins mid-flight and leaves again must not disturb
+	// the others (and must not leak into the gauge accounting).
+	churn := b.Subscribe(8)
+	churn.Close()
+	pubWG.Wait()
+	for _, s := range subs {
+		s.Close()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("subscriber %d: %v", i, err)
+		}
+		if got := results[i] + subs[i].Drops(); got != subs[i].Received() {
+			t.Fatalf("subscriber %d: delivered %d + drops %d != offered %d",
+				i, results[i], subs[i].Drops(), subs[i].Received())
+		}
+	}
+	if st := b.Stats(); st.Published != pubs*perPub {
+		t.Fatalf("published = %d, want %d", st.Published, pubs*perPub)
+	}
+}

@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Numeric flattens every registered metric into float64 samples keyed by the
+// same ids /metrics exposes: counters and gauges map to one entry, histograms
+// to their _count and _sum series. This is the scrape the history sampler and
+// /metrics/stream run on — one flat map, no exposition-format parsing.
+func (r *Registry) Numeric() map[string]float64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]float64, len(r.metrics)+8)
+	id := func(m metric, suffix string) string {
+		s := m.family() + suffix
+		if l := m.labels(); l != "" {
+			s += "{" + l + "}"
+		}
+		return s
+	}
+	for _, m := range r.metrics {
+		switch v := m.(type) {
+		case *Counter:
+			out[id(m, "")] = float64(v.Value())
+		case *Gauge:
+			out[id(m, "")] = float64(v.Value())
+		case *GaugeFunc:
+			out[id(m, "")] = v.fn()
+		case *Histogram:
+			out[id(m, "_count")] = float64(v.Count())
+			out[id(m, "_sum")] = float64(v.Sum())
+		}
+	}
+	return out
+}
+
+// Sample is one point of a metric time-series.
+type Sample struct {
+	UnixNano int64   `json:"unix_nano"`
+	Value    float64 `json:"value"`
+}
+
+// MetricsTick is one sampler pass over the registry, published to the
+// history's tick bus so /metrics/stream pushes instead of forcing clients to
+// poll /metrics.
+type MetricsTick struct {
+	UnixNano int64              `json:"unix_nano"`
+	Values   map[string]float64 `json:"values"`
+}
+
+// series is a fixed-capacity ring of samples for one metric id.
+type series struct {
+	buf  []Sample
+	head int
+	n    int
+}
+
+func (s *series) push(p Sample) {
+	if s.n == len(s.buf) {
+		s.buf[s.head] = p
+		s.head = (s.head + 1) % len(s.buf)
+		return
+	}
+	s.buf[(s.head+s.n)%len(s.buf)] = p
+	s.n++
+}
+
+// History keeps a bounded in-process time-series per metric, fed by a
+// background ticker, so "/metrics/history?name=...&window=10m" answers
+// without an external Prometheus. Capacity bounds memory: at the default 2s
+// interval, 1024 points cover ~34 minutes per series.
+type History struct {
+	reg      *Registry
+	capacity int
+	interval time.Duration
+
+	mu     sync.RWMutex
+	series map[string]*series
+
+	bus *Bus[MetricsTick]
+
+	startOnce sync.Once
+	closeOnce sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// DefaultHistoryInterval is the sampler period used when none is given.
+const DefaultHistoryInterval = 2 * time.Second
+
+// NewHistory builds a history over r (Default() when nil) keeping capacity
+// samples per series (minimum 2) at the given interval
+// (DefaultHistoryInterval when <= 0). Call Start to launch the sampler.
+func NewHistory(r *Registry, capacity int, interval time.Duration) *History {
+	if r == nil {
+		r = Default()
+	}
+	if capacity < 2 {
+		capacity = 2
+	}
+	if interval <= 0 {
+		interval = DefaultHistoryInterval
+	}
+	return &History{
+		reg:      r,
+		capacity: capacity,
+		interval: interval,
+		series:   map[string]*series{},
+		bus:      NewBus[MetricsTick](MetricsBusMetrics),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start launches the background sampler ticker. Idempotent.
+func (h *History) Start() {
+	h.startOnce.Do(func() {
+		go func() {
+			defer close(h.done)
+			t := time.NewTicker(h.interval)
+			defer t.Stop()
+			h.SampleNow() // seed the series so the first window query answers
+			for {
+				select {
+				case <-t.C:
+					h.SampleNow()
+				case <-h.stop:
+					return
+				}
+			}
+		}()
+	})
+}
+
+// Close stops the sampler (waiting for it to exit if started) and closes the
+// tick bus. Idempotent.
+func (h *History) Close() {
+	h.closeOnce.Do(func() {
+		close(h.stop)
+		h.startOnce.Do(func() { close(h.done) }) // never started: release waiters
+		<-h.done
+		h.bus.Close()
+	})
+}
+
+// SampleNow takes one sampler pass immediately: scrape the registry, append
+// to every series, publish the tick. Exposed so tests and handlers can force
+// a fresh point without waiting out the ticker.
+func (h *History) SampleNow() MetricsTick {
+	now := time.Now().UnixNano()
+	vals := h.reg.Numeric()
+	h.mu.Lock()
+	for id, v := range vals {
+		s := h.series[id]
+		if s == nil {
+			s = &series{buf: make([]Sample, h.capacity)}
+			h.series[id] = s
+		}
+		s.push(Sample{UnixNano: now, Value: v})
+	}
+	h.mu.Unlock()
+	tick := MetricsTick{UnixNano: now, Values: vals}
+	h.bus.Publish(tick)
+	return tick
+}
+
+// Window returns the samples recorded for the metric id within the trailing
+// window (everything retained when window <= 0), oldest first. The boolean
+// reports whether the series exists at all.
+func (h *History) Window(id string, window time.Duration) ([]Sample, bool) {
+	var cutoff int64
+	if window > 0 {
+		cutoff = time.Now().Add(-window).UnixNano()
+	}
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	s := h.series[id]
+	if s == nil {
+		return nil, false
+	}
+	out := make([]Sample, 0, s.n)
+	for i := 0; i < s.n; i++ {
+		p := s.buf[(s.head+i)%len(s.buf)]
+		if p.UnixNano >= cutoff {
+			out = append(out, p)
+		}
+	}
+	return out, true
+}
+
+// Names returns every series id currently tracked, sorted.
+func (h *History) Names() []string {
+	h.mu.RLock()
+	out := make([]string, 0, len(h.series))
+	for id := range h.series {
+		out = append(out, id)
+	}
+	h.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Interval returns the sampler period.
+func (h *History) Interval() time.Duration { return h.interval }
+
+// Subscribe attaches a tick subscriber (for /metrics/stream); buffer is the
+// per-subscriber ring size. Returns nil after Close.
+func (h *History) Subscribe(buffer int) *Sub[MetricsTick] {
+	return h.bus.Subscribe(buffer)
+}
+
+// BusStats exposes the tick bus's self-instrumentation.
+func (h *History) BusStats() BusStats { return h.bus.Stats() }

@@ -1,5 +1,7 @@
 package obs
 
+import "strings"
+
 // The process-wide metric catalogue. Every subsystem records into these
 // package-level vars; keeping the catalogue in one file keeps naming
 // consistent and makes the README table and the serve-smoke assertions easy
@@ -110,6 +112,55 @@ var (
 	// reports in traces.
 	SegmentPruned = map[string]*Counter{}
 )
+
+// Live observability pipeline (internal/obs event bus + internal/query
+// standing queries). The two bus roles each get one metric set: "live" is
+// the store tuple-event bus feeding standing queries and /subscribe, while
+// "metrics" is the sampled-tick bus feeding /metrics/stream.
+var (
+	LiveBusMetrics    = NewBusMetrics("live")
+	MetricsBusMetrics = NewBusMetrics("metrics")
+
+	LiveStandingQueries = NewGauge("semitri_live_standing_queries",
+		"Standing queries currently registered with the live dispatcher.")
+	LiveEventsEvaluated = NewCounter("semitri_live_events_evaluated_total",
+		"Tuple events evaluated against standing-query predicates.")
+	LiveMatches = NewCounter("semitri_live_matches_total",
+		"Standing-query match notifications produced by the live dispatcher.")
+	LiveDispatchNs = NewHistogram("semitri_live_dispatch_ns",
+		"Per-event dispatch latency across all standing queries, in nanoseconds.", nil)
+)
+
+// Health (served by /healthz; mirrored here so dashboards and scrapers can
+// alert without parsing the JSON body). The gauge records even when
+// instrumentation is disabled, like the other health-state gauges.
+var (
+	HealthDegraded = NewGauge("semitri_health_degraded",
+		"1 when /healthz reports the pipeline degraded, else 0.")
+	HealthReasonWALError = NewCounter("semitri_health_reasons_total",
+		"Degraded /healthz evaluations by reason class.", "reason", "wal-error")
+	HealthReasonWALStall = NewCounter("semitri_health_reasons_total",
+		"Degraded /healthz evaluations by reason class.", "reason", "wal-stall")
+	HealthReasonCheckpoint = NewCounter("semitri_health_reasons_total",
+		"Degraded /healthz evaluations by reason class.", "reason", "checkpoint")
+	HealthReasonOther = NewCounter("semitri_health_reasons_total",
+		"Degraded /healthz evaluations by reason class.", "reason", "other")
+)
+
+// HealthReasonCounter maps a /healthz degraded-reason string onto its class
+// counter, matching the reason formats Pipeline.Health emits.
+func HealthReasonCounter(reason string) *Counter {
+	switch {
+	case strings.Contains(reason, "stalled"):
+		return HealthReasonWALStall
+	case strings.HasPrefix(reason, "wal:"):
+		return HealthReasonWALError
+	case strings.HasPrefix(reason, "checkpoint:"):
+		return HealthReasonCheckpoint
+	default:
+		return HealthReasonOther
+	}
+}
 
 // PruneRules lists the footer rules segmentCanMatch can refute on, in the
 // order they are evaluated. Exported so traces and metrics agree on names.

@@ -151,33 +151,3 @@ func TestSnapshot(t *testing.T) {
 		t.Errorf("snapshot histogram = %v", snap["snap_ns"])
 	}
 }
-
-func TestSlowLog(t *testing.T) {
-	l := NewSlowLog(3)
-	for _, ns := range []int64{50, 10, 80, 30, 90, 5} {
-		l.Record(SlowQuery{Ns: ns})
-	}
-	got := l.Slowest()
-	if len(got) != 3 || got[0].Ns != 90 || got[1].Ns != 80 || got[2].Ns != 50 {
-		t.Fatalf("slowest = %+v", got)
-	}
-}
-
-func TestSlowLogConcurrent(t *testing.T) {
-	l := NewSlowLog(8)
-	var wg sync.WaitGroup
-	for w := 0; w < 4; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := 0; i < 1000; i++ {
-				l.Record(SlowQuery{Ns: int64(w*1000 + i)})
-			}
-		}(w)
-	}
-	wg.Wait()
-	got := l.Slowest()
-	if len(got) != 8 || got[0].Ns != 3999 {
-		t.Fatalf("slowest = %+v", got)
-	}
-}

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSlowLogKeepsSlowest(t *testing.T) {
+	l := NewSlowLog(3)
+	for _, ns := range []int64{5, 1, 9, 3, 7, 2} {
+		l.Record(SlowQuery{Ns: ns})
+	}
+	got := l.Slowest()
+	want := []int64{9, 7, 5}
+	if len(got) != len(want) {
+		t.Fatalf("retained %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Ns != want[i] {
+			t.Fatalf("entry %d Ns = %d, want %d", i, got[i].Ns, want[i])
+		}
+	}
+}
+
+// TestSlowLogConcurrent hammers Record from many goroutines while snapshots
+// run concurrently, relying on -race for synchronization bugs and on the
+// Query field (which encodes Ns) to expose torn entries. At the end the log
+// must retain exactly the capacity slowest recorded durations, slowest
+// first.
+func TestSlowLogConcurrent(t *testing.T) {
+	const capacity = 16
+	const writers = 8
+	const perWriter = 2000
+	l := NewSlowLog(capacity)
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				// Globally unique Ns values so the final expectation is exact.
+				ns := next.Add(1)
+				l.Record(SlowQuery{
+					At:     time.Unix(0, ns),
+					Source: "test",
+					Query:  strconv.FormatInt(ns, 10),
+					Ns:     ns,
+				})
+			}
+		}()
+	}
+
+	stop := make(chan struct{})
+	var snapErr atomic.Value
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, e := range l.Slowest() {
+				// A torn entry would pair one record's Ns with another's Query.
+				if e.Query != strconv.FormatInt(e.Ns, 10) {
+					snapErr.Store("torn entry: Ns=" + strconv.FormatInt(e.Ns, 10) + " Query=" + e.Query)
+					return
+				}
+			}
+		}
+	}()
+
+	// Wait for the writers (tracked by the shared counter), then release the
+	// snapshotter and join everything.
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	total := int64(writers * perWriter)
+	for next.Load() < total {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	<-done
+	if msg := snapErr.Load(); msg != nil {
+		t.Fatal(msg)
+	}
+
+	got := l.Slowest()
+	if len(got) != capacity {
+		t.Fatalf("retained %d entries, want %d", len(got), capacity)
+	}
+	// Eviction order: exactly the top `capacity` values survive, sorted desc.
+	for i, e := range got {
+		want := total - int64(i)
+		if e.Ns != want {
+			t.Fatalf("entry %d Ns = %d, want %d (eviction kept a non-slowest entry)", i, e.Ns, want)
+		}
+	}
+}

@@ -76,6 +76,28 @@ func Parse(src string) (Statement, error) {
 	return stmt, nil
 }
 
+// ParseQuery compiles a single-table statement into its typed Query — the
+// subset a standing subscription can evaluate incrementally. Joins,
+// aggregations and limits are rejected with a descriptive error: /subscribe
+// reuses the full statement grammar, but a continuous query is a predicate
+// over single tuples, not a relational pipeline.
+func ParseQuery(src string) (query.Query, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return query.Query{}, err
+	}
+	if stmt.Join != nil {
+		return query.Query{}, errors.New("lang: joins cannot run as standing queries")
+	}
+	if stmt.Agg != nil {
+		return query.Query{}, errors.New("lang: aggregations cannot run as standing queries")
+	}
+	if stmt.Query.Limit != 0 {
+		return query.Query{}, errors.New("lang: standing queries cannot carry a limit")
+	}
+	return stmt.Query, nil
+}
+
 // Result is what running a statement produces: exactly one of Matches
 // (single-table, unaggregated), Pairs (join, unaggregated) or Groups
 // (aggregated), plus the plan the engine executed. The produced slice is

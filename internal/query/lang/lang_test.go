@@ -223,3 +223,25 @@ func TestRunShapes(t *testing.T) {
 		t.Fatal("Run accepted a malformed statement")
 	}
 }
+
+// TestParseQuery pins the standing-query subset: single-table statements
+// compile, while joins, aggregations and limits are rejected.
+func TestParseQuery(t *testing.T) {
+	q, err := ParseQuery("stops where window(0, 0, 500, 500) and ann.poi_category = park")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Kind == nil || *q.Kind != episode.Stop || q.Window == nil || q.AnnKey != "poi_category" {
+		t.Fatalf("compiled query: %+v", q)
+	}
+	for _, src := range []string{
+		"stops join stops on distance <= 200 and distinct objects",
+		"stops group by object count",
+		"stops limit 5",
+		"stops where object =",
+	} {
+		if _, err := ParseQuery(src); err == nil {
+			t.Fatalf("ParseQuery(%q) accepted a non-standing statement", src)
+		}
+	}
+}

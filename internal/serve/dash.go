@@ -1,0 +1,193 @@
+package serve
+
+import "net/http"
+
+// handleDash answers GET /debug/dash with the embedded operations dashboard:
+// one self-contained HTML page, zero external assets, that renders live
+// sparklines from /metrics/stream (SSE), a health banner polled from
+// /healthz, and the slow-query tail polled from /debug/queries. It is a
+// debugging surface, not a product UI — everything it shows comes from the
+// JSON endpoints, so anything on the page can be scripted against directly.
+func (s *Server) handleDash(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-cache")
+	_, _ = w.Write([]byte(dashHTML))
+}
+
+const dashHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>semitri dashboard</title>
+<style>
+  :root { --bg:#0f1218; --panel:#171c26; --line:#2a3142; --fg:#d6dbe6; --dim:#7d8699;
+          --ok:#3fb68b; --bad:#e0596b; --accent:#5b9dd9; }
+  * { box-sizing:border-box; }
+  body { margin:0; background:var(--bg); color:var(--fg);
+         font:13px/1.5 ui-monospace,SFMono-Regular,Menlo,Consolas,monospace; }
+  header { display:flex; align-items:center; gap:12px; padding:10px 16px;
+           border-bottom:1px solid var(--line); }
+  header h1 { font-size:14px; margin:0; font-weight:600; letter-spacing:.4px; }
+  #health { padding:3px 10px; border-radius:4px; font-weight:600; }
+  #health.ok  { background:rgba(63,182,139,.15); color:var(--ok); }
+  #health.bad { background:rgba(224,89,107,.18); color:var(--bad); }
+  #conn { color:var(--dim); margin-left:auto; }
+  main { padding:14px 16px; display:grid; gap:14px; }
+  .cards { display:grid; grid-template-columns:repeat(auto-fill,minmax(230px,1fr)); gap:10px; }
+  .card { background:var(--panel); border:1px solid var(--line); border-radius:6px; padding:8px 10px; }
+  .card .name { color:var(--dim); font-size:11px; overflow:hidden; text-overflow:ellipsis;
+                white-space:nowrap; }
+  .card .val { font-size:17px; font-weight:600; margin:2px 0 4px; }
+  .card canvas { width:100%; height:34px; display:block; }
+  section h2 { font-size:12px; color:var(--dim); text-transform:uppercase;
+               letter-spacing:.8px; margin:0 0 6px; }
+  table { width:100%; border-collapse:collapse; background:var(--panel);
+          border:1px solid var(--line); border-radius:6px; }
+  th, td { text-align:left; padding:5px 10px; border-bottom:1px solid var(--line);
+           font-size:12px; }
+  th { color:var(--dim); font-weight:500; }
+  td.num { text-align:right; color:var(--accent); }
+  tr:last-child td { border-bottom:none; }
+  #reasons { color:var(--bad); padding:0 16px; }
+</style>
+</head>
+<body>
+<header>
+  <h1>semitri</h1>
+  <span id="health" class="ok">checking…</span>
+  <span id="conn">connecting to /metrics/stream…</span>
+</header>
+<div id="reasons"></div>
+<main>
+  <section>
+    <h2>metrics <span id="tickinfo" style="text-transform:none;letter-spacing:0"></span></h2>
+    <div class="cards" id="cards"></div>
+  </section>
+  <section>
+    <h2>slowest queries</h2>
+    <table id="slow"><thead>
+      <tr><th>source</th><th>query</th><th class="num">ms</th><th>at</th></tr>
+    </thead><tbody></tbody></table>
+  </section>
+</main>
+<script>
+"use strict";
+// Metric ids worth a card by default; everything else is available via
+// /metrics/history but would drown the page. Prefixes match families.
+var INTERESTING = [
+  "semitri_store_records_total", "semitri_store_tuples_total",
+  "semitri_queries_total", "semitri_query_ns_sum",
+  "semitri_live_standing_queries", "semitri_live_matches_total",
+  "semitri_live_events_evaluated_total",
+  "semitri_bus_events_total", "semitri_bus_dropped_total",
+  "semitri_health_degraded", "semitri_go_goroutines", "semitri_go_heap_bytes"
+];
+var HISTORY = 120;              // points per sparkline
+var series = {};                 // id -> {vals:[], card, canvas, valEl}
+var cards = document.getElementById("cards");
+
+function interesting(id) {
+  for (var i = 0; i < INTERESTING.length; i++)
+    if (id.indexOf(INTERESTING[i]) === 0) return true;
+  return false;
+}
+function fmt(v) {
+  if (Math.abs(v) >= 1e9) return (v/1e9).toFixed(2)+"G";
+  if (Math.abs(v) >= 1e6) return (v/1e6).toFixed(2)+"M";
+  if (Math.abs(v) >= 1e3) return (v/1e3).toFixed(1)+"k";
+  return (v === Math.round(v)) ? String(v) : v.toFixed(2);
+}
+function card(id) {
+  var s = series[id];
+  if (s) return s;
+  var div = document.createElement("div");
+  div.className = "card";
+  div.innerHTML = '<div class="name" title="'+id+'">'+id+'</div>' +
+                  '<div class="val">–</div><canvas></canvas>';
+  cards.appendChild(div);
+  s = series[id] = { vals: [], card: div,
+                     valEl: div.querySelector(".val"),
+                     canvas: div.querySelector("canvas") };
+  return s;
+}
+function spark(s) {
+  var c = s.canvas, ctx = c.getContext("2d");
+  var w = c.width = c.clientWidth || 220, h = c.height = 34;
+  ctx.clearRect(0, 0, w, h);
+  var v = s.vals;
+  if (v.length < 2) return;
+  var min = Math.min.apply(null, v), max = Math.max.apply(null, v);
+  var span = (max - min) || 1;
+  ctx.beginPath();
+  for (var i = 0; i < v.length; i++) {
+    var x = i / (v.length - 1) * (w - 2) + 1;
+    var y = h - 3 - (v[i] - min) / span * (h - 6);
+    i ? ctx.lineTo(x, y) : ctx.moveTo(x, y);
+  }
+  ctx.strokeStyle = "#5b9dd9"; ctx.lineWidth = 1.25; ctx.stroke();
+}
+function onTick(tick) {
+  var values = tick.values || {};
+  Object.keys(values).sort().forEach(function (id) {
+    if (!interesting(id)) return;
+    var s = card(id);
+    s.vals.push(values[id]);
+    if (s.vals.length > HISTORY) s.vals.shift();
+    s.valEl.textContent = fmt(values[id]);
+    spark(s);
+  });
+  document.getElementById("tickinfo").textContent =
+    "· " + new Date(tick.unix_nano / 1e6).toLocaleTimeString();
+}
+
+var conn = document.getElementById("conn");
+function stream() {
+  var es = new EventSource("/metrics/stream");
+  es.addEventListener("tick", function (e) { onTick(JSON.parse(e.data)); });
+  es.addEventListener("heartbeat", function (e) {
+    var hb = JSON.parse(e.data);
+    conn.textContent = "stream ok · delivered " + hb.delivered +
+                       " · drops " + hb.drops + " · lag " + hb.lag;
+  });
+  es.onopen = function () { conn.textContent = "stream connected"; };
+  es.onerror = function () {
+    conn.textContent = "stream lost — retrying…";
+    es.close();
+    setTimeout(stream, 2000);
+  };
+}
+stream();
+
+function poll(url, every, fn) {
+  function go() {
+    fetch(url).then(function (r) { return r.json().then(function (b) { fn(r, b); }); })
+      .catch(function () { fn(null, null); })
+      .then(function () { setTimeout(go, every); });
+  }
+  go();
+}
+poll("/healthz", 3000, function (r, body) {
+  var el = document.getElementById("health"), rs = document.getElementById("reasons");
+  if (!body) { el.className = "bad"; el.textContent = "unreachable"; rs.textContent = ""; return; }
+  if (r.ok) { el.className = "ok"; el.textContent = "healthy · " + fmt(body.records || 0) + " records"; rs.textContent = ""; }
+  else { el.className = "bad"; el.textContent = "degraded";
+         rs.textContent = (body.reasons || []).join(" · "); }
+});
+poll("/debug/queries", 5000, function (r, body) {
+  if (!body || !body.queries) return;
+  var tb = document.querySelector("#slow tbody");
+  tb.innerHTML = "";
+  body.queries.slice(0, 12).forEach(function (q) {
+    var tr = document.createElement("tr");
+    function td(text, cls) { var d = document.createElement("td");
+      d.textContent = text; if (cls) d.className = cls; tr.appendChild(d); }
+    td(q.source); td(q.query || "(none)");
+    td((q.ns / 1e6).toFixed(2), "num");
+    td(new Date(q.at).toLocaleTimeString());
+    tb.appendChild(tr);
+  });
+});
+</script>
+</body>
+</html>
+`

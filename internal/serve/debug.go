@@ -14,6 +14,9 @@ import (
 // the process-wide metric registry (the catalogue in internal/obs plus the
 // Go runtime gauges).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// Refresh the health gauge so a scrape never reads state staler than the
+	// scrape itself (nobody has to hit /healthz first).
+	s.evalHealth()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = obs.Default().WritePrometheus(w)
 }

@@ -61,6 +61,10 @@ type Server struct {
 
 	health    func() []string
 	profiling bool
+
+	live      *query.Live
+	history   *obs.History
+	heartbeat time.Duration
 }
 
 // Option configures optional server behaviour.
@@ -74,12 +78,40 @@ func WithProfiling() Option { return func(s *Server) { s.profiling = true } }
 // WithHealth attaches a health probe to GET /healthz: fn returns the current
 // degradation reasons (a stalled WAL flusher, a failed checkpoint, ...);
 // an empty slice means healthy. With reasons present the endpoint answers
-// 503 with {"status": "degraded", "reasons": [...]}.
+// 503 with {"status": "degraded", "reasons": [...]}. Every evaluation is
+// mirrored into the semitri_health_degraded gauge and the per-reason-class
+// counters, so scrapers alert without parsing the JSON body.
 func WithHealth(fn func() []string) Option { return func(s *Server) { s.health = fn } }
+
+// WithLive mounts GET /subscribe: standing-query subscriptions over SSE,
+// dispatched by l (see internal/query.Live).
+func WithLive(l *query.Live) Option { return func(s *Server) { s.live = l } }
+
+// WithHistory mounts GET /metrics/history (ring time-series per metric) and
+// GET /metrics/stream (sampled ticks over SSE), backed by h. The caller owns
+// h's sampler lifecycle (Start/Close).
+func WithHistory(h *obs.History) Option { return func(s *Server) { s.history = h } }
+
+// WithSSEHeartbeat overrides the SSE heartbeat cadence (default
+// DefaultSSEHeartbeat) — the interval at which idle /subscribe and
+// /metrics/stream connections emit a heartbeat event echoing the
+// subscription's drop/lag counters.
+func WithSSEHeartbeat(d time.Duration) Option {
+	return func(s *Server) {
+		if d > 0 {
+			s.heartbeat = d
+		}
+	}
+}
 
 // New builds a server over the engine and its store.
 func New(engine *query.Engine, opts ...Option) *Server {
-	s := &Server{engine: engine, st: engine.Store(), slow: obs.NewSlowLog(slowLogSize)}
+	s := &Server{
+		engine:    engine,
+		st:        engine.Store(),
+		slow:      obs.NewSlowLog(slowLogSize),
+		heartbeat: DefaultSSEHeartbeat,
+	}
 	for _, o := range opts {
 		o(s)
 	}
@@ -96,11 +128,35 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /query/objects", s.handleObjects)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics/history", s.handleMetricsHistory)
+	mux.HandleFunc("GET /metrics/stream", s.handleMetricsStream)
+	mux.HandleFunc("GET /subscribe", s.handleSubscribe)
 	mux.HandleFunc("GET /debug/queries", s.handleSlowQueries)
+	mux.HandleFunc("GET /debug/dash", s.handleDash)
 	if s.profiling {
 		s.registerProfiling(mux)
 	}
 	return mux
+}
+
+// evalHealth runs the health probe (nil-safe) and mirrors the outcome into
+// the metric catalogue: the degraded gauge tracks the current state, the
+// per-reason-class counters count degraded evaluations. Called from every
+// endpoint that reports health, so scrapes and probes stay consistent.
+func (s *Server) evalHealth() []string {
+	if s.health == nil {
+		return nil
+	}
+	reasons := s.health()
+	if len(reasons) == 0 {
+		obs.HealthDegraded.Set(0)
+		return nil
+	}
+	obs.HealthDegraded.Set(1)
+	for _, reason := range reasons {
+		obs.HealthReasonCounter(reason).Inc()
+	}
+	return reasons
 }
 
 // recordSlow offers one served query to the slow-query ring buffer (with its
@@ -380,12 +436,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"structured":   s.st.StructuredCount(),
 	}
 	status := http.StatusOK
-	if s.health != nil {
-		if reasons := s.health(); len(reasons) > 0 {
-			status = http.StatusServiceUnavailable
-			body["status"] = "degraded"
-			body["reasons"] = reasons
-		}
+	if reasons := s.evalHealth(); len(reasons) > 0 {
+		status = http.StatusServiceUnavailable
+		body["status"] = "degraded"
+		body["reasons"] = reasons
 	}
 	writeJSON(w, status, body)
 }

@@ -1,0 +1,36 @@
+package store
+
+// Tee fans index notifications out to several Index implementations, in
+// argument order. The store attaches at most one index; Tee is how a second
+// consumer (the live observability tap) rides along with the query engine
+// without the store growing a subscriber list on its hot path. Nil entries
+// are skipped, so callers can compose optional consumers unconditionally.
+func Tee(indexes ...Index) Index {
+	out := make(tee, 0, len(indexes))
+	for _, ix := range indexes {
+		if ix != nil {
+			out = append(out, ix)
+		}
+	}
+	return out
+}
+
+type tee []Index
+
+func (t tee) TuplesAppended(events []TupleEvent) {
+	for _, ix := range t {
+		ix.TuplesAppended(events)
+	}
+}
+
+func (t tee) StructuredReplaced(trajectoryID, objectID, interpretation string, events []TupleEvent) {
+	for _, ix := range t {
+		ix.StructuredReplaced(trajectoryID, objectID, interpretation, events)
+	}
+}
+
+func (t tee) TupleUpdated(event TupleEvent) {
+	for _, ix := range t {
+		ix.TupleUpdated(event)
+	}
+}

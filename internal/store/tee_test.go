@@ -1,0 +1,29 @@
+package store
+
+import "testing"
+
+// recIndex records which hooks fired, for asserting tee fan-out.
+type recIndex struct {
+	appended int
+	replaced int
+	updated  int
+}
+
+func (r *recIndex) TuplesAppended(events []TupleEvent) { r.appended += len(events) }
+func (r *recIndex) StructuredReplaced(_, _, _ string, events []TupleEvent) {
+	r.replaced += len(events)
+}
+func (r *recIndex) TupleUpdated(TupleEvent) { r.updated++ }
+
+func TestTeeFansOutInOrder(t *testing.T) {
+	a, b := &recIndex{}, &recIndex{}
+	ix := Tee(a, nil, b) // nil entries must be skipped
+	ix.TuplesAppended([]TupleEvent{{}, {}})
+	ix.StructuredReplaced("t", "o", "merged", []TupleEvent{{}})
+	ix.TupleUpdated(TupleEvent{})
+	for i, r := range []*recIndex{a, b} {
+		if r.appended != 2 || r.replaced != 1 || r.updated != 1 {
+			t.Fatalf("index %d saw %+v, want appended=2 replaced=1 updated=1", i, *r)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+#!/usr/bin/env bash
+# Subscribe smoke test: starts semitri-serve with live subscriptions on and
+# throttled ingestion, opens two SSE streams before the first episode closes
+# — a full-extent geofence standing query and the metrics stream — lets the
+# whole workload ingest, then asserts both streams carried well-formed
+# events and that the standing query's folded match count agrees with a
+# post-hoc /query/episodes answer over the quiescent store. CI runs this as
+# the subscribe-smoke job; `make subscribe-smoke` runs it locally.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+addr="127.0.0.1:${SEMITRI_SMOKE_PORT:-18081}"
+tmp=$(mktemp -d)
+server_pid=""
+sub_pid=""
+stream_pid=""
+cleanup() {
+	for pid in "$sub_pid" "$stream_pid" "$server_pid"; do
+		[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	done
+	rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/semitri-gen" ./cmd/semitri-gen
+go build -o "$tmp/semitri-serve" ./cmd/semitri-serve
+
+"$tmp/semitri-gen" -kind people -users 1 -days 1 -pois 3000 -out "$tmp/people.csv"
+
+# -ingest-delay throttles the producer so the subscriptions below are
+# standing before the first stop episode closes (stop detection needs many
+# records, each now costing 2ms): a standing query only sees events from
+# registration on, and the post-hoc comparison needs all of them.
+"$tmp/semitri-serve" -addr "$addr" -in "$tmp/people.csv" -pois 3000 \
+	-progress 0 -ingest-delay 2ms -sse-heartbeat 500ms \
+	>"$tmp/server.log" 2>&1 &
+server_pid=$!
+
+for _ in $(seq 1 100); do
+	if curl -fsS "http://$addr/healthz" >/dev/null 2>&1; then
+		break
+	fi
+	kill -0 "$server_pid" 2>/dev/null || { echo "server exited early" >&2; cat "$tmp/server.log" >&2; exit 1; }
+	sleep 0.1
+done
+
+# Geofence standing query over the whole city: its folded match count must
+# equal the engine's stop count inside the same window once quiescent. The
+# big ?buffer keeps delivery drop-free, so the fold is exact.
+curl -fsSN -G --data-urlencode 'q=stops where window(0, 0, 10000, 10000)' \
+	"http://$addr/subscribe?buffer=65536" >"$tmp/sub.sse" &
+sub_pid=$!
+curl -fsSN "http://$addr/metrics/stream" >"$tmp/stream.sse" &
+stream_pid=$!
+
+# Both subscriptions must be standing before episodes start closing.
+sleep 0.5
+if ! grep -q '^event: subscribed' "$tmp/sub.sse"; then
+	echo "FAIL /subscribe: no subscribed frame" >&2
+	cat "$tmp/sub.sse" >&2
+	exit 1
+fi
+echo "ok GET /subscribe [subscribed frame]"
+
+for _ in $(seq 1 600); do
+	if grep -q "ingestion complete" "$tmp/server.log"; then
+		break
+	fi
+	kill -0 "$server_pid" 2>/dev/null || { echo "server exited early" >&2; cat "$tmp/server.log" >&2; exit 1; }
+	sleep 0.2
+done
+if ! grep -q "ingestion complete" "$tmp/server.log"; then
+	echo "FAIL: ingestion did not finish in time" >&2
+	exit 1
+fi
+# Let the dispatcher drain and a heartbeat carry the final accounting.
+sleep 2
+kill "$sub_pid" "$stream_pid" 2>/dev/null || true
+wait "$sub_pid" "$stream_pid" 2>/dev/null || true
+sub_pid=""
+stream_pid=""
+
+# Well-formedness: every frame is an "event:" line paired with a "data:"
+# JSON line (the SSE contract the dashboard consumes).
+events=$(grep -c '^event: ' "$tmp/sub.sse")
+datas=$(grep -c '^data: {' "$tmp/sub.sse")
+if [ "$events" -ne "$datas" ] || [ "$events" -lt 2 ]; then
+	echo "FAIL /subscribe: $events event lines vs $datas data lines" >&2
+	exit 1
+fi
+echo "ok GET /subscribe [$events well-formed frames]"
+
+# Drop-free delivery: the last heartbeat's accounting must report zero
+# drops, otherwise the fold below would undercount by construction.
+last_hb=$(grep -A1 '^event: heartbeat' "$tmp/sub.sse" | grep '^data: ' | tail -1)
+if [ -z "$last_hb" ]; then
+	echo "FAIL /subscribe: no heartbeat frame" >&2
+	exit 1
+fi
+if ! printf '%s' "$last_hb" | grep -q '"drops":0'; then
+	echo "FAIL /subscribe: heartbeat reports drops: $last_hb" >&2
+	exit 1
+fi
+
+# Fold the stream: net matches (match minus unmatch) must equal the
+# post-hoc engine answer for the same predicate over the now-quiescent
+# store. This is the live/engine parity property, end to end over HTTP.
+matches=$(grep -c '^event: match' "$tmp/sub.sse" || true)
+unmatches=$(grep -c '^event: unmatch' "$tmp/sub.sse" || true)
+net=$((matches - unmatches))
+engine=$(curl -fsS "http://$addr/query/episodes?kind=stop&minx=0&miny=0&maxx=10000&maxy=10000" \
+	| grep -o '"count": *[0-9]*' | head -1 | grep -o '[0-9]*')
+if [ -z "$engine" ]; then
+	echo "FAIL /query/episodes: no count in answer" >&2
+	exit 1
+fi
+if [ "$net" -ne "$engine" ]; then
+	echo "FAIL parity: stream folded to $net stops ($matches match - $unmatches unmatch), engine says $engine" >&2
+	exit 1
+fi
+if [ "$net" -lt 1 ]; then
+	echo "FAIL parity: workload produced no stops to stream" >&2
+	exit 1
+fi
+echo "ok live/engine parity: $net stops ($matches match - $unmatches unmatch)"
+
+# The metrics stream: at least two tick frames (the connect-time sample plus
+# the sampler), each carrying the live subsystem's own gauges — the bus
+# instruments itself.
+ticks=$(grep -c '^event: tick' "$tmp/stream.sse")
+if [ "$ticks" -lt 2 ]; then
+	echo "FAIL /metrics/stream: only $ticks tick frames" >&2
+	exit 1
+fi
+if ! grep -q 'semitri_live_standing_queries' "$tmp/stream.sse"; then
+	echo "FAIL /metrics/stream: ticks lack the live subsystem gauges" >&2
+	exit 1
+fi
+if ! grep -q 'semitri_ingest_records_total' "$tmp/stream.sse"; then
+	echo "FAIL /metrics/stream: ticks lack the ingest counters" >&2
+	exit 1
+fi
+echo "ok GET /metrics/stream [$ticks ticks]"
+
+# The history endpoint answers for a metric the stream carried.
+history=$(curl -fsS "http://$addr/metrics/history?name=semitri_ingest_records_total&window=10m")
+if ! printf '%s' "$history" | grep -q '"samples"'; then
+	echo "FAIL /metrics/history: $history" >&2
+	exit 1
+fi
+echo "ok GET /metrics/history"
+
+# The dashboard serves and is self-contained.
+dash=$(curl -fsS "http://$addr/debug/dash")
+if ! printf '%s' "$dash" | grep -q 'EventSource'; then
+	echo "FAIL /debug/dash: unexpected body" >&2
+	exit 1
+fi
+echo "ok GET /debug/dash"
+
+# A malformed statement answers 400 with a structured error, not a hung
+# stream.
+bad=$(curl -s -G --data-urlencode 'q=stops join stops on gravity' \
+	-w '\n%{http_code}' "http://$addr/subscribe")
+status=${bad##*$'\n'}
+body=${bad%$'\n'*}
+if [ "$status" != "400" ] || ! printf '%s' "$body" | grep -q '"error"'; then
+	echo "FAIL bad subscribe statement: status $status body $body" >&2
+	exit 1
+fi
+echo "ok GET /subscribe [bad statement] -> 400 with error body"
+
+echo "subscribe smoke passed"

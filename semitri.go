@@ -249,6 +249,7 @@ type Pipeline struct {
 	mu      sync.Mutex
 	latency *stats.LatencyBreakdown
 	engine  *query.Engine
+	live    *query.Live
 	closed  bool
 }
 
@@ -401,16 +402,20 @@ func (p *Pipeline) Checkpoint() error {
 // StreamProcessors first so their tail artefacts are in the store. Safe to
 // call more than once and a no-op for non-durable pipelines.
 func (p *Pipeline) Close() error {
-	if p.wal == nil {
-		return nil
-	}
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
 		return nil
 	}
 	p.closed = true
+	live := p.live
 	p.mu.Unlock()
+	if live != nil {
+		live.Close() // stop the standing-query dispatcher goroutine
+	}
+	if p.wal == nil {
+		return nil
+	}
 	cpErr := p.Checkpoint()
 	p.st.AttachLog(nil)
 	if err := p.wal.Close(); err != nil && cpErr == nil {
@@ -472,10 +477,37 @@ func (p *Pipeline) Store() *store.Store { return p.st }
 func (p *Pipeline) QueryEngine() *query.Engine {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	return p.engineLocked()
+}
+
+// engineLocked creates the engine on first use. Caller holds p.mu. When the
+// live dispatcher already exists, the engine's self-attachment is replaced
+// with the tee so both keep receiving store notifications.
+func (p *Pipeline) engineLocked() *query.Engine {
 	if p.engine == nil {
 		p.engine = query.NewEngineWith(p.st, query.Options{Parallelism: p.cfg.QueryParallelism})
+		if p.live != nil {
+			p.st.AttachIndex(store.Tee(p.engine, p.live.Tap()))
+		}
 	}
 	return p.engine
+}
+
+// Live returns the pipeline's standing-query dispatcher, creating it (and
+// the query engine, whose index maintenance shares the store hook through
+// store.Tee) on first use. Like QueryEngine, request it before ingestion
+// starts so standing queries observe every event; subscriptions registered
+// mid-ingestion converge as tuples are next touched. The dispatcher is shut
+// down by Pipeline.Close.
+func (p *Pipeline) Live() *query.Live {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.live == nil {
+		engine := p.engineLocked()
+		p.live = query.NewLive(p.st, 0)
+		p.st.AttachIndex(store.Tee(engine, p.live.Tap()))
+	}
+	return p.live
 }
 
 // Latency returns the accumulated per-stage latency breakdown (Fig. 17).
